@@ -1,0 +1,75 @@
+// Ablation — chase variants: the paper's oblivious chase vs the
+// semi-oblivious (skolem) and restricted disciplines. Same universal
+// model up to homomorphic equivalence; very different sizes. The paper
+// fixes the oblivious chase for its definitions; this quantifies what
+// that costs and why the engine offers the alternatives for saturation
+// checks.
+
+#include <chrono>
+#include <cstdio>
+
+#include "base/table_printer.h"
+#include "chase/chase.h"
+#include "generators/workload.h"
+#include "homomorphism/homomorphism.h"
+#include "logic/parser.h"
+
+int main() {
+  using namespace bddfc;
+  std::printf("=== ablation: chase variants ===\n\n");
+
+  struct Case {
+    const char* name;
+    const char* rules;
+    const char* db;
+    std::size_t steps;
+  };
+  const Case cases[] = {
+      {"bdd-ified ex.1", "E(x,y) -> E(y,z)\nE(x,x1), E(y,y1) -> E(x,y1)",
+       "E(a,b).", 3},
+      {"wide body", "E(x,y), E(x,z) -> E(y,w)", "E(a,b). E(a,c). E(a,d).",
+       3},
+      {"binary tree", "E(x,y) -> E(y,l), E(y,r)", "E(a,b).", 6},
+      {"diamond datalog", "E(x,y), E(y,z) -> E(x,z)",
+       "E(a,b). E(b,c). E(c,d). E(a,e). E(e,d).", 8},
+  };
+
+  TablePrinter table({"workload", "variant", "steps run", "atoms",
+                      "nulls", "triggers", "saturated?", "ms"});
+  for (const Case& c : cases) {
+    for (ChaseVariant variant :
+         {ChaseVariant::kOblivious, ChaseVariant::kSemiOblivious,
+          ChaseVariant::kRestricted}) {
+      Universe u;
+      RuleSet rules = MustParseRuleSet(&u, c.rules);
+      Instance db = MustParseInstance(&u, c.db);
+      auto start = std::chrono::steady_clock::now();
+      ObliviousChase chase(
+          db, rules,
+          {.max_steps = c.steps, .max_atoms = 100000, .variant = variant});
+      chase.Run();
+      double ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      const char* vname = variant == ChaseVariant::kOblivious
+                              ? "oblivious"
+                              : variant == ChaseVariant::kSemiOblivious
+                                    ? "semi-oblivious"
+                                    : "restricted";
+      table.AddRow({c.name, vname, std::to_string(chase.StepsExecuted()),
+                    std::to_string(chase.Result().size()),
+                    std::to_string(u.num_nulls()),
+                    std::to_string(chase.TriggersFired()),
+                    FormatBool(chase.Saturated()),
+                    FormatDouble(ms, 2)});
+    }
+  }
+  table.Print();
+
+  std::printf(
+      "\nexpected shape: oblivious ≥ semi-oblivious ≥ restricted in atoms\n"
+      "and nulls (the 'wide body' case separates oblivious from\n"
+      "semi-oblivious: non-frontier body variables multiply triggers);\n"
+      "pure Datalog rows coincide across variants.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation — rewriting minimization: hom-subsumption pruning and query
+// coring are what keep the UCQ rewriting sets small and the fixpoint
+// reachable. This harness re-runs representative rewritings with each
+// optimization disabled.
+
+#include <chrono>
+#include <cstdio>
+
+#include "base/table_printer.h"
+#include "logic/parser.h"
+#include "rewriting/rewriter.h"
+
+namespace {
+
+struct Workload {
+  const char* name;
+  const char* rules;
+  const char* query;
+};
+
+}  // namespace
+
+int main() {
+  using namespace bddfc;
+  std::printf("=== ablation: rewriting minimization ===\n\n");
+
+  const Workload workloads[] = {
+      {"bdd-ified ex.1 / loop",
+       "E(x,y) -> E(y,z)\nE(x,x1), E(y,y1) -> E(x,y1)", "? :- E(x,x)"},
+      {"linear chain / end",
+       "P(x) -> Q(x)\nQ(x) -> R(x)\nR(x) -> S(x)", "?(x) :- S(x)"},
+      {"branching / edge",
+       "A(x) -> E(x,z)\nB(x) -> E(x,z)\nC(x) -> A(x)\nC(x) -> B(x)",
+       "? :- E(x,y)"},
+  };
+
+  TablePrinter table({"workload", "minimize", "core", "saturated?",
+                      "disjuncts", "candidates", "ms"});
+  for (const Workload& w : workloads) {
+    for (int minimize = 1; minimize >= 0; --minimize) {
+      for (int core = 1; core >= 0; --core) {
+        Universe u;
+        RuleSet rules = MustParseRuleSet(&u, w.rules);
+        Cq q = MustParseCq(&u, w.query);
+        RewriterOptions opts;
+        opts.max_depth = 7;
+        opts.max_disjuncts = 2000;
+        opts.minimize = minimize != 0;
+        opts.core_queries = core != 0;
+        UcqRewriter rewriter(rules, &u, opts);
+        auto start = std::chrono::steady_clock::now();
+        RewriteResult r = rewriter.Rewrite(q);
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+        table.AddRow({w.name, FormatBool(opts.minimize),
+                      FormatBool(opts.core_queries),
+                      FormatBool(r.saturated), std::to_string(r.ucq.size()),
+                      std::to_string(r.candidates_generated),
+                      FormatDouble(ms, 2)});
+      }
+    }
+  }
+  table.Print();
+
+  std::printf(
+      "\nexpected shape: with minimization off the disjunct sets blow up\n"
+      "(and recursive workloads stop saturating within the depth bound);\n"
+      "coring matters most when rules duplicate atoms. The default\n"
+      "configuration (minimize+core) dominates on every workload.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// EXP-6 — Section 4.4 body rewriting: rew(S) preserves the chase
+// (Lemma 30), preserves forward-existentiality/predicate-uniqueness
+// (Lemma 31), and delivers quickness (Lemma 32) — measured on the
+// streamlined versions of several rule sets.
+
+#include <cstdio>
+
+#include "base/table_printer.h"
+#include "chase/chase.h"
+#include "homomorphism/homomorphism.h"
+#include "logic/parser.h"
+#include "surgery/body_rewrite.h"
+#include "surgery/properties.h"
+#include "surgery/streamline.h"
+
+int main() {
+  using namespace bddfc;
+  std::printf("=== EXP-6: body rewriting rew(S) and quickness ===\n\n");
+
+  struct Case {
+    const char* name;
+    const char* rules;
+    const char* db;
+  };
+  const Case cases[] = {
+      {"datalog chain", "P(x) -> Q(x)\nQ(x) -> R(x)\nR(x) -> S(x)", "P(a)."},
+      {"existential chain", "P(x) -> Q(x)\nQ(x) -> E(x,z)", "P(a)."},
+      {"streamlined successor", "E(x,y) -> E(y,z)", "E(a,b)."},
+      {"streamlined bddified-ex1",
+       "E(x,y) -> E(y,z)\nE(x,x1), E(y,y1) -> E(x,y1)", "E(a,b)."},
+  };
+
+  TablePrinter table({"rule set", "|S|", "|rew(S)|", "complete?",
+                      "quick before?", "quick after?", "Lemma 30 holds?"});
+  bool all_ok = true;
+  for (std::size_t i = 0; i < sizeof(cases) / sizeof(cases[0]); ++i) {
+    const Case& c = cases[i];
+    Universe u;
+    RuleSet rules = MustParseRuleSet(&u, c.rules);
+    // The streamlined cases go through ▽ first, like the paper's pipeline.
+    if (std::string(c.name).find("streamlined") != std::string::npos) {
+      rules = surgery::Streamline(rules, &u);
+    }
+    Instance db = MustParseInstance(&u, c.db);
+    std::vector<Instance> probes = {db};
+
+    bool quick_before =
+        surgery::IsQuick(rules, probes, {.max_steps = 3, .max_atoms = 50000});
+    auto rewritten = surgery::BodyRewrite(rules, &u, {.max_depth = 10});
+    bool quick_after = surgery::IsQuick(rewritten.rules, probes,
+                                        {.max_steps = 3, .max_atoms = 50000});
+
+    Instance lhs = Chase(db, rules, {.max_steps = 4, .max_atoms = 50000});
+    Instance rhs =
+        Chase(db, rewritten.rules, {.max_steps = 4, .max_atoms = 50000});
+    bool lemma30 = MapsInto(lhs, rhs);  // rew adds shortcuts: lhs ⊆h rhs
+
+    all_ok = all_ok && rewritten.complete && quick_after && lemma30;
+    table.AddRow({c.name, std::to_string(rules.size()),
+                  std::to_string(rewritten.rules.size()),
+                  FormatBool(rewritten.complete), FormatBool(quick_before),
+                  FormatBool(quick_after), FormatBool(lemma30)});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: rew(S) is a superset of S with shortcut rules;\n"
+      "quickness holds after (and typically not before) the surgery;\n"
+      "chases stay homomorphically aligned (Lemma 30).\n"
+      "verdict: %s\n",
+      all_ok ? "ALL VERIFIED" : "MISMATCH FOUND");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// EXP-10 — Conjecture 44 and Theorem 45 (Section 6): chromatic numbers of
+// chase E-graphs for loop-free bdd rule sets stay bounded, while Erdős's
+// construction shows high girth does not bound chromatic number — the
+// obstruction that makes Conjecture 44 harder than Theorem 1.
+
+#include <cstdio>
+
+#include "base/rng.h"
+#include "base/table_printer.h"
+#include "chase/chase.h"
+#include "graph/digraph.h"
+#include "graph/undirected.h"
+#include "logic/parser.h"
+
+int main() {
+  using namespace bddfc;
+  std::printf("=== EXP-10: chromatic numbers (Conjecture 44) ===\n\n");
+
+  {
+    struct Case {
+      const char* name;
+      const char* rules;
+      const char* db;
+      bool bdd;
+    };
+    const Case cases[] = {
+        {"successor chain (bdd)", "E(x,y) -> E(y,z)", "E(a,b).", true},
+        {"binary tree (bdd)", "E(x,y) -> E(y,l), E(y,r)", "E(a,b).", true},
+        {"bipartite doubling (bdd)",
+         "P(x) -> E(x,y), Q(y)\nQ(x) -> E(x,y), P(y)", "P(a).", true},
+        {"bdd-ified ex.1 (loops!)",
+         "E(x,y) -> E(y,z)\nE(x,x1), E(y,y1) -> E(x,y1)", "E(a,b).", true},
+        {"transitive ex.1 (not bdd)",
+         "E(x,y) -> E(y,z)\nE(x,y), E(y,z) -> E(x,z)", "E(a,b).", false},
+    };
+    TablePrinter table({"rule set", "steps", "E-edges", "loop?",
+                        "χ (exact<=16)", "girth"});
+    for (const Case& c : cases) {
+      Universe u;
+      RuleSet rules = MustParseRuleSet(&u, c.rules);
+      Instance db = MustParseInstance(&u, c.db);
+      Instance chased =
+          Chase(db, rules, {.max_steps = 5, .max_atoms = 4000});
+      PredicateId e = u.FindPredicate("E");
+      InstanceGraph eg = GraphOfPredicate(chased, e);
+      UndirectedGraph ug = UndirectedGraph::FromDigraph(eg.graph);
+      int chi = ChromaticNumber::Exact(ug, 16);
+      int girth = ug.Girth();
+      table.AddRow({c.name, "5", std::to_string(eg.graph.num_edges()),
+                    FormatBool(eg.graph.HasLoop()), std::to_string(chi),
+                    girth == UndirectedGraph::kInfiniteGirth
+                        ? "inf"
+                        : std::to_string(girth)});
+    }
+    std::printf("chromatic numbers of chase prefixes:\n");
+    table.Print();
+    std::printf("\n");
+  }
+
+  {
+    std::printf(
+        "Theorem 45 (Erdős): high girth with growing chromatic number.\n"
+        "G(n, p) with short cycles deleted:\n\n");
+    TablePrinter table({"n", "girth target", "girth got", "edges",
+                        "χ greedy", "χ exact (n<=40)"});
+    Rng rng(7);
+    for (int n : {20, 40, 80, 120}) {
+      UndirectedGraph g = ErdosHighGirthGraph(n, 0.22, 4, &rng);
+      int exact = n <= 40 ? ChromaticNumber::Exact(g, 16) : -1;
+      table.AddRow({std::to_string(n), "4", std::to_string(g.Girth()),
+                    std::to_string(g.num_edges()),
+                    std::to_string(ChromaticNumber::GreedyUpperBound(g)),
+                    exact < 0 ? "-" : std::to_string(exact)});
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nexpected shape: loop-free bdd chases have χ ≤ 3 at every prefix\n"
+      "(the Conjecture 44 pattern); the triangle-free Erdős graphs keep χ\n"
+      "growing with n — so bounding χ needs more than excluding cliques.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// EXP-3 — Section 4.1 instance encoding: Corollary 15's chase equivalence
+// Ch(J,S) ↔ Ch({⊤}, S ∪ {⊤→J}) verified across a family of instances and
+// rule sets, plus the rewriting-preservation signal of Observation 16.
+
+#include <cstdio>
+
+#include "base/table_printer.h"
+#include "chase/chase.h"
+#include "homomorphism/homomorphism.h"
+#include "logic/parser.h"
+#include "rewriting/rewriter.h"
+#include "surgery/encode_instance.h"
+
+int main() {
+  using namespace bddfc;
+  std::printf("=== EXP-3: instance encoding (⊤ -> J) ===\n\n");
+
+  struct Case {
+    const char* rules;
+    const char* db;
+  };
+  const Case cases[] = {
+      {"E(x,y) -> E(y,z)", "E(a,b)."},
+      {"E(x,y) -> E(y,z)", "E(a,b). E(b,c). E(c,a)."},
+      {"P(x) -> E(x,y), Q(y)\nQ(x) -> P(x)", "P(a). P(b)."},
+      {"E(x,y) -> F(y,x)\nF(x,y) -> G(x)", "E(a,b). E(b,b)."},
+      {"R(x,y) -> R(y,z)\nR(x,y), R(y,z) -> S(x,z)", "R(a,b). R(c,d)."},
+  };
+
+  TablePrinter table({"rule set", "instance", "|Ch(J,S)|",
+                      "|Ch({T},S+enc)|", "hom-equal?", "rew preserved?"});
+  bool all_ok = true;
+  for (const Case& c : cases) {
+    Universe u;
+    RuleSet rules = MustParseRuleSet(&u, c.rules);
+    Instance db = MustParseInstance(&u, c.db);
+    RuleSet encoded = surgery::EncodeInstance(rules, db, &u);
+
+    Instance lhs =
+        Chase(surgery::FlexibleCopy(db), rules, {.max_steps = 4});
+    Instance top(&u);
+    Instance rhs = Chase(top, encoded, {.max_steps = 5});
+    bool equal = HomEquivalent(lhs, rhs);
+
+    // Observation 16 signal: a probe query rewrites (saturates) against
+    // both S and S ∪ {⊤ -> J}.
+    PredicateId e = SignatureOf(rules).size() ? *SignatureOf(rules).begin()
+                                              : u.top();
+    std::vector<Term> args;
+    for (int i = 0; i < u.ArityOf(e); ++i) {
+      args.push_back(u.FreshVariable("p"));
+    }
+    Cq probe({Atom(e, args)}, args);
+    UcqRewriter before(rules, &u, {.max_depth = 8});
+    UcqRewriter after(encoded, &u, {.max_depth = 8});
+    bool preserved = before.Rewrite(probe).saturated ==
+                     after.Rewrite(probe).saturated;
+
+    all_ok = all_ok && equal && preserved;
+    table.AddRow({c.rules[0] == 'E' || c.rules[0] == 'P' || c.rules[0] == 'R'
+                      ? std::string(c.rules).substr(0, 18) + "..."
+                      : c.rules,
+                  c.db, std::to_string(lhs.size()),
+                  std::to_string(rhs.size()), FormatBool(equal),
+                  FormatBool(preserved)});
+  }
+  table.Print();
+  std::printf("\nexpected shape: every row hom-equal (Corollary 15) and\n"
+              "rewriting-preserving (Observation 16). verdict: %s\n",
+              all_ok ? "ALL VERIFIED" : "MISMATCH FOUND");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+// EXP-1 — Example 1 (Section 1): the transitivity rule set is not bdd.
+//
+// Table 1: chase growth of Ch_k({E(a,b)}, R) and absence of Loop_E.
+// Table 2: rewriting of Loop_E does not saturate — candidates keep coming
+//          at every depth, while a bdd control set saturates immediately.
+
+#include <cstdio>
+
+#include "base/table_printer.h"
+#include "chase/chase.h"
+#include "graph/digraph.h"
+#include "homomorphism/homomorphism.h"
+#include "logic/parser.h"
+#include "rewriting/bdd_probe.h"
+#include "rewriting/rewriter.h"
+
+int main() {
+  using namespace bddfc;
+  std::printf("=== EXP-1: Example 1 — transitivity is not bdd ===\n\n");
+
+  {
+    Universe u;
+    RuleSet rules = MustParseRuleSet(&u,
+                                     "E(x,y) -> E(y,z)\n"
+                                     "E(x,y), E(y,z) -> E(x,z)\n");
+    Instance db = MustParseInstance(&u, "E(a,b).");
+    PredicateId e = u.FindPredicate("E");
+    ObliviousChase chase(db, rules, {.max_steps = 5, .max_atoms = 100000});
+    TablePrinter table({"k", "atoms in Ch_k", "E-edges", "Loop_E?"});
+    for (std::size_t k = 0; k <= 5; ++k) {
+      chase.RunSteps(k);
+      InstanceGraph eg = GraphOfPredicate(chase.Result(), e);
+      table.AddRow({std::to_string(k), std::to_string(chase.Result().size()),
+                    std::to_string(eg.graph.num_edges()),
+                    FormatBool(eg.graph.HasLoop())});
+    }
+    std::printf("chase growth (paper: chase never entails the loop):\n");
+    table.Print();
+    std::printf("\n");
+  }
+
+  {
+    TablePrinter table({"rule set", "depth", "saturated?", "disjuncts",
+                        "candidates generated"});
+    for (std::size_t depth : {2, 4, 6, 8}) {
+      Universe u;
+      RuleSet rules = MustParseRuleSet(&u,
+                                       "E(x,y) -> E(y,z)\n"
+                                       "E(x,y), E(y,z) -> E(x,z)\n");
+      PredicateId e = u.FindPredicate("E");
+      UcqRewriter rewriter(rules, &u, {.max_depth = depth});
+      RewriteResult r = rewriter.Rewrite(LoopQuery(&u, e));
+      table.AddRow({"Example 1 (transitivity)", std::to_string(depth),
+                    FormatBool(r.saturated), std::to_string(r.ucq.size()),
+                    std::to_string(r.candidates_generated)});
+    }
+    for (std::size_t depth : {2, 4, 6, 8}) {
+      Universe u;
+      RuleSet rules = MustParseRuleSet(&u,
+                                       "E(x,y) -> E(y,z)\n"
+                                       "E(x,x1), E(y,y1) -> E(x,y1)\n");
+      PredicateId e = u.FindPredicate("E");
+      UcqRewriter rewriter(rules, &u, {.max_depth = depth});
+      RewriteResult r = rewriter.Rewrite(LoopQuery(&u, e));
+      table.AddRow({"bdd-ified control", std::to_string(depth),
+                    FormatBool(r.saturated), std::to_string(r.ucq.size()),
+                    std::to_string(r.candidates_generated)});
+    }
+    std::printf(
+        "loop-query rewriting: non-saturation vs the bdd-ified control\n");
+    table.Print();
+  }
+
+  {
+    // Proposition 4 probe: the chase-side bdd constant climbs with the
+    // instance for the transitivity set (unbounded derivation depth), and
+    // stays fixed for a bdd control.
+    std::printf("\nDefinition 3 probe (first chase step entailing the "
+                "query, per instance):\n");
+    TablePrinter table({"rule set", "path length", "first step entailed"});
+    for (int len : {1, 2, 4, 6}) {
+      Universe u;
+      RuleSet rules = MustParseRuleSet(
+          &u, "E(x,y), E(y,z) -> E(x,z)\n");
+      u.InternPredicate("W", 1);
+      u.InternPredicate("V", 1);
+      std::string text = "W(c0). ";
+      for (int i = 0; i < len; ++i) {
+        text += "E(c" + std::to_string(i) + ",c" + std::to_string(i + 1) +
+                "). ";
+      }
+      text += "V(c" + std::to_string(len) + ").";
+      Instance db = MustParseInstance(&u, text);
+      Cq q = MustParseCq(&u, "? :- W(u), E(u,v), V(v)");
+      BddProbeReport probe =
+          ProbeBddConstant(q, rules, {db}, {.max_steps = 12});
+      table.AddRow({"transitivity", std::to_string(len),
+                    std::to_string(probe.entries[0].first_entailed_step)});
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nexpected shape: chase stays loop-free at every k; rewriting of the\n"
+      "transitivity set never saturates (candidates grow with depth) while\n"
+      "the bdd-ified control saturates at a fixed depth; the Definition 3\n"
+      "probe climbs with the path length — the very definition of NOT\n"
+      "having bounded derivation depth.\n");
+  return 0;
+}

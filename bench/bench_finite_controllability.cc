@@ -1,0 +1,69 @@
+// EXP-12 — the fc gap, measured: for each rule set, does the chase entail
+// Loop_E (unrestricted semantics) and does a loop-free finite model exist
+// (finite semantics)? Finite controllability demands the two columns be
+// complementary; Example 1 is exactly the rule set where they are not —
+// and it is not bdd, which is what the bdd ⇒ fc conjecture predicts must
+// be the case for any such gap.
+
+#include <cstdio>
+
+#include "base/table_printer.h"
+#include "chase/chase.h"
+#include "finite/model_search.h"
+#include "graph/digraph.h"
+#include "logic/parser.h"
+#include "rewriting/rewriter.h"
+
+int main() {
+  using namespace bddfc;
+  std::printf("=== EXP-12: the finite-controllability gap ===\n\n");
+
+  struct Case {
+    const char* name;
+    const char* rules;
+  };
+  const Case cases[] = {
+      {"successor only", "E(x,y) -> E(y,z)"},
+      {"Example 1 (succ+trans)",
+       "E(x,y) -> E(y,z)\nE(x,y), E(y,z) -> E(x,z)"},
+      {"bdd-ified Example 1",
+       "E(x,y) -> E(y,z)\nE(x,x1), E(y,y1) -> E(x,y1)"},
+      {"symmetric closure", "E(x,y) -> E(y,x)"},
+      {"inclusion dependency", "E(x,y) -> F(y,z)"},
+  };
+
+  TablePrinter table({"rule set", "bdd? (loop rewrites)",
+                      "chase |= Loop_E", "loop-free finite model (n<=3)",
+                      "fc-consistent?"});
+  for (const Case& c : cases) {
+    Universe u;
+    RuleSet rules = MustParseRuleSet(&u, c.rules);
+    Instance db = MustParseInstance(&u, "E(a,b).");
+    PredicateId e = u.FindPredicate("E");
+
+    UcqRewriter rewriter(rules, &u, {.max_depth = 6});
+    bool bdd_probe = rewriter.Rewrite(LoopQuery(&u, e)).saturated;
+
+    Instance chased = Chase(db, rules, {.max_steps = 4, .max_atoms = 60000});
+    InstanceGraph eg = GraphOfPredicate(chased, e);
+    bool chase_loop = eg.graph.HasLoop();
+
+    ModelSearchResult finite =
+        FindLoopFreeFiniteModel(db, rules, e, &u, {.domain_size = 3});
+
+    // fc-consistency on this observable: the chase entails the loop iff
+    // no loop-free finite model exists. (For truncated chases the chase
+    // column is a lower bound; all these cases settle within 4 steps.)
+    bool consistent = chase_loop == !finite.found;
+    table.AddRow({c.name, FormatBool(bdd_probe), FormatBool(chase_loop),
+                  FormatBool(finite.found), FormatBool(consistent)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nexpected shape: exactly one row is fc-INCONSISTENT — Example 1,\n"
+      "whose chase never entails the loop although every finite model has\n"
+      "one; and exactly that row is the non-bdd one, as the conjecture\n"
+      "(and Theorem 1's narrowing of the counterexample space) predicts.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Microbenchmarks: chase engine hot paths (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "chase/chase.h"
+#include "logic/parser.h"
+
+namespace bddfc {
+namespace {
+
+void BM_ChaseLinearChain(benchmark::State& state) {
+  const std::size_t steps = state.range(0);
+  for (auto _ : state) {
+    Universe u;
+    RuleSet rules = MustParseRuleSet(&u, "E(x,y) -> E(y,z)");
+    Instance db = MustParseInstance(&u, "E(a,b).");
+    ObliviousChase chase(db, rules, {.max_steps = steps});
+    chase.Run();
+    benchmark::DoNotOptimize(chase.Result().size());
+  }
+  state.SetItemsProcessed(state.iterations() * steps);
+}
+BENCHMARK(BM_ChaseLinearChain)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ChaseBinaryTree(benchmark::State& state) {
+  const std::size_t steps = state.range(0);
+  for (auto _ : state) {
+    Universe u;
+    RuleSet rules = MustParseRuleSet(&u, "E(x,y) -> E(y,l), E(y,r)");
+    Instance db = MustParseInstance(&u, "E(a,b).");
+    ObliviousChase chase(db, rules,
+                         {.max_steps = steps, .max_atoms = 100000});
+    chase.Run();
+    benchmark::DoNotOptimize(chase.Result().size());
+  }
+}
+BENCHMARK(BM_ChaseBinaryTree)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_DatalogTransitiveClosure(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Universe u;
+    RuleSet rules = MustParseRuleSet(&u, "E(x,y), E(y,z) -> E(x,z)");
+    Instance db(&u);
+    PredicateId e = u.InternPredicate("E", 2);
+    for (int i = 0; i + 1 < n; ++i) {
+      db.AddAtom(Atom(e, {u.InternConstant("c" + std::to_string(i)),
+                          u.InternConstant("c" + std::to_string(i + 1))}));
+    }
+    state.ResumeTiming();
+    ObliviousChase chase(db, rules,
+                         {.max_steps = 64, .max_atoms = 200000});
+    chase.Run();
+    benchmark::DoNotOptimize(chase.Result().size());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_DatalogTransitiveClosure)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_RestrictedVsOblivious(benchmark::State& state) {
+  const bool restricted = state.range(0) != 0;
+  for (auto _ : state) {
+    Universe u;
+    RuleSet rules = MustParseRuleSet(&u,
+                                     "E(x,y) -> E(y,z)\n"
+                                     "E(x,x1), E(y,y1) -> E(x,y1)\n");
+    Instance db = MustParseInstance(&u, "E(a,b).");
+    ObliviousChase chase(
+        db, rules,
+        {.max_steps = 3,
+         .max_atoms = 60000,
+         .variant = restricted ? ChaseVariant::kRestricted
+                               : ChaseVariant::kOblivious});
+    chase.Run();
+    benchmark::DoNotOptimize(chase.Result().size());
+  }
+}
+BENCHMARK(BM_RestrictedVsOblivious)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace bddfc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Microbenchmarks: tournament search, Ramsey extraction, chromatic number
+// (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.h"
+#include "graph/digraph.h"
+#include "graph/ramsey.h"
+#include "graph/tournament.h"
+#include "graph/undirected.h"
+
+namespace bddfc {
+namespace {
+
+Digraph RandomDigraph(int n, double p, std::uint64_t seed) {
+  Digraph g(n);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j && rng.Flip(p)) g.AddEdge(i, j);
+    }
+  }
+  return g;
+}
+
+void BM_MaxTournament(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Digraph g = RandomDigraph(n, 0.35, 11);
+  for (auto _ : state) {
+    TournamentSearch search(&g);
+    benchmark::DoNotOptimize(search.MaximumSize());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_MaxTournament)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_TournamentDecision(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Digraph g = RandomDigraph(n, 0.5, 13);
+  for (auto _ : state) {
+    TournamentSearch search(&g);
+    benchmark::DoNotOptimize(search.FindOfSize(4).has_value());
+  }
+}
+BENCHMARK(BM_TournamentDecision)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_RamseyExtraction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Digraph t(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) t.AddEdge(i, j);
+  }
+  auto coloring = [](int u, int v) { return (u * 7 + v * 3) % 2; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Ramsey::FindMonochromatic(t, coloring, 2, {3, 3}));
+  }
+}
+BENCHMARK(BM_RamseyExtraction)->Arg(6)->Arg(12)->Arg(24);
+
+void BM_ChromaticExact(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  UndirectedGraph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Flip(0.3)) g.AddEdge(i, j);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ChromaticNumber::Exact(g, 16));
+  }
+}
+BENCHMARK(BM_ChromaticExact)->Arg(12)->Arg(18)->Arg(24);
+
+void BM_Girth(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(9);
+  UndirectedGraph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Flip(0.1)) g.AddEdge(i, j);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.Girth());
+  }
+}
+BENCHMARK(BM_Girth)->Arg(30)->Arg(60)->Arg(120);
+
+}  // namespace
+}  // namespace bddfc
+
+BENCHMARK_MAIN();

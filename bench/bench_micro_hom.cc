@@ -1,0 +1,99 @@
+// Microbenchmarks: homomorphism solver hot paths (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.h"
+#include "chase/chase.h"
+#include "homomorphism/homomorphism.h"
+#include "logic/parser.h"
+
+namespace bddfc {
+namespace {
+
+// A random E-graph instance over n constants with m edges.
+Instance RandomGraph(Universe* u, int n, int m, std::uint64_t seed) {
+  Instance db(u);
+  PredicateId e = u->InternPredicate("E", 2);
+  std::vector<Term> verts;
+  for (int i = 0; i < n; ++i) {
+    verts.push_back(u->InternConstant("v" + std::to_string(i)));
+  }
+  Rng rng(seed);
+  for (int i = 0; i < m; ++i) {
+    db.AddAtom(Atom(e, {verts[rng.Below(n)], verts[rng.Below(n)]}));
+  }
+  return db;
+}
+
+void BM_PathQueryEntailment(benchmark::State& state) {
+  const int path_len = static_cast<int>(state.range(0));
+  Universe u;
+  Instance db = RandomGraph(&u, 60, 240, 17);
+  // Build the path query of the requested length.
+  std::string text = "? :- ";
+  for (int i = 0; i < path_len; ++i) {
+    text += "E(p" + std::to_string(i) + ",p" + std::to_string(i + 1) + ")";
+    if (i + 1 < path_len) text += ", ";
+  }
+  Cq q = MustParseCq(&u, text);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Entails(db, q));
+  }
+}
+BENCHMARK(BM_PathQueryEntailment)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_InjectivePathQuery(benchmark::State& state) {
+  const int path_len = static_cast<int>(state.range(0));
+  Universe u;
+  Instance db = RandomGraph(&u, 60, 240, 17);
+  std::string text = "? :- ";
+  for (int i = 0; i < path_len; ++i) {
+    text += "E(p" + std::to_string(i) + ",p" + std::to_string(i + 1) + ")";
+    if (i + 1 < path_len) text += ", ";
+  }
+  Cq q = MustParseCq(&u, text);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EntailsInjectively(db, q));
+  }
+}
+BENCHMARK(BM_InjectivePathQuery)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_TriangleQuery(benchmark::State& state) {
+  const int edges = static_cast<int>(state.range(0));
+  Universe u;
+  Instance db = RandomGraph(&u, 40, edges, 23);
+  Cq q = MustParseCq(&u, "? :- E(x,y), E(y,z), E(z,x)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Entails(db, q));
+  }
+}
+BENCHMARK(BM_TriangleQuery)->Arg(60)->Arg(120)->Arg(240);
+
+void BM_HomEquivalenceOfChases(benchmark::State& state) {
+  Universe u;
+  RuleSet rules = MustParseRuleSet(&u, "E(x,y) -> E(y,z)");
+  Instance db = MustParseInstance(&u, "E(a,b). E(c,d).");
+  Instance a = Chase(db, rules, {.max_steps = 6});
+  Instance b = Chase(db, rules, {.max_steps = 7});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MapsInto(a, b));
+  }
+}
+BENCHMARK(BM_HomEquivalenceOfChases);
+
+void BM_CoreComputation(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Universe u;
+    Cq q = MustParseCq(&u,
+                       "? :- E(x,y), E(x,z), E(x,w), E(u,y), E(v,v)");
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(Core(q, &u).size());
+  }
+}
+BENCHMARK(BM_CoreComputation);
+
+}  // namespace
+}  // namespace bddfc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Microbenchmarks: UCQ rewriting hot paths (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "logic/parser.h"
+#include "rewriting/piece_unifier.h"
+#include "rewriting/rewriter.h"
+
+namespace bddfc {
+namespace {
+
+void BM_RewriteLinearChain(benchmark::State& state) {
+  const int chain = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Universe u;
+    std::string text;
+    for (int i = 0; i < chain; ++i) {
+      text += "P" + std::to_string(i) + "(x) -> P" + std::to_string(i + 1) +
+              "(x)\n";
+    }
+    RuleSet rules = MustParseRuleSet(&u, text);
+    Cq q = MustParseCq(&u, "?(x) :- P" + std::to_string(chain) + "(x)");
+    state.ResumeTiming();
+    UcqRewriter rewriter(rules, &u, {.max_depth = 64});
+    RewriteResult r = rewriter.Rewrite(q);
+    benchmark::DoNotOptimize(r.ucq.size());
+  }
+  state.SetComplexityN(chain);
+}
+BENCHMARK(BM_RewriteLinearChain)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RewriteBddifiedExample1(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Universe u;
+    RuleSet rules = MustParseRuleSet(&u,
+                                     "E(x,y) -> E(y,z)\n"
+                                     "E(x,x1), E(y,y1) -> E(x,y1)\n");
+    PredicateId e = u.FindPredicate("E");
+    Cq loop = LoopQuery(&u, e);
+    state.ResumeTiming();
+    UcqRewriter rewriter(rules, &u, {.max_depth = 8});
+    benchmark::DoNotOptimize(rewriter.Rewrite(loop).ucq.size());
+  }
+}
+BENCHMARK(BM_RewriteBddifiedExample1);
+
+void BM_PieceEnumeration(benchmark::State& state) {
+  const int query_atoms = static_cast<int>(state.range(0));
+  Universe u;
+  RuleSet rules = MustParseRuleSet(&u, "R(x) -> E(x,z), F(x,z)");
+  std::string text = "? :- ";
+  for (int i = 0; i < query_atoms; ++i) {
+    text += "E(a" + std::to_string(i) + ",b" + std::to_string(i) + ")";
+    if (i + 1 < query_atoms) text += ", ";
+  }
+  Cq q = MustParseCq(&u, text);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EnumeratePieceRewritings(q, rules, &u).size());
+  }
+}
+BENCHMARK(BM_PieceEnumeration)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_Specializations(benchmark::State& state) {
+  const int vars = static_cast<int>(state.range(0));
+  Universe u;
+  std::string text = "? :- ";
+  for (int i = 0; i + 1 < vars; ++i) {
+    text += "E(v" + std::to_string(i) + ",v" + std::to_string(i + 1) + ")";
+    if (i + 2 < vars) text += ", ";
+  }
+  Cq q = MustParseCq(&u, text);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AllSpecializations(q).size());
+  }
+}
+BENCHMARK(BM_Specializations)->Arg(3)->Arg(5)->Arg(7);
+
+}  // namespace
+}  // namespace bddfc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Microbenchmarks: Section 5 machinery hot paths — valley classification,
+// witness enumeration, peak removal (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "chase/chase.h"
+#include "logic/parser.h"
+#include "rewriting/rewriter.h"
+#include "surgery/body_rewrite.h"
+#include "surgery/streamline.h"
+#include "valley/peak_removal.h"
+#include "valley/statistics.h"
+#include "valley/valley_query.h"
+#include "valley/witnesses.h"
+
+namespace bddfc {
+namespace {
+
+// Shared fixture: the regal bdd-ified Example 1 and its Q♦.
+struct RegalFixture {
+  Universe u;
+  RuleSet rules;
+  std::unique_ptr<ObliviousChase> chase;
+  std::unique_ptr<ObliviousChase> saturation;
+  PredicateId e;
+  Ucq q_inj;
+  Term s;
+  Term t;
+
+  RegalFixture() {
+    RuleSet base = MustParseRuleSet(&u,
+                                    "true -> E(a0,b0)\n"
+                                    "E(x,y) -> E(y,z)\n"
+                                    "E(x,x1), E(y,y1) -> E(x,y1)\n");
+    RuleSet streamlined = surgery::Streamline(base, &u);
+    rules = surgery::BodyRewrite(streamlined, &u, {.max_depth = 10}).rules;
+    auto [datalog, existential] = SplitDatalog(rules);
+    Instance top(&u);
+    chase = std::make_unique<ObliviousChase>(
+        top, existential, ChaseOptions{.max_steps = 6, .max_atoms = 50000});
+    chase->Run();
+    ChaseOptions dl;
+    dl.max_steps = 32;
+    dl.variant = ChaseVariant::kRestricted;
+    saturation =
+        std::make_unique<ObliviousChase>(chase->Result(), datalog, dl);
+    saturation->Run();
+    e = u.FindPredicate("E");
+    UcqRewriter rewriter(rules, &u, {.max_depth = 10});
+    q_inj = rewriter.InjectiveRewriting(EdgeQuery(&u, e));
+    for (const Atom& a : saturation->Result().atoms()) {
+      if (a.pred() == e && a.arg(0) != a.arg(1)) {
+        s = a.arg(0);
+        t = a.arg(1);
+        break;
+      }
+    }
+  }
+};
+
+RegalFixture& Fixture() {
+  static RegalFixture* fixture = new RegalFixture();
+  return *fixture;
+}
+
+void BM_ValleyClassification(benchmark::State& state) {
+  RegalFixture& f = Fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AnalyzeUcqValleys(f.q_inj).valleys);
+  }
+  state.SetItemsProcessed(state.iterations() * f.q_inj.size());
+}
+BENCHMARK(BM_ValleyClassification);
+
+void BM_WitnessSet(benchmark::State& state) {
+  RegalFixture& f = Fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Witnesses(f.chase->Result(), f.q_inj, f.s, f.t).size());
+  }
+}
+BENCHMARK(BM_WitnessSet);
+
+void BM_ValleyWitnessSet(benchmark::State& state) {
+  RegalFixture& f = Fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ValleyWitnesses(f.chase->Result(), f.q_inj, f.s, f.t).size());
+  }
+}
+BENCHMARK(BM_ValleyWitnessSet);
+
+void BM_PeakRemovalMinimal(benchmark::State& state) {
+  RegalFixture& f = Fixture();
+  PeakRemover remover(f.chase.get(), &f.q_inj, 32, PeakStart::kMinimal);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(remover.Run(f.s, f.t).success);
+  }
+}
+BENCHMARK(BM_PeakRemovalMinimal);
+
+void BM_PeakRemovalMaximal(benchmark::State& state) {
+  RegalFixture& f = Fixture();
+  PeakRemover remover(f.chase.get(), &f.q_inj, 32, PeakStart::kMaximal);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(remover.Run(f.s, f.t).success);
+  }
+}
+BENCHMARK(BM_PeakRemovalMaximal);
+
+void BM_InjectiveRewritingConstruction(benchmark::State& state) {
+  RegalFixture& f = Fixture();
+  for (auto _ : state) {
+    UcqRewriter rewriter(f.rules, &f.u, {.max_depth = 10});
+    benchmark::DoNotOptimize(
+        rewriter.InjectiveRewriting(EdgeQuery(&f.u, f.e)).size());
+  }
+}
+BENCHMARK(BM_InjectiveRewritingConstruction);
+
+}  // namespace
+}  // namespace bddfc
+
+BENCHMARK_MAIN();

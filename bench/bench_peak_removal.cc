@@ -1,0 +1,111 @@
+// EXP-8 — the peak-removing argument (Lemma 40) and its <_lex termination
+// measure (Lemma 8), executed on the regal form of the bdd-ified
+// Example 1.
+//
+// For each saturation edge: the minimal witness is already a valley (the
+// lemma read as an invariant), and descents started from the *maximal*
+// witness strictly decrease the timestamp multiset until a valley.
+
+#include <cstdio>
+#include <memory>
+
+#include "base/table_printer.h"
+#include "chase/chase.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "rewriting/rewriter.h"
+#include "surgery/body_rewrite.h"
+#include "surgery/streamline.h"
+#include "valley/peak_removal.h"
+
+namespace {
+
+std::string TsToString(const bddfc::Multiset<int>& ts) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [value, count] : ts.counts()) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!first) out += ",";
+      out += std::to_string(value);
+      first = false;
+    }
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+int main() {
+  using namespace bddfc;
+  std::printf("=== EXP-8: peak removal (Lemma 40) ===\n\n");
+
+  Universe u;
+  RuleSet base = MustParseRuleSet(&u,
+                                  "true -> E(a0,b0)\n"
+                                  "E(x,y) -> E(y,z)\n"
+                                  "E(x,x1), E(y,y1) -> E(x,y1)\n");
+  RuleSet streamlined = surgery::Streamline(base, &u);
+  auto rewritten = surgery::BodyRewrite(streamlined, &u, {.max_depth = 10});
+  std::printf("regal rule set: %zu rules (complete: %s)\n",
+              rewritten.rules.size(), rewritten.complete ? "yes" : "no");
+
+  auto [datalog, existential] = SplitDatalog(rewritten.rules);
+  Instance top(&u);
+  ObliviousChase chase(top, existential,
+                       {.max_steps = 8, .max_atoms = 50000});
+  chase.Run();
+  ChaseOptions dl;
+  dl.max_steps = 32;
+  dl.variant = ChaseVariant::kRestricted;
+  ObliviousChase saturation(chase.Result(), datalog, dl);
+  saturation.Run();
+
+  PredicateId e = u.FindPredicate("E");
+  UcqRewriter rewriter(rewritten.rules, &u, {.max_depth = 10});
+  Cq edge = EdgeQuery(&u, e);
+  Ucq q_inj = rewriter.InjectiveRewriting(edge);
+  std::printf("Ch(R∃): %zu atoms; saturation: %zu atoms; |Q♦| = %zu\n\n",
+              chase.Result().size(), saturation.Result().size(),
+              q_inj.size());
+
+  PeakRemover minimal(&chase, &q_inj, 32, PeakStart::kMinimal);
+  PeakRemover maximal(&chase, &q_inj, 32, PeakStart::kMaximal);
+
+  TablePrinter table({"edge", "min start: valley at once?",
+                      "max start: steps", "strictly <_lex?",
+                      "final TS_m"});
+  int edges_checked = 0;
+  int immediate = 0;
+  int max_descent = 0;
+  bool all_ok = true;
+  for (const Atom& a : saturation.Result().atoms()) {
+    if (a.pred() != e || a.arg(0) == a.arg(1)) continue;
+    if (edges_checked >= 12) break;
+    ++edges_checked;
+
+    PeakRemovalResult rmin = minimal.Run(a.arg(0), a.arg(1));
+    PeakRemovalResult rmax = maximal.Run(a.arg(0), a.arg(1));
+    bool min_immediate = rmin.success && rmin.trajectory.size() == 1;
+    if (min_immediate) ++immediate;
+    max_descent =
+        std::max(max_descent, static_cast<int>(rmax.trajectory.size()));
+    all_ok = all_ok && rmin.success && rmax.success &&
+             rmax.strictly_decreasing;
+    table.AddRow(
+        {"E(" + u.TermName(a.arg(0)) + "," + u.TermName(a.arg(1)) + ")",
+         FormatBool(min_immediate), std::to_string(rmax.trajectory.size()),
+         FormatBool(rmax.strictly_decreasing),
+         rmax.trajectory.empty()
+             ? "-"
+             : TsToString(rmax.trajectory.back().timestamps)});
+  }
+  table.Print();
+  std::printf(
+      "\n%d/%d edges: lex-minimal witness already a valley (Lemma 40 as an\n"
+      "invariant); longest maximal-start descent: %d steps, every step\n"
+      "strictly <_lex-decreasing (Lemma 8 terminates it).\n"
+      "verdict: %s\n",
+      immediate, edges_checked, max_descent,
+      all_ok ? "ALL VERIFIED" : "VIOLATION FOUND");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// EXP-2 — Property (p) live (Theorem 1): for bdd rule sets, growing
+// tournaments come with loops; for the non-bdd Example 1 the chase builds
+// tournaments while staying loop-free forever (the infinite escape hatch).
+//
+// One row per chase step and rule set: max tournament vs loop entailment.
+
+#include <cstdio>
+
+#include "base/table_printer.h"
+#include "core/property_p.h"
+#include "logic/parser.h"
+
+int main() {
+  using namespace bddfc;
+  std::printf("=== EXP-2: Property (p) — tournaments vs loops ===\n\n");
+
+  struct Workload {
+    const char* name;
+    const char* rules;
+    const char* db;
+    std::size_t steps;
+    bool bdd;
+  };
+  const Workload workloads[] = {
+      {"bdd-ified Example 1",
+       "E(x,y) -> E(y,z)\nE(x,x1), E(y,y1) -> E(x,y1)\n", "E(a,b).", 3,
+       true},
+      {"Example 1 (not bdd)",
+       "E(x,y) -> E(y,z)\nE(x,y), E(y,z) -> E(x,z)\n", "E(a,b).", 4, false},
+      {"dense bdd (two-step hop)",
+       "E(x,y) -> E(y,z)\nE(x,x1), E(x1,y1) -> E(x,y1)\n"
+       "E(x,x1), E(y,y1) -> E(x,y1)\n",
+       "E(a,b).", 3, true},
+      {"linear (no tournaments)", "E(x,y) -> E(y,z)\n", "E(a,b).", 6, true},
+  };
+
+  TablePrinter table({"rule set", "bdd?", "step", "E-edges",
+                      "max tournament", "loop?"});
+  for (const Workload& w : workloads) {
+    Universe u;
+    RuleSet rules = MustParseRuleSet(&u, w.rules);
+    Instance db = MustParseInstance(&u, w.db);
+    PredicateId e = u.FindPredicate("E");
+    PropertyPOptions options;
+    options.chase.max_steps = w.steps;
+    options.chase.max_atoms = 80000;
+    PropertyPReport report = CheckPropertyP(db, rules, e, options);
+    for (const auto& point : report.curve) {
+      table.AddRow({w.name, FormatBool(w.bdd), std::to_string(point.step),
+                    std::to_string(point.e_edges),
+                    std::to_string(point.max_tournament),
+                    FormatBool(point.loop)});
+    }
+  }
+  table.Print();
+
+  std::printf(
+      "\nexpected shape: every bdd row whose tournaments reach 3+ also\n"
+      "shows the loop within a step or two (Property (p)); the non-bdd\n"
+      "Example 1 grows tournaments with no loop at any finite step; the\n"
+      "linear set never grows tournaments beyond 2 and needs no loop.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// EXP-7 — Theorem 7 (directed Ramsey) and the tournament-size bound of
+// Question 46.
+//
+// Table 1: recurrence upper bounds R(s₁,…,s_k) for the sizes the paper's
+//          machinery uses.
+// Table 2: exhaustive verification on tiny complete graphs (R(3,3)=6
+//          certified; R(3,3)>5 exhibited).
+// Table 3: the N(4,…,4) bound of Question 46 as a function of |Q♦|.
+
+#include <cstdio>
+
+#include "base/table_printer.h"
+#include "graph/ramsey.h"
+
+int main() {
+  using namespace bddfc;
+  std::printf("=== EXP-7: Ramsey machinery (Theorem 7, Question 46) ===\n\n");
+
+  {
+    TablePrinter table({"sizes", "recurrence upper bound", "known value"});
+    struct Row {
+      std::vector<int> sizes;
+      const char* name;
+      const char* known;
+    };
+    const Row rows[] = {
+        {{3, 3}, "R(3,3)", "6"},
+        {{3, 4}, "R(3,4)", "9"},
+        {{4, 4}, "R(4,4)", "18"},
+        {{3, 3, 3}, "R(3,3,3)", "17"},
+        {{4, 4, 4}, "R(4,4,4)", "?(<=236)"},
+    };
+    for (const Row& r : rows) {
+      table.AddRow({r.name, std::to_string(Ramsey::UpperBound(r.sizes)),
+                    r.known});
+    }
+    std::printf("recurrence bounds (2 − k + Σ R(…,s_i−1,…)):\n");
+    table.Print();
+    std::printf("\n");
+  }
+
+  {
+    TablePrinter table({"n", "sizes", "every coloring has mono clique?"});
+    struct Row {
+      int n;
+      std::vector<int> sizes;
+      const char* label;
+    };
+    const Row rows[] = {
+        {5, {3, 3}, "(3,3)"}, {6, {3, 3}, "(3,3)"},
+        {3, {3, 2}, "(3,2)"}, {2, {3, 2}, "(3,2)"},
+        {2, {2, 2, 2}, "(2,2,2)"},
+    };
+    for (const Row& r : rows) {
+      table.AddRow({std::to_string(r.n), r.label,
+                    FormatBool(Ramsey::VerifyAllColorings(r.n, r.sizes))});
+    }
+    std::printf("exhaustive verification on K_n (brute force over all "
+                "colorings):\n");
+    table.Print();
+    std::printf("\n");
+  }
+
+  {
+    std::printf(
+        "Question 46: any loop-free chase tournament is capped by\n"
+        "N(4,…,4) with |Q♦| arguments. The recurrence explodes fast:\n\n");
+    TablePrinter table({"|Q♦| (colors)", "N(4,...,4) upper bound"});
+    for (int colors = 1; colors <= 4; ++colors) {
+      std::vector<int> sizes(colors, 4);
+      std::uint64_t bound = Ramsey::UpperBound(sizes);
+      table.AddRow({std::to_string(colors),
+                    bound == Ramsey::kUnboundedlyLarge
+                        ? "overflow"
+                        : std::to_string(bound)});
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nexpected shape: recurrence bounds match the classical values for\n"
+      "(3,3)/(3,4), overshoot for (4,4) (20 vs 18); K6 forces mono\n"
+      "triangles while K5 does not; the Question 46 bound grows\n"
+      "super-exponentially in the rewriting size.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// EXP-4 — Section 4.2 reification: Lemma 19's commutation
+// Ch(reify(J), reify(S)) ↔ reify(Ch(J,S)) across arities 3–6, and the
+// Lemma 20 signal that rewriting saturation carries over to the reified
+// set.
+
+#include <cstdio>
+#include <string>
+
+#include "base/table_printer.h"
+#include "chase/chase.h"
+#include "homomorphism/homomorphism.h"
+#include "logic/parser.h"
+#include "rewriting/rewriter.h"
+#include "surgery/reify.h"
+
+namespace {
+
+// Builds "R(x1,...,xn) -> R(x2,...,xn,w)" plus a projection to E.
+std::string RollingRule(int arity) {
+  std::string head_args;
+  std::string body_args;
+  for (int i = 1; i <= arity; ++i) {
+    body_args += "x" + std::to_string(i);
+    if (i < arity) body_args += ",";
+    head_args += i < arity ? "x" + std::to_string(i + 1) + "," : "w";
+  }
+  return "R(" + body_args + ") -> R(" + head_args + ")\n" +
+         "R(" + body_args + ") -> E(x1,x2)\n";
+}
+
+std::string WideInstance(int arity) {
+  std::string args;
+  for (int i = 0; i < arity; ++i) {
+    args += std::string(1, static_cast<char>('a' + i));
+    if (i + 1 < arity) args += ",";
+  }
+  return "R(" + args + ").";
+}
+
+}  // namespace
+
+int main() {
+  using namespace bddfc;
+  std::printf("=== EXP-4: reification to binary signatures ===\n\n");
+
+  TablePrinter table({"arity", "|Ch(J,S)|", "|reify(Ch)|", "|Ch(reify)|",
+                      "Lemma 19 holds?", "rew saturates (orig/reified)"});
+  bool all_ok = true;
+  for (int arity = 3; arity <= 6; ++arity) {
+    Universe u;
+    RuleSet rules = MustParseRuleSet(&u, RollingRule(arity));
+    Instance db = MustParseInstance(&u, WideInstance(arity));
+
+    surgery::Reifier reifier(&u);
+    RuleSet reified_rules = reifier.ReifyRules(rules);
+    Instance reified_db = reifier.ReifyInstance(db);
+
+    Instance chased = Chase(db, rules, {.max_steps = 4});
+    Instance chase_then_reify = reifier.ReifyInstance(chased);
+    Instance reify_then_chase =
+        Chase(reified_db, reified_rules, {.max_steps = 4});
+    bool commutes = HomEquivalent(chase_then_reify, reify_then_chase);
+
+    PredicateId e = u.FindPredicate("E");
+    UcqRewriter orig(rules, &u, {.max_depth = 8});
+    UcqRewriter reif(reified_rules, &u, {.max_depth = 8});
+    bool orig_sat = orig.Rewrite(EdgeQuery(&u, e)).saturated;
+    bool reif_sat = reif.Rewrite(EdgeQuery(&u, e)).saturated;
+
+    all_ok = all_ok && commutes && (orig_sat == reif_sat);
+    table.AddRow({std::to_string(arity), std::to_string(chased.size()),
+                  std::to_string(chase_then_reify.size()),
+                  std::to_string(reify_then_chase.size()),
+                  FormatBool(commutes),
+                  FormatBool(orig_sat) + "/" + FormatBool(reif_sat)});
+  }
+  table.Print();
+  std::printf("\nexpected shape: Lemma 19 equivalence at every arity; the\n"
+              "reified chase has ~arity× the atoms; rewriting saturation\n"
+              "matches between original and reified (Lemma 20).\n"
+              "verdict: %s\n",
+              all_ok ? "ALL VERIFIED" : "MISMATCH FOUND");
+  return all_ok ? 0 : 1;
+}

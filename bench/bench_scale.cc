@@ -1,0 +1,100 @@
+// Scaling study: chase growth and end-to-end query-answering cost as the
+// step budget and database size grow, for the three workload families the
+// other experiments use. Gives the systems-level context for the bounded
+// chase substitution documented in DESIGN.md §4.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "base/table_printer.h"
+#include "chase/chase.h"
+#include "homomorphism/homomorphism.h"
+#include "logic/parser.h"
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace bddfc;
+  std::printf("=== scaling: chase growth and query cost ===\n\n");
+
+  {
+    TablePrinter table({"workload", "steps", "atoms", "nulls", "triggers",
+                        "chase ms", "loop-query ms"});
+    struct Family {
+      const char* name;
+      const char* rules;
+      std::vector<std::size_t> steps;
+    };
+    const Family families[] = {
+        {"linear chain", "E(x,y) -> E(y,z)", {16, 64, 256}},
+        {"binary tree", "E(x,y) -> E(y,l), E(y,r)", {6, 10, 13}},
+        {"bdd-ified ex.1",
+         "E(x,y) -> E(y,z)\nE(x,x1), E(y,y1) -> E(x,y1)", {2, 3, 4}},
+    };
+    for (const Family& f : families) {
+      for (std::size_t steps : f.steps) {
+        Universe u;
+        RuleSet rules = MustParseRuleSet(&u, f.rules);
+        Instance db = MustParseInstance(&u, "E(a,b).");
+        PredicateId e = u.FindPredicate("E");
+        auto start = std::chrono::steady_clock::now();
+        ObliviousChase chase(db, rules,
+                             {.max_steps = steps, .max_atoms = 300000});
+        chase.Run();
+        double chase_ms = MsSince(start);
+        start = std::chrono::steady_clock::now();
+        bool loop = Entails(chase.Result(), LoopQuery(&u, e));
+        (void)loop;
+        double query_ms = MsSince(start);
+        table.AddRow({f.name, std::to_string(chase.StepsExecuted()),
+                      std::to_string(chase.Result().size()),
+                      std::to_string(u.num_nulls()),
+                      std::to_string(chase.TriggersFired()),
+                      FormatDouble(chase_ms, 2),
+                      FormatDouble(query_ms, 3)});
+      }
+    }
+    table.Print();
+  }
+
+  {
+    std::printf("\ndatabase-size scaling (Datalog transitive closure):\n");
+    TablePrinter table({"path length", "closure edges", "ms"});
+    for (int n : {8, 16, 32, 64}) {
+      Universe u;
+      RuleSet rules = MustParseRuleSet(&u, "E(x,y), E(y,z) -> E(x,z)");
+      std::string text;
+      for (int i = 0; i + 1 < n; ++i) {
+        text += "E(c" + std::to_string(i) + ",c" + std::to_string(i + 1) +
+                "). ";
+      }
+      Instance db = MustParseInstance(&u, text);
+      PredicateId e = u.FindPredicate("E");
+      auto start = std::chrono::steady_clock::now();
+      ObliviousChase chase(db, rules,
+                           {.max_steps = 64, .max_atoms = 300000});
+      chase.Run();
+      double ms = MsSince(start);
+      table.AddRow({std::to_string(n),
+                    std::to_string(chase.Result().AtomsWith(e).size()),
+                    FormatDouble(ms, 1)});
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nexpected shape: linear chain scales linearly in steps; the tree\n"
+      "and the dense bdd set grow exponentially (hence the bounded-prefix\n"
+      "methodology); the Datalog closure reaches n(n-1)/2 edges with\n"
+      "superlinear but manageable cost.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// EXP-5 — Section 4.3 streamlining: ▽(S) is forward-existential and
+// predicate-unique (Lemma 25); Ch(J,S)|_S ↔ Ch(J,▽(S))|_S (Lemma 24);
+// and the 3× step dilation of Lemma 48, measured.
+
+#include <cstdio>
+
+#include "base/table_printer.h"
+#include "chase/chase.h"
+#include "homomorphism/homomorphism.h"
+#include "logic/parser.h"
+#include "surgery/properties.h"
+#include "surgery/streamline.h"
+
+int main() {
+  using namespace bddfc;
+  std::printf("=== EXP-5: streamlining ▽(S) ===\n\n");
+
+  struct Case {
+    const char* name;
+    const char* rules;
+    const char* db;
+  };
+  const Case cases[] = {
+      {"successor", "E(x,y) -> E(y,z)", "E(a,b)."},
+      {"succ+trans", "E(x,y) -> E(y,z)\nE(x,y), E(y,z) -> E(x,z)",
+       "E(a,b)."},
+      {"two-headed", "A(x) -> E(x,y), A(y)", "A(a)."},
+      {"shared frontier", "P(x,y) -> E(x,z), F(y,z)", "P(a,b)."},
+  };
+
+  TablePrinter table({"rule set", "|S|", "|▽(S)|", "fwd-∃?", "pred-uniq?",
+                      "Lemma 24 holds?", "k vs 3k dilation?"});
+  bool all_ok = true;
+  for (const Case& c : cases) {
+    Universe u;
+    RuleSet rules = MustParseRuleSet(&u, c.rules);
+    Instance db = MustParseInstance(&u, c.db);
+    auto signature = SignatureOf(rules);
+    RuleSet streamlined = surgery::Streamline(rules, &u);
+
+    bool fwd = surgery::IsForwardExistential(streamlined);
+    bool uniq = surgery::IsPredicateUnique(streamlined);
+
+    Instance plain = Chase(db, rules, {.max_steps = 3, .max_atoms = 30000});
+    Instance tri =
+        Chase(db, streamlined, {.max_steps = 9, .max_atoms = 90000});
+    bool lemma24 = HomEquivalent(plain.Restrict(signature),
+                                 tri.Restrict(signature));
+
+    // Dilation: at only k steps the streamlined chase lags behind.
+    Instance tri_short =
+        Chase(db, streamlined, {.max_steps = 3, .max_atoms = 90000});
+    bool dilated =
+        tri_short.Restrict(signature).size() <=
+            plain.Restrict(signature).size() &&
+        MapsInto(tri_short.Restrict(signature), plain.Restrict(signature));
+
+    all_ok = all_ok && fwd && uniq && lemma24;
+    table.AddRow({c.name, std::to_string(rules.size()),
+                  std::to_string(streamlined.size()), FormatBool(fwd),
+                  FormatBool(uniq), FormatBool(lemma24),
+                  FormatBool(dilated)});
+  }
+  table.Print();
+  std::printf("\nexpected shape: every non-Datalog rule splits in three;\n"
+              "both Definition 21/22 properties hold; restricted chases\n"
+              "agree once the streamlined one gets 3x the steps (Lemma 48).\n"
+              "verdict: %s\n",
+              all_ok ? "ALL VERIFIED" : "MISMATCH FOUND");
+  return all_ok ? 0 : 1;
+}

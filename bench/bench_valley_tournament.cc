@@ -1,0 +1,132 @@
+// EXP-9 — Proposition 43 and the full Theorem 1 pipeline with stage
+// timings: a valley query defining a 4-tournament defines a loop, case by
+// case, plus the end-to-end run on the bdd-ified Example 1.
+
+#include <chrono>
+#include <cstdio>
+
+#include "base/table_printer.h"
+#include "core/tournament_analyzer.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "valley/valley_tournament.h"
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace bddfc;
+  std::printf("=== EXP-9: valley-query tournaments (Proposition 43) ===\n\n");
+
+  // --- The three proof cases on crafted structures. --------------------------
+  {
+    TablePrinter table(
+        {"case", "valley query", "loop derived?", "impossible?", "detail"});
+
+    {
+      Universe u;
+      Instance chase = MustParseInstance(
+          &u,
+          "P(u1,k1). P(u1,k2). P(u1,k3). P(u1,k4). "
+          "Q(v1,k1). Q(v1,k2). Q(v1,k3). Q(v1,k4).");
+      Cq valley = MustParseCq(&u, "?(x,y) :- P(u,x), Q(v,y)");
+      std::vector<Term> t = {u.FindConstant("k1"), u.FindConstant("k2"),
+                             u.FindConstant("k3"), u.FindConstant("k4")};
+      auto r = AnalyzeValleyTournament(valley, chase, t,
+                                       [](Term, Term) { return true; });
+      table.AddRow({ValleyCaseName(r.valley_case), "P(u,x) ∧ Q(v,y)",
+                    FormatBool(r.loop_derived), FormatBool(r.impossible),
+                    r.loop_derived ? "loop at " + u.TermName(r.loop_term)
+                                   : r.detail.substr(0, 40)});
+    }
+    {
+      Universe u;
+      Instance chase = MustParseInstance(&u, "S(a,b). S(b,c). S(c,d).");
+      Cq valley = MustParseCq(&u, "?(x,y) :- S(y,x)");
+      std::vector<Term> t = {u.FindConstant("a"), u.FindConstant("b"),
+                             u.FindConstant("c"), u.FindConstant("d")};
+      auto r = AnalyzeValleyTournament(valley, chase, t,
+                                       [](Term, Term) { return true; });
+      table.AddRow({ValleyCaseName(r.valley_case), "S(y,x)",
+                    FormatBool(r.loop_derived), FormatBool(r.impossible),
+                    "functional => out-degree <= 1"});
+    }
+    {
+      Universe u;
+      Instance chase = MustParseInstance(
+          &u, "P(wa,k1). R(wa,k2). R(wa,k3). P(wa,k2).");
+      Cq valley = MustParseCq(&u, "?(x,y) :- P(w,x), R(w,y)");
+      std::vector<Term> t = {u.FindConstant("k1"), u.FindConstant("k2"),
+                             u.FindConstant("k3")};
+      std::vector<std::pair<Term, Term>> edges = {
+          {u.FindConstant("k1"), u.FindConstant("k2")},
+          {u.FindConstant("k1"), u.FindConstant("k3")},
+          {u.FindConstant("k2"), u.FindConstant("k3")}};
+      auto edge = [&](Term s, Term tt) {
+        for (auto& [a, b] : edges) {
+          if (a == s && b == tt) return true;
+        }
+        return false;
+      };
+      auto r = AnalyzeValleyTournament(valley, chase, t, edge);
+      table.AddRow({ValleyCaseName(r.valley_case), "P(w,x) ∧ R(w,y)",
+                    FormatBool(r.loop_derived), FormatBool(r.impossible),
+                    r.loop_derived ? "loop at " + u.TermName(r.loop_term)
+                                   : r.detail.substr(0, 40)});
+    }
+    std::printf("Proposition 43, case by case:\n");
+    table.Print();
+    std::printf("\n");
+  }
+
+  // --- End-to-end pipeline with stage timings, two workloads. ------------------
+  bool all_ok = true;
+  struct Workload {
+    const char* name;
+    const char* rules;
+    std::size_t chase_steps;
+  };
+  const Workload workloads[] = {
+      {"bdd-ified Example 1",
+       "true -> E(a0,b0)\n"
+       "E(x,y) -> E(y,z)\n"
+       "E(x,x1), E(y,y1) -> E(x,y1)\n",
+       10},
+      {"two-seed variant",
+       "true -> E(a0,b0), E(a0,c0)\n"
+       "E(x,y) -> E(y,z)\n"
+       "E(x,x1), E(y,y1) -> E(x,y1)\n",
+       8},
+  };
+  for (const Workload& w : workloads) {
+    Universe u;
+    RuleSet rules = MustParseRuleSet(&u, w.rules);
+    PredicateId e = u.FindPredicate("E");
+    AnalyzerOptions opts;
+    opts.rewriter.max_depth = 10;
+    opts.chase.max_steps = w.chase_steps;
+    opts.chase.max_atoms = 50000;
+    auto start = std::chrono::steady_clock::now();
+    TournamentAnalyzer analyzer(rules, e, &u, opts);
+    AnalyzerResult result = analyzer.Run();
+    double ms = MsSince(start);
+
+    std::printf("full Theorem 1 pipeline (%s):\n%s", w.name,
+                result.Summary(u).c_str());
+    std::printf("total pipeline time: %.1f ms; all stages ok: %s\n\n",
+                ms, result.AllOk() ? "yes" : "no");
+    all_ok = all_ok && result.AllOk();
+  }
+  std::printf(
+      "expected shape: all three Prop. 43 cases behave as proven\n"
+      "(disconnected/two-maximal derive the loop, single-maximal rules\n"
+      "the tournament out); both pipelines derive the loop end to end.\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+// Example 1 from the paper, live: the transitivity rule set (not bdd)
+// versus its bdd-ification, and Property (p) in action.
+//
+//   $ ./bdd_fc_demo
+
+#include <cstdio>
+
+#include "base/table_printer.h"
+#include "core/property_p.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "rewriting/rewriter.h"
+
+namespace {
+
+void Report(const char* title, const bddfc::PropertyPReport& report) {
+  using bddfc::FormatBool;
+  std::printf("--- %s ---\n", title);
+  bddfc::TablePrinter table(
+      {"step", "atoms", "E-edges", "max tournament", "loop?"});
+  for (const auto& point : report.curve) {
+    table.AddRow({std::to_string(point.step), std::to_string(point.atoms),
+                  std::to_string(point.e_edges),
+                  std::to_string(point.max_tournament),
+                  FormatBool(point.loop)});
+  }
+  table.Print();
+  std::printf("loop entailed: %s (first at step %d); saturated: %s\n\n",
+              FormatBool(report.loop_entailed).c_str(),
+              report.first_loop_step,
+              FormatBool(report.saturated).c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace bddfc;
+
+  std::printf(
+      "Example 1 (paper, Section 1): I = {E(a,b)}, successor rule\n"
+      "E(x,y) -> E(y,z) plus transitivity. In every FINITE model there is\n"
+      "a loop, but the chase never entails one — the rule set is not bdd.\n\n");
+
+  {
+    Universe u;
+    RuleSet transitive = MustParseRuleSet(&u,
+                                          "E(x,y) -> E(y,z)\n"
+                                          "E(x,y), E(y,z) -> E(x,z)\n");
+    Instance db = MustParseInstance(&u, "E(a,b).");
+    PredicateId e = u.FindPredicate("E");
+    Report("Example 1 (transitivity, NOT bdd)",
+           CheckPropertyP(db, transitive, e,
+                          {.chase = {.max_steps = 4, .max_atoms = 60000}}));
+
+    // The non-bdd-ness is visible in the rewriting: the loop query keeps
+    // producing longer cycle queries.
+    UcqRewriter rewriter(transitive, &u, {.max_depth = 6});
+    RewriteResult r = rewriter.Rewrite(LoopQuery(&u, e));
+    std::printf("loop-query rewriting: saturated=%s after depth %zu "
+                "(%zu candidate rewritings generated)\n\n",
+                r.saturated ? "yes" : "no", r.depth, r.candidates_generated);
+  }
+
+  std::printf(
+      "The bdd-ification replaces transitivity with the stronger rule\n"
+      "E(x,x'), E(y,y') -> E(x,y'). Now the set IS bdd — and exactly as\n"
+      "Property (p) of Theorem 1 predicts, tournaments still grow but the\n"
+      "loop appears immediately.\n\n");
+
+  {
+    Universe u;
+    RuleSet bddified = MustParseRuleSet(&u,
+                                        "E(x,y) -> E(y,z)\n"
+                                        "E(x,x1), E(y,y1) -> E(x,y1)\n");
+    Instance db = MustParseInstance(&u, "E(a,b).");
+    PredicateId e = u.FindPredicate("E");
+    Report("bdd-ified Example 1",
+           CheckPropertyP(db, bddified, e,
+                          {.chase = {.max_steps = 3, .max_atoms = 60000}}));
+
+    UcqRewriter rewriter(bddified, &u, {.max_depth = 8});
+    RewriteResult r = rewriter.Rewrite(LoopQuery(&u, e));
+    std::printf("loop-query rewriting: saturated=%s, %zu disjuncts:\n%s\n",
+                r.saturated ? "yes" : "no", r.ucq.size(),
+                ToString(u, r.ucq).c_str());
+    std::printf(
+        "note the single-edge disjunct: one edge anywhere forces a loop —\n"
+        "that is Property (p) at the rewriting level.\n");
+  }
+
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Conjecture 44 exploration (Section 6): chromatic numbers of chase
+// E-graphs for loop-free bdd rule sets stay small, while Erdős's theorem
+// (Theorem 45) shows that girth alone cannot cap the chromatic number —
+// which is why extending Theorem 1 to chromatic numbers is genuinely
+// harder than the four-clique argument.
+//
+//   $ ./chromatic_frontier
+
+#include <cstdio>
+
+#include "base/rng.h"
+#include "base/table_printer.h"
+#include "chase/chase.h"
+#include "graph/digraph.h"
+#include "graph/undirected.h"
+#include "logic/parser.h"
+
+int main() {
+  using namespace bddfc;
+
+  std::printf(
+      "Conjecture 44: UCQ-rewritable rule sets cannot define chase graphs\n"
+      "of unbounded chromatic number without entailing Loop_E.\n\n");
+
+  // Chromatic number of chase prefixes for a family of loop-free bdd rule
+  // sets.
+  struct Case {
+    const char* name;
+    const char* rules;
+    const char* db;
+  };
+  const Case cases[] = {
+      {"successor chain", "E(x,y) -> E(y,z)", "E(a,b)."},
+      {"binary tree", "E(x,y) -> E(y,l), E(y,r)", "E(a,b)."},
+      {"bipartite doubling", "P(x) -> E(x,y), Q(y)\nQ(x) -> E(x,y), P(y)",
+       "P(a)."},
+  };
+
+  TablePrinter table({"rule set", "steps", "E-edges", "chromatic number",
+                      "loop-free"});
+  for (const Case& c : cases) {
+    Universe u;
+    RuleSet rules = MustParseRuleSet(&u, c.rules);
+    Instance db = MustParseInstance(&u, c.db);
+    Instance chased = Chase(db, rules, {.max_steps = 6, .max_atoms = 4000});
+    PredicateId e = u.FindPredicate("E");
+    InstanceGraph eg = GraphOfPredicate(chased, e);
+    UndirectedGraph ug = UndirectedGraph::FromDigraph(eg.graph);
+    int chi = ChromaticNumber::Exact(ug, 16);
+    table.AddRow({c.name, "6", std::to_string(eg.graph.num_edges()),
+                  std::to_string(chi),
+                  eg.graph.HasLoop() ? "no" : "yes"});
+  }
+  table.Print();
+
+  std::printf(
+      "\nAll loop-free bdd chases above have tiny chromatic numbers — the\n"
+      "pattern Conjecture 44 predicts.\n\n"
+      "Theorem 45 (Erdős): high girth does NOT cap chromatic number.\n"
+      "Random graphs with short cycles removed keep χ growing:\n\n");
+
+  TablePrinter erdos({"n", "p", "girth ≥", "edges kept", "χ (greedy)"});
+  Rng rng(2024);
+  for (int n : {30, 60, 90}) {
+    double p = 0.25;
+    UndirectedGraph g = ErdosHighGirthGraph(n, p, 4, &rng);
+    erdos.AddRow({std::to_string(n), "0.25", std::to_string(g.Girth()),
+                  std::to_string(g.num_edges()),
+                  std::to_string(ChromaticNumber::GreedyUpperBound(g))});
+  }
+  erdos.Print();
+  std::printf(
+      "\nThis is why a Conjecture 44 proof cannot just find a 4-clique:\n"
+      "there are triangle-free graphs of unbounded chromatic number.\n");
+  return 0;
+}

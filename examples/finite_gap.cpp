@@ -1,0 +1,85 @@
+// The finite-controllability gap, end to end: for a family of rule sets,
+// compare what the chase says about the loop query with what *finite*
+// models say — and see that the only disagreeing rule set is the non-bdd
+// one, as the bdd ⇒ fc conjecture predicts.
+//
+//   $ ./finite_gap
+
+#include <cstdio>
+
+#include "chase/chase.h"
+#include "finite/model_search.h"
+#include "graph/digraph.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "rewriting/rewriter.h"
+
+int main() {
+  using namespace bddfc;
+
+  std::printf(
+      "Finite controllability (fc): unrestricted and finite entailment\n"
+      "coincide. Example 1 is the canonical gap: its chase never entails\n"
+      "the loop query, yet every finite model has a loop. The conjecture\n"
+      "says bdd rule sets can never exhibit such a gap.\n\n");
+
+  {
+    Universe u;
+    RuleSet rules = MustParseRuleSet(&u,
+                                     "E(x,y) -> E(y,z)\n"
+                                     "E(x,y), E(y,z) -> E(x,z)\n");
+    Instance db = MustParseInstance(&u, "E(a,b).");
+    PredicateId e = u.FindPredicate("E");
+
+    Instance chased = Chase(db, rules, {.max_steps = 4, .max_atoms = 50000});
+    InstanceGraph eg = GraphOfPredicate(chased, e);
+    std::printf("Example 1, unrestricted side: chase prefix (4 steps) has\n"
+                "%zu E-edges and loop: %s\n",
+                eg.graph.num_edges(), eg.graph.HasLoop() ? "YES" : "no");
+
+    ModelSearchResult finite =
+        FindLoopFreeFiniteModel(db, rules, e, &u, {.domain_size = 3});
+    std::printf("Example 1, finite side: loop-free model over <=3 elements: "
+                "%s (exhaustive: %s, %llu candidates)\n\n",
+                finite.found ? "found" : "NONE",
+                finite.exhaustive ? "yes" : "no",
+                static_cast<unsigned long long>(finite.candidates_checked));
+  }
+
+  {
+    Universe u;
+    RuleSet rules = MustParseRuleSet(&u, "E(x,y) -> E(y,z)");
+    Instance db = MustParseInstance(&u, "E(a,b).");
+    PredicateId e = u.FindPredicate("E");
+    ModelSearchResult finite =
+        FindLoopFreeFiniteModel(db, rules, e, &u, {.domain_size = 2});
+    std::printf("Dropping transitivity (a bdd set): loop-free finite model "
+                "exists: %s\n",
+                finite.found ? "yes" : "no");
+    if (finite.found) {
+      std::printf("  witness: %s\n",
+                  ToString(u, *finite.model).c_str());
+    }
+  }
+
+  {
+    Universe u;
+    RuleSet rules = MustParseRuleSet(&u,
+                                     "E(x,y) -> E(y,z)\n"
+                                     "E(x,x1), E(y,y1) -> E(x,y1)\n");
+    Instance db = MustParseInstance(&u, "E(a,b).");
+    PredicateId e = u.FindPredicate("E");
+    Instance chased = Chase(db, rules, {.max_steps = 3, .max_atoms = 50000});
+    InstanceGraph eg = GraphOfPredicate(chased, e);
+    ModelSearchResult finite =
+        FindLoopFreeFiniteModel(db, rules, e, &u, {.domain_size = 3});
+    std::printf(
+        "\nbdd-ification: chase loop: %s; loop-free finite model: %s —\n"
+        "both semantics say 'loop', no gap. That is what Theorem 1 makes\n"
+        "systematic: bdd rule sets cannot hide unbounded tournaments (and\n"
+        "the loop they force) behind an infinite chase.\n",
+        eg.graph.HasLoop() ? "YES" : "no", finite.found ? "yes" : "NONE");
+  }
+
+  return 0;
+}

@@ -1,0 +1,63 @@
+// The Theorem 1 pipeline end to end on the paper's flagship rule set:
+// hunt tournaments in the chase, color edges by valley witnesses, extract
+// a single-valley tournament, and derive the loop via Proposition 43.
+//
+//   $ ./tournament_hunt
+
+#include <cstdio>
+
+#include "core/tournament_analyzer.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+
+int main() {
+  using namespace bddfc;
+  Universe u;
+
+  std::printf(
+      "Theorem 1: for bdd rule sets, arbitrarily large E-tournaments in\n"
+      "the chase force the loop query. This demo runs the full proof\n"
+      "pipeline on the bdd-ified Example 1 (instance encoded as a rule):\n\n");
+
+  RuleSet rules = MustParseRuleSet(&u,
+                                   "true -> E(a0,b0)\n"
+                                   "E(x,y) -> E(y,z)\n"
+                                   "E(x,x1), E(y,y1) -> E(x,y1)\n");
+  std::printf("%s\n", ToString(u, rules).c_str());
+  PredicateId e = u.FindPredicate("E");
+
+  AnalyzerOptions opts;
+  opts.rewriter.max_depth = 10;
+  opts.chase.max_steps = 10;
+  opts.chase.max_atoms = 50000;
+  opts.tournament_size = 4;
+  opts.mono_size = 4;
+
+  TournamentAnalyzer analyzer(rules, e, &u, opts);
+  AnalyzerResult result = analyzer.Run();
+
+  std::printf("%s\n", result.Summary(u).c_str());
+
+  if (!result.tournament.empty()) {
+    std::printf("tournament found over: ");
+    for (Term t : result.tournament) {
+      std::printf("%s ", u.TermName(t).c_str());
+    }
+    std::printf("\n");
+  }
+  if (result.mono_valley.has_value()) {
+    std::printf("single valley query defining a %zu-tournament:\n  %s\n",
+                result.mono_tournament.size(),
+                ToString(u, *result.mono_valley).c_str());
+  }
+  if (result.pipeline_loop_derived) {
+    std::printf(
+        "\n=> the pipeline derived E(%s,%s) — the loop that Theorem 1\n"
+        "   says must exist. Direct chase check agrees: %s.\n",
+        u.TermName(result.prop43.loop_term).c_str(),
+        u.TermName(result.prop43.loop_term).c_str(),
+        result.loop_in_chase ? "loop present" : "loop absent (?!)");
+  }
+
+  return result.AllOk() ? 0 : 1;
+}

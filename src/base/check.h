@@ -1,0 +1,48 @@
+// Lightweight runtime-check macros in the spirit of glog's CHECK family.
+//
+// The library does not use exceptions on its main code paths (per the
+// project style guide); programmer errors and violated invariants abort with
+// a diagnostic instead. `BDDFC_CHECK` is always on; `BDDFC_DCHECK` compiles
+// away in NDEBUG builds.
+
+#ifndef BDDFC_BASE_CHECK_H_
+#define BDDFC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bddfc {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace bddfc
+
+#define BDDFC_CHECK(expr)                                    \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::bddfc::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                        \
+  } while (0)
+
+#define BDDFC_CHECK_EQ(a, b) BDDFC_CHECK((a) == (b))
+#define BDDFC_CHECK_NE(a, b) BDDFC_CHECK((a) != (b))
+#define BDDFC_CHECK_LT(a, b) BDDFC_CHECK((a) < (b))
+#define BDDFC_CHECK_LE(a, b) BDDFC_CHECK((a) <= (b))
+#define BDDFC_CHECK_GT(a, b) BDDFC_CHECK((a) > (b))
+#define BDDFC_CHECK_GE(a, b) BDDFC_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define BDDFC_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define BDDFC_DCHECK(expr) BDDFC_CHECK(expr)
+#endif
+
+#endif  // BDDFC_BASE_CHECK_H_

@@ -1,0 +1,50 @@
+// Hash-combining helpers shared across the library.
+
+#ifndef BDDFC_BASE_HASH_H_
+#define BDDFC_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace bddfc {
+
+/// Mixes `value` into the running hash `seed` (boost::hash_combine style,
+/// with a 64-bit golden-ratio constant).
+inline void HashCombine(std::size_t* seed, std::size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+/// Hashes an arbitrary range of hashable elements.
+template <typename It>
+std::size_t HashRange(It first, It last) {
+  std::size_t seed = 0xcbf29ce484222325ULL;
+  for (; first != last; ++first) {
+    HashCombine(&seed, std::hash<std::decay_t<decltype(*first)>>{}(*first));
+  }
+  return seed;
+}
+
+/// std::hash-compatible functor for std::pair.
+struct PairHash {
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    std::size_t seed = std::hash<A>{}(p.first);
+    HashCombine(&seed, std::hash<B>{}(p.second));
+    return seed;
+  }
+};
+
+/// std::hash-compatible functor for std::vector of hashable elements.
+struct VectorHash {
+  template <typename T>
+  std::size_t operator()(const std::vector<T>& v) const {
+    return HashRange(v.begin(), v.end());
+  }
+};
+
+}  // namespace bddfc
+
+#endif  // BDDFC_BASE_HASH_H_

@@ -1,0 +1,36 @@
+#include "base/symbol_table.h"
+
+#include "base/check.h"
+
+namespace bddfc {
+
+SymbolId SymbolTable::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+SymbolId SymbolTable::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+const std::string& SymbolTable::NameOf(SymbolId id) const {
+  BDDFC_CHECK_LT(id, names_.size());
+  return names_[id];
+}
+
+SymbolId SymbolTable::Fresh(std::string_view prefix) {
+  for (;;) {
+    std::string candidate =
+        std::string(prefix) + "#" + std::to_string(fresh_counter_++);
+    if (index_.find(candidate) == index_.end()) {
+      return Intern(candidate);
+    }
+  }
+}
+
+}  // namespace bddfc

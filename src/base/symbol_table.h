@@ -1,0 +1,53 @@
+// Interned string table: maps strings to dense 32-bit ids and back.
+//
+// All predicate and term names in the logic substrate are interned through a
+// SymbolTable so that the hot paths (homomorphism search, chase, rewriting)
+// compare and hash plain integers.
+
+#ifndef BDDFC_BASE_SYMBOL_TABLE_H_
+#define BDDFC_BASE_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace bddfc {
+
+/// Dense id assigned by a SymbolTable.
+using SymbolId = std::uint32_t;
+
+/// Bidirectional string <-> dense-id map. Not thread-safe; each logical
+/// "universe" (signature + terms) owns one table.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  /// Returns the id of `name`, interning it on first use.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the id of `name` if already interned, or `kNotFound`.
+  SymbolId Find(std::string_view name) const;
+
+  /// Returns the name for an interned id. `id` must be valid.
+  const std::string& NameOf(SymbolId id) const;
+
+  /// Number of interned symbols.
+  std::size_t size() const { return names_.size(); }
+
+  /// Interns a fresh symbol guaranteed not to collide with existing names.
+  /// The generated name starts with `prefix` followed by a counter.
+  SymbolId Fresh(std::string_view prefix);
+
+  static constexpr SymbolId kNotFound = 0xffffffffu;
+
+ private:
+  std::unordered_map<std::string, SymbolId> index_;
+  std::vector<std::string> names_;
+  std::uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace bddfc
+
+#endif  // BDDFC_BASE_SYMBOL_TABLE_H_

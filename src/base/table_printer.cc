@@ -1,0 +1,57 @@
+#include "base/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bddfc {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      out.append(widths[c] - row[c].size(), ' ');
+      if (c + 1 < row.size()) out += "  ";
+    }
+    out += '\n';
+  };
+  emit_row(headers_);
+  std::string sep;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    sep.append(widths[c], '-');
+    if (c + 1 < headers_.size()) sep += "  ";
+  }
+  out += sep + '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  const std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), out);
+}
+
+std::string FormatBool(bool b) { return b ? "yes" : "no"; }
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace bddfc

@@ -1,0 +1,274 @@
+#include "chase/chase.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/hash.h"
+#include "homomorphism/homomorphism.h"
+
+namespace bddfc {
+
+std::size_t ObliviousChase::TriggerKeyHash::operator()(
+    const TriggerKey& k) const {
+  std::size_t seed = std::hash<std::size_t>{}(k.first);
+  for (Term t : k.second) HashCombine(&seed, std::hash<Term>{}(t));
+  return seed;
+}
+
+ObliviousChase::ObliviousChase(const Instance& database, RuleSet rules,
+                               ChaseOptions options)
+    : instance_(database), rules_(std::move(rules)), options_(options) {
+  atoms_at_step_.push_back(instance_.size());
+  atom_step_.assign(instance_.size(), 0);
+  atom_provenance_.assign(instance_.size(), AtomProvenance{});
+}
+
+bool ObliviousChase::StepOnce() {
+  // Enumerate all triggers on the current instance, keep the unfired ones.
+  struct PendingTrigger {
+    std::size_t rule_index;
+    Substitution hom;
+  };
+  std::vector<PendingTrigger> pending;
+  std::vector<TriggerKey> pending_keys;
+  const bool semi = options_.variant == ChaseVariant::kSemiOblivious;
+  std::unordered_set<TriggerKey, TriggerKeyHash> claimed_this_step;
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    const Rule& rule = rules_[r];
+    HomSearch search(rule.body(), &instance_);
+    search.ForEach({}, [&](const Substitution& h) {
+      // Trigger identity: full body image for the oblivious/restricted
+      // chases, frontier image only for the semi-oblivious (skolem) one.
+      TriggerKey key{r, {}};
+      const std::vector<Term>& id_vars =
+          semi ? rule.frontier() : rule.body_vars();
+      key.second.reserve(id_vars.size());
+      for (Term v : id_vars) key.second.push_back(h.Apply(v));
+      if (fired_.find(key) == fired_.end() &&
+          claimed_this_step.insert(key).second) {
+        pending.push_back({r, h});
+        pending_keys.push_back(std::move(key));
+      }
+      return true;
+    });
+  }
+
+  bool any_fired = false;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (instance_.size() >= options_.max_atoms) {
+      hit_bounds_ = true;
+      break;
+    }
+    const Rule& rule = rules_[pending[i].rule_index];
+    Substitution h = pending[i].hom;
+
+    if (options_.variant == ChaseVariant::kRestricted) {
+      // Fire only if no extension of h already satisfies the head.
+      HomSearch head_search(rule.head(), &instance_);
+      Substitution frontier_seed;
+      for (Term v : rule.frontier()) frontier_seed.Bind(v, h.Apply(v));
+      if (head_search.Exists(frontier_seed)) {
+        fired_.insert(pending_keys[i]);  // never reconsider
+        continue;
+      }
+    }
+
+    // Extend h with fresh nulls for the existential variables.
+    std::vector<Term> fresh;
+    for (Term z : rule.existentials()) {
+      Term null = universe()->FreshNull();
+      h.Bind(z, null);
+      fresh.push_back(null);
+    }
+    const int step = static_cast<int>(steps_executed_) + 1;
+    for (const Atom& head_atom : rule.head()) {
+      Atom out = h.Apply(head_atom);
+      if (instance_.AddAtom(out)) {
+        atom_step_.push_back(step);
+        AtomProvenance provenance;
+        provenance.database = false;
+        provenance.step = step;
+        provenance.rule_index = pending[i].rule_index;
+        provenance.trigger = h;
+        atom_provenance_.push_back(std::move(provenance));
+      }
+    }
+    for (Term null : fresh) {
+      ChaseTermInfo info;
+      info.timestamp = step;
+      info.rule_index = pending[i].rule_index;
+      info.trigger = h;
+      for (Term v : rule.frontier()) info.frontier.push_back(h.Apply(v));
+      term_info_.emplace(null, std::move(info));
+    }
+    fired_.insert(pending_keys[i]);
+    ++triggers_fired_;
+    any_fired = true;
+  }
+  return any_fired;
+}
+
+std::size_t ObliviousChase::Run() { return RunSteps(options_.max_steps); }
+
+std::size_t ObliviousChase::RunSteps(std::size_t k) {
+  while (steps_executed_ < k && !saturated_ && !hit_bounds_) {
+    bool fired = StepOnce();
+    if (!fired && !hit_bounds_) {
+      saturated_ = true;
+      break;
+    }
+    ++steps_executed_;
+    atoms_at_step_.push_back(instance_.size());
+  }
+  return steps_executed_;
+}
+
+std::size_t ObliviousChase::AtomCountAtStep(std::size_t k) const {
+  BDDFC_CHECK_LT(k, atoms_at_step_.size());
+  return atoms_at_step_[k];
+}
+
+Instance ObliviousChase::Prefix(std::size_t k) const {
+  Instance out(universe());
+  const std::size_t limit =
+      k < atoms_at_step_.size() ? atoms_at_step_[k] : instance_.size();
+  for (std::size_t i = 0; i < limit; ++i) {
+    out.AddAtom(instance_.atoms()[i]);
+  }
+  return out;
+}
+
+int ObliviousChase::StepOfAtom(std::size_t idx) const {
+  BDDFC_CHECK_LT(idx, atom_step_.size());
+  return atom_step_[idx];
+}
+
+const ObliviousChase::AtomProvenance& ObliviousChase::ProvenanceOf(
+    std::size_t idx) const {
+  BDDFC_CHECK_LT(idx, atom_provenance_.size());
+  return atom_provenance_[idx];
+}
+
+namespace {
+
+void ExplainRec(const ObliviousChase& chase, const Atom& atom, int depth,
+                int max_depth, std::string* out) {
+  const Universe& u = *chase.universe();
+  out->append(2 * depth, ' ');
+  std::size_t idx = chase.Result().IndexOf(atom);
+  if (idx == SIZE_MAX) {
+    *out += u.PredicateName(atom.pred());
+    *out += " <- NOT IN CHASE\n";
+    return;
+  }
+  // Render the atom.
+  *out += u.PredicateName(atom.pred());
+  if (!atom.IsNullary()) {
+    *out += '(';
+    for (std::size_t i = 0; i < atom.arity(); ++i) {
+      if (i > 0) *out += ',';
+      *out += u.TermName(atom.arg(i));
+    }
+    *out += ')';
+  }
+  const auto& provenance = chase.ProvenanceOf(idx);
+  if (provenance.database) {
+    *out += "  [database]\n";
+    return;
+  }
+  const Rule& rule = chase.rules()[provenance.rule_index];
+  // Built piecewise (GCC 12's -Wrestrict mis-fires on chained string
+  // operator+ here).
+  *out += "  [step ";
+  *out += std::to_string(provenance.step);
+  *out += ", rule ";
+  if (rule.label().empty()) {
+    *out += '#';
+    *out += std::to_string(provenance.rule_index);
+  } else {
+    *out += rule.label();
+  }
+  *out += "]\n";
+  if (depth >= max_depth) {
+    out->append(2 * (depth + 1), ' ');
+    *out += "...\n";
+    return;
+  }
+  for (const Atom& body_atom : rule.body()) {
+    ExplainRec(chase, provenance.trigger.Apply(body_atom), depth + 1,
+               max_depth, out);
+  }
+}
+
+}  // namespace
+
+std::string ObliviousChase::Explain(const Atom& atom, int max_depth) const {
+  std::string out;
+  ExplainRec(*this, atom, 0, max_depth, &out);
+  return out;
+}
+
+int ObliviousChase::TimestampOf(Term t) const {
+  auto it = term_info_.find(t);
+  return it == term_info_.end() ? 0 : it->second.timestamp;
+}
+
+const ChaseTermInfo* ObliviousChase::InfoOf(Term t) const {
+  auto it = term_info_.find(t);
+  return it == term_info_.end() ? nullptr : &it->second;
+}
+
+bool ObliviousChase::IsDag() const {
+  // Kahn's algorithm over the directed graph formed by all binary atoms.
+  std::unordered_map<Term, std::vector<Term>> out_edges;
+  std::unordered_map<Term, int> in_degree;
+  std::size_t num_edges = 0;
+  for (const Atom& a : instance_.atoms()) {
+    if (!a.IsBinary()) continue;
+    if (a.arg(0) == a.arg(1)) return false;  // loop
+    out_edges[a.arg(0)].push_back(a.arg(1));
+    ++in_degree[a.arg(1)];
+    if (in_degree.find(a.arg(0)) == in_degree.end()) in_degree[a.arg(0)] = 0;
+    ++num_edges;
+  }
+  std::vector<Term> queue;
+  for (const auto& [t, d] : in_degree) {
+    if (d == 0) queue.push_back(t);
+  }
+  std::size_t processed = 0;
+  while (!queue.empty()) {
+    Term t = queue.back();
+    queue.pop_back();
+    ++processed;
+    auto it = out_edges.find(t);
+    if (it == out_edges.end()) continue;
+    for (Term to : it->second) {
+      if (--in_degree[to] == 0) queue.push_back(to);
+    }
+  }
+  return processed == in_degree.size();
+}
+
+Instance Chase(const Instance& database, const RuleSet& rules,
+               ChaseOptions options) {
+  ObliviousChase chase(database, rules, options);
+  chase.Run();
+  return chase.Result();
+}
+
+Instance ChaseThenDatalog(const Instance& database,
+                          const RuleSet& existential_rules,
+                          const RuleSet& datalog_rules,
+                          ChaseOptions existential_options,
+                          std::size_t datalog_max_steps) {
+  Instance first = Chase(database, existential_rules, existential_options);
+  ChaseOptions datalog_options;
+  datalog_options.max_steps = datalog_max_steps;
+  datalog_options.max_atoms = existential_options.max_atoms;
+  // Datalog saturation creates no terms; the restricted variant terminates
+  // whenever the saturation is finite (it always is on a finite instance).
+  datalog_options.variant = ChaseVariant::kRestricted;
+  return Chase(first, datalog_rules, datalog_options);
+}
+
+}  // namespace bddfc

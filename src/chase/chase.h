@@ -1,0 +1,179 @@
+// The (oblivious) chase of Section 2.2.
+//
+// Step semantics follow the paper exactly: Ch_0(I,R) = I and
+// Ch_{n+1}(I,R) = Ch_n ∪ ⋃_{τ ∈ T_n} output(τ), where T_n is the set of
+// triggers available on Ch_n that were not available on Ch_{n-1}. A trigger
+// is a pair ⟨ρ, h⟩ of a rule and a homomorphism from body(ρ); its output
+// maps existential variables to fresh labeled nulls.
+//
+// The chase is in general infinite; ObliviousChase runs a bounded prefix
+// Ch_k and reports whether the chase saturated (no new trigger fired), in
+// which case the prefix *is* the full chase — a finite universal model.
+//
+// Every chase term (labeled null) carries the provenance the Section 5
+// machinery needs: its timestamp TS(t) (Definition 34: the first step whose
+// active domain contains it), its frontier (the images h(fr(ρ)) of the
+// creating trigger, Section 2.2), and the creating rule.
+
+#ifndef BDDFC_CHASE_CHASE_H_
+#define BDDFC_CHASE_CHASE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "logic/instance.h"
+#include "logic/rule.h"
+#include "logic/substitution.h"
+
+namespace bddfc {
+
+/// Which trigger-firing discipline to use.
+enum class ChaseVariant {
+  /// The paper's oblivious chase: every trigger fires exactly once,
+  /// regardless of whether its output is already satisfied.
+  kOblivious,
+  /// The semi-oblivious (skolem) chase: triggers agreeing on the rule and
+  /// the frontier image fire at most once — body variables outside the
+  /// frontier cannot multiply nulls. Produces a hom-equivalent but often
+  /// much smaller result; the ablation benches quantify the gap.
+  kSemiOblivious,
+  /// The restricted (standard) chase: a trigger fires only if its output is
+  /// not already satisfied by an extension of the trigger homomorphism.
+  /// Used when a finite universal model is wanted for saturation checks.
+  kRestricted,
+};
+
+/// Bounds and variant selection for a chase run.
+struct ChaseOptions {
+  std::size_t max_steps = 16;
+  std::size_t max_atoms = 200000;
+  ChaseVariant variant = ChaseVariant::kOblivious;
+};
+
+/// Provenance of a chase-created term.
+struct ChaseTermInfo {
+  /// TS(t): the chase step at which the term first appears.
+  int timestamp = 0;
+  /// h(fr(ρ)): images of the creating rule's frontier variables.
+  std::vector<Term> frontier;
+  /// Index (into the rule set) of the creating rule.
+  std::size_t rule_index = 0;
+  /// The full trigger homomorphism h' (body variables + existentials).
+  Substitution trigger;
+};
+
+/// Bounded-prefix oblivious/restricted chase engine.
+class ObliviousChase {
+ public:
+  /// Prepares a chase of `rules` from `database`. No steps run yet.
+  ObliviousChase(const Instance& database, RuleSet rules,
+                 ChaseOptions options = {});
+
+  /// Runs until saturation or until the step/atom bounds hit. Returns the
+  /// number of steps executed in total.
+  std::size_t Run();
+
+  /// Runs until at least `k` steps executed (or saturation/bounds).
+  std::size_t RunSteps(std::size_t k);
+
+  /// The chase result built so far (Ch_n for n = StepsExecuted()).
+  const Instance& Result() const { return instance_; }
+
+  Universe* universe() const { return instance_.universe(); }
+
+  /// True if the last executed step fired no trigger: the instance is the
+  /// full (finite) chase.
+  bool Saturated() const { return saturated_; }
+
+  /// True if a size bound stopped the run before saturation.
+  bool HitBounds() const { return hit_bounds_; }
+
+  std::size_t StepsExecuted() const { return steps_executed_; }
+
+  /// Number of atoms present after step k (k ≤ StepsExecuted()).
+  std::size_t AtomCountAtStep(std::size_t k) const;
+
+  /// The prefix Ch_k as a standalone instance (k ≤ StepsExecuted()).
+  Instance Prefix(std::size_t k) const;
+
+  /// Creation step of atom #idx of Result().atoms() (0 for database atoms).
+  int StepOfAtom(std::size_t idx) const;
+
+  /// TS(t): 0 for database terms, creation step for chase terms.
+  int TimestampOf(Term t) const;
+
+  /// Provenance of a chase term, or nullptr for database terms.
+  const ChaseTermInfo* InfoOf(Term t) const;
+
+  /// Number of triggers fired in total.
+  std::size_t TriggersFired() const { return triggers_fired_; }
+
+  /// Provenance of one atom of Result(): the trigger that first derived
+  /// it (database atoms have `database == true`).
+  struct AtomProvenance {
+    bool database = true;
+    int step = 0;
+    std::size_t rule_index = 0;
+    /// The full trigger homomorphism h' (body + existential images).
+    Substitution trigger;
+  };
+
+  /// Provenance of Result().atoms()[idx].
+  const AtomProvenance& ProvenanceOf(std::size_t idx) const;
+
+  /// A textual derivation tree for `atom` (which must be in Result()):
+  /// each line shows an atom and the rule/trigger that produced it, with
+  /// its body atoms indented below (down to `max_depth` levels; database
+  /// atoms are leaves).
+  std::string Explain(const Atom& atom, int max_depth = 8) const;
+
+  /// Observation 35: true if the binary atoms of the result form a directed
+  /// acyclic graph (loops and longer cycles both count as cycles).
+  bool IsDag() const;
+
+  const RuleSet& rules() const { return rules_; }
+
+ private:
+  // Canonical identity of a trigger: rule index + images of body variables
+  // in rule-variable order.
+  using TriggerKey = std::pair<std::size_t, std::vector<Term>>;
+  struct TriggerKeyHash {
+    std::size_t operator()(const TriggerKey& k) const;
+  };
+
+  bool StepOnce();  // returns true if any trigger fired
+
+  Instance instance_;
+  RuleSet rules_;
+  ChaseOptions options_;
+  std::size_t steps_executed_ = 0;
+  bool saturated_ = false;
+  bool hit_bounds_ = false;
+  std::size_t triggers_fired_ = 0;
+  std::unordered_set<TriggerKey, TriggerKeyHash> fired_;
+  std::vector<std::size_t> atoms_at_step_;  // atom count after each step
+  std::vector<int> atom_step_;              // creation step per atom index
+  std::vector<AtomProvenance> atom_provenance_;  // parallel to atoms()
+  std::unordered_map<Term, ChaseTermInfo> term_info_;
+};
+
+/// Convenience: runs the chase of `rules` on `database` and returns the
+/// result instance (paper notation Ch(I,R), truncated per `options`).
+Instance Chase(const Instance& database, const RuleSet& rules,
+               ChaseOptions options = {});
+
+/// Lemma 33 decomposition: chases `existential_rules` first, then saturates
+/// with `datalog_rules` (restricted variant, which terminates whenever the
+/// Datalog saturation is finite). Paper notation Ch(Ch(I,R∃),R_DL).
+Instance ChaseThenDatalog(const Instance& database,
+                          const RuleSet& existential_rules,
+                          const RuleSet& datalog_rules,
+                          ChaseOptions existential_options = {},
+                          std::size_t datalog_max_steps = 64);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_CHASE_CHASE_H_

@@ -1,0 +1,61 @@
+// Empirical Property (p) checker — Theorem 1 observed on bounded chases.
+//
+// For a rule set R, an instance I and a binary predicate E, the checker
+// runs the chase step by step and records, per step, the size of the
+// largest E-tournament and whether Loop_E = ∃x E(x,x) is entailed. For a
+// bdd rule set, Theorem 1 predicts: if the tournament sizes keep growing,
+// the loop must appear. The report captures the observable signal.
+
+#ifndef BDDFC_CORE_PROPERTY_P_H_
+#define BDDFC_CORE_PROPERTY_P_H_
+
+#include <vector>
+
+#include "chase/chase.h"
+#include "graph/tournament.h"
+#include "logic/instance.h"
+#include "logic/rule.h"
+
+namespace bddfc {
+
+/// Options for the Property (p) probe.
+struct PropertyPOptions {
+  ChaseOptions chase;
+  TournamentSearchOptions tournament;
+};
+
+/// One chase step's measurements.
+struct PropertyPStep {
+  std::size_t step = 0;
+  std::size_t atoms = 0;
+  std::size_t e_edges = 0;
+  int max_tournament = 0;
+  bool loop = false;
+};
+
+/// Aggregate Property (p) report.
+struct PropertyPReport {
+  std::vector<PropertyPStep> curve;
+  bool loop_entailed = false;
+  /// First step at which Loop_E appears (-1 when never).
+  int first_loop_step = -1;
+  int max_tournament = 0;
+  /// Step at which the maximum tournament size was first reached.
+  int max_tournament_step = 0;
+  /// The chase saturated (the curve is the whole story).
+  bool saturated = false;
+  /// Candidate-counterexample signal: a saturated, loop-free chase with a
+  /// tournament of size ≥ 4. This does NOT by itself refute Theorem 1
+  /// (which concerns unbounded tournaments); it flags rule sets where the
+  /// Section 5 machinery (the per-rule-set bound N(4,…,4) of Question 46)
+  /// should be brought to bear.
+  bool counterexample_signal = false;
+};
+
+/// Runs the probe: chases `rules` on `db` and measures per step.
+PropertyPReport CheckPropertyP(const Instance& db, const RuleSet& rules,
+                               PredicateId e, PropertyPOptions options = {});
+
+}  // namespace bddfc
+
+#endif  // BDDFC_CORE_PROPERTY_P_H_

@@ -1,0 +1,106 @@
+// The Theorem 1 pipeline, end to end.
+//
+// Input: a bdd rule set R over a binary signature (typically with the
+// instance already encoded via surgery::EncodeInstance, Section 4.1) and
+// the tournament predicate E. The analyzer then executes the paper's
+// proof as a computation:
+//
+//   1. Streamline (Section 4.3):       R ↦ ▽(R)         (fwd-∃, pred-unique)
+//   2. Body-rewrite (Section 4.4):     ▽(R) ↦ rew(▽(R)) (quick ⇒ regal)
+//   3. Regality audit (Definition 27)
+//   4. Stratified chase (Lemma 33):    Ch(R∃), then Datalog saturation
+//   5. Tournament search (Definition 9) in the E-graph of the saturation
+//   6. Injective rewriting Q♦ of E(x,y) (Proposition 6)
+//   7. Valley witnesses per edge (Definition 36 / Lemma 40), with the
+//      peak-removal descent as fallback evidence
+//   8. Ramsey extraction (Theorem 7): a subtournament monochromatic in one
+//      valley query
+//   9. Proposition 43: derive and verify the loop element
+//
+// Every stage reports success/detail so partial runs (bounded chases,
+// truncated rewritings) degrade into an audit trail instead of a crash.
+
+#ifndef BDDFC_CORE_TOURNAMENT_ANALYZER_H_
+#define BDDFC_CORE_TOURNAMENT_ANALYZER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chase/chase.h"
+#include "graph/tournament.h"
+#include "logic/cq.h"
+#include "logic/rule.h"
+#include "rewriting/rewriter.h"
+#include "surgery/properties.h"
+#include "valley/valley_tournament.h"
+
+namespace bddfc {
+
+/// Pipeline knobs.
+struct AnalyzerOptions {
+  RewriterOptions rewriter;
+  ChaseOptions chase;  // for Ch(R∃); Datalog saturation reuses max_atoms
+  std::size_t datalog_max_steps = 32;
+  /// Size of the tournament to hunt for in stage 5 (the paper's machinery
+  /// needs ≥ 4 in the monochromatic stage; hunting bigger tournaments
+  /// feeds Ramsey more room).
+  int tournament_size = 4;
+  /// Monochromatic subtournament size for stage 8.
+  int mono_size = 4;
+  /// Cap on the number of saturation edges whose witness sets are
+  /// computed in stage 7.
+  std::size_t max_witnessed_edges = 400;
+  TournamentSearchOptions tournament_search;
+};
+
+/// One pipeline stage's outcome.
+struct AnalyzerStage {
+  std::string name;
+  bool ok = false;
+  std::string detail;
+};
+
+/// Aggregate result.
+struct AnalyzerResult {
+  std::vector<AnalyzerStage> stages;
+  surgery::RegalityReport regality;
+  /// The regal rule set produced by stages 1–2.
+  RuleSet regal_rules;
+  /// Terms of the tournament found in the Datalog saturation (stage 5).
+  std::vector<Term> tournament;
+  /// Loop present in the saturation (direct observation).
+  bool loop_in_chase = false;
+  /// |Q♦| (number of colors available to Ramsey).
+  std::size_t injective_rewriting_size = 0;
+  /// The single valley query coloring the monochromatic subtournament.
+  std::optional<Cq> mono_valley;
+  std::vector<Term> mono_tournament;
+  /// Stage 9 outcome.
+  ValleyTournamentResult prop43;
+  /// The pipeline derived (and verified) a loop element.
+  bool pipeline_loop_derived = false;
+
+  bool AllOk() const;
+  std::string Summary(const Universe& universe) const;
+};
+
+/// Executes the pipeline. The rule set must be over a binary signature
+/// (reify first if not — surgery::Reifier).
+class TournamentAnalyzer {
+ public:
+  TournamentAnalyzer(RuleSet rules, PredicateId e, Universe* universe,
+                     AnalyzerOptions options = {});
+
+  AnalyzerResult Run();
+
+ private:
+  RuleSet rules_;
+  PredicateId e_;
+  Universe* universe_;
+  AnalyzerOptions options_;
+};
+
+}  // namespace bddfc
+
+#endif  // BDDFC_CORE_TOURNAMENT_ANALYZER_H_

@@ -1,0 +1,40 @@
+#include "core/tournament_bound.h"
+
+#include "graph/ramsey.h"
+
+namespace bddfc {
+
+TournamentBoundResult TournamentSizeBound(const RuleSet& rules,
+                                          PredicateId e, Universe* universe,
+                                          RewriterOptions options) {
+  TournamentBoundResult result;
+  UcqRewriter rewriter(rules, universe, options);
+  Cq edge = EdgeQuery(universe, e);
+  RewriteResult classical = rewriter.Rewrite(edge);
+  result.rewriting_saturated = classical.saturated;
+  result.rewriting_size = classical.ucq.size();
+  if (!classical.saturated) return result;
+
+  Ucq q_inj = rewriter.InjectiveRewriting(edge);
+  result.q_inj_size = q_inj.size();
+
+  // The recurrence's memo space over k colors of size ≤ 4 is
+  // O(k^3) states; past a few dozen colors the value overflows anyway.
+  constexpr std::size_t kMaxTractableColors = 64;
+  if (result.q_inj_size == 0) {
+    result.bound = 0;  // E never holds: no tournaments at all
+    return result;
+  }
+  if (result.q_inj_size > kMaxTractableColors) {
+    result.bound = TournamentBoundResult::kAstronomical;
+    return result;
+  }
+  std::vector<int> sizes(result.q_inj_size, 4);
+  std::uint64_t bound = Ramsey::UpperBound(sizes);
+  result.bound = bound == Ramsey::kUnboundedlyLarge
+                     ? TournamentBoundResult::kAstronomical
+                     : bound;
+  return result;
+}
+
+}  // namespace bddfc

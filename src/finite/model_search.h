@@ -1,0 +1,78 @@
+// Finite-model search: the "finite semantics" side of the bdd ⇒ fc
+// conjecture (Section 1).
+//
+// A rule set R is finitely controllable when unrestricted and finite
+// entailment coincide for all databases and queries. The gap is witnessed
+// by queries — like Loop_E in Example 1 — that fail in the chase but hold
+// in every *finite* model. This module enumerates finite models over
+// small domains and answers exactly that question:
+//
+//   * does a finite model of (I, R) over ≤ n elements exist in which a
+//     given Boolean query FAILS?
+//
+// For Example 1 the answer is no (every finite model has a loop); for its
+// bdd-ification the chase itself entails the loop, so the semantics agree
+// — the pattern Theorem 1 makes systematic.
+//
+// Complexity: enumeration over all 2^(Σ_P n^ar(P)) candidate relations —
+// strictly a small-domain tool (n ≤ 3–4 over a couple of predicates).
+
+#ifndef BDDFC_FINITE_MODEL_SEARCH_H_
+#define BDDFC_FINITE_MODEL_SEARCH_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "logic/cq.h"
+#include "logic/instance.h"
+#include "logic/rule.h"
+#include "logic/universe.h"
+
+namespace bddfc {
+
+/// Options for the finite-model enumeration.
+struct ModelSearchOptions {
+  /// Domain size (elements d0..d{n-1}).
+  int domain_size = 3;
+  /// Safety cap on enumerated candidates.
+  std::uint64_t max_candidates = 1u << 24;
+};
+
+/// Result of a finite-model search.
+struct ModelSearchResult {
+  /// A model was found (within the candidate cap).
+  bool found = false;
+  /// The search exhausted every candidate (so "not found" is a proof for
+  /// this domain size).
+  bool exhaustive = false;
+  /// The witness model (valid iff found).
+  std::optional<Instance> model;
+  /// Candidates inspected.
+  std::uint64_t candidates_checked = 0;
+};
+
+/// True iff `candidate` satisfies every rule of `rules`: each body
+/// homomorphism extends to a head homomorphism into `candidate`.
+bool IsFiniteModel(const Instance& candidate, const RuleSet& rules);
+
+/// Searches for a finite model of (db, rules) over `domain_size` fresh
+/// elements in which the Boolean CQ `avoid` does NOT hold. The database's
+/// constants are embedded as the first domain elements (db must have at
+/// most domain_size constants). Only predicates of arity ≤ 2 that occur
+/// in `rules`/`db`/`avoid` participate.
+ModelSearchResult FindFiniteModelAvoiding(const Instance& db,
+                                          const RuleSet& rules,
+                                          const Cq& avoid,
+                                          Universe* universe,
+                                          ModelSearchOptions options = {});
+
+/// Convenience: is there a loop-free finite model of (db, rules) over the
+/// given domain size? (The Example 1 question.)
+ModelSearchResult FindLoopFreeFiniteModel(const Instance& db,
+                                          const RuleSet& rules,
+                                          PredicateId e, Universe* universe,
+                                          ModelSearchOptions options = {});
+
+}  // namespace bddfc
+
+#endif  // BDDFC_FINITE_MODEL_SEARCH_H_

@@ -1,0 +1,192 @@
+#include "generators/workload.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "base/check.h"
+#include "logic/parser.h"
+
+namespace bddfc {
+namespace generators {
+
+namespace {
+
+std::vector<PredicateId> BinaryPredicates(Universe* universe, int n) {
+  std::vector<PredicateId> preds;
+  preds.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    preds.push_back(
+        universe->InternPredicate("P" + std::to_string(i), 2));
+  }
+  return preds;
+}
+
+std::vector<PredicateId> PredicatesOf(Universe* universe,
+                                      const RuleSet& rules) {
+  std::vector<PredicateId> preds;
+  for (PredicateId p : SignatureOf(rules)) {
+    if (universe->ArityOf(p) == 2) preds.push_back(p);
+  }
+  return preds;
+}
+
+}  // namespace
+
+RuleSet RandomBinaryRuleSet(Universe* universe, const RuleSetSpec& spec,
+                            Rng* rng) {
+  BDDFC_CHECK_GE(spec.num_predicates, 1);
+  std::vector<PredicateId> preds =
+      BinaryPredicates(universe, spec.num_predicates);
+  RuleSet rules;
+  for (int r = 0; r < spec.num_rules; ++r) {
+    // Variable pool for the body.
+    std::vector<Term> vars;
+    int num_body = 1 + static_cast<int>(rng->Below(spec.max_body_atoms));
+    std::vector<Atom> body;
+    for (int a = 0; a < num_body; ++a) {
+      PredicateId p = preds[rng->Below(preds.size())];
+      Term first;
+      if (vars.empty()) {
+        first = universe->FreshVariable("g");
+        vars.push_back(first);
+      } else {
+        // Keep the body connected: reuse an existing variable.
+        first = vars[rng->Below(vars.size())];
+      }
+      Term second;
+      if (!vars.empty() && rng->Flip(0.5)) {
+        second = vars[rng->Below(vars.size())];
+      } else {
+        second = universe->FreshVariable("g");
+        vars.push_back(second);
+      }
+      body.push_back(Atom(p, {first, second}));
+    }
+
+    bool datalog = rng->Flip(spec.datalog_fraction);
+    int num_head = 1 + static_cast<int>(rng->Below(spec.max_head_atoms));
+    std::vector<Atom> head;
+    std::vector<Term> existentials;
+    for (int a = 0; a < num_head; ++a) {
+      PredicateId p = preds[rng->Below(preds.size())];
+      if (datalog) {
+        Term x = vars[rng->Below(vars.size())];
+        Term y = vars[rng->Below(vars.size())];
+        head.push_back(Atom(p, {x, y}));
+      } else if (spec.forward_existential_only) {
+        Term x = vars[rng->Below(vars.size())];
+        Term z = universe->FreshVariable("g");
+        existentials.push_back(z);
+        head.push_back(Atom(p, {x, z}));
+      } else {
+        // Mixed: frontier or existential on either side, but ensure at
+        // least one existential somewhere in the head.
+        Term x;
+        Term y;
+        if (a == 0 || rng->Flip(0.5)) {
+          x = vars[rng->Below(vars.size())];
+          Term z = existentials.empty() || rng->Flip(0.5)
+                       ? universe->FreshVariable("g")
+                       : existentials[rng->Below(existentials.size())];
+          if (std::find(existentials.begin(), existentials.end(), z) ==
+              existentials.end()) {
+            existentials.push_back(z);
+          }
+          y = z;
+        } else {
+          x = existentials[rng->Below(existentials.size())];
+          y = vars[rng->Below(vars.size())];
+        }
+        head.push_back(Atom(p, {x, y}));
+      }
+    }
+    rules.push_back(Rule(std::move(body), std::move(head),
+                         "rnd" + std::to_string(r)));
+  }
+  return rules;
+}
+
+Instance RandomInstance(Universe* universe, const RuleSet& rules,
+                        int num_constants, int num_atoms, Rng* rng) {
+  std::vector<PredicateId> preds = PredicatesOf(universe, rules);
+  BDDFC_CHECK(!preds.empty());
+  std::vector<Term> constants;
+  constants.reserve(num_constants);
+  for (int i = 0; i < num_constants; ++i) {
+    constants.push_back(
+        universe->InternConstant("g" + std::to_string(i)));
+  }
+  Instance db(universe);
+  for (int i = 0; i < num_atoms; ++i) {
+    PredicateId p = preds[rng->Below(preds.size())];
+    db.AddAtom(Atom(p, {constants[rng->Below(constants.size())],
+                        constants[rng->Below(constants.size())]}));
+  }
+  return db;
+}
+
+Cq RandomBooleanCq(Universe* universe, const RuleSet& rules, int num_atoms,
+                   int num_vars, Rng* rng) {
+  std::vector<PredicateId> preds = PredicatesOf(universe, rules);
+  BDDFC_CHECK(!preds.empty());
+  BDDFC_CHECK_GE(num_vars, 1);
+  std::vector<Term> vars;
+  vars.reserve(num_vars);
+  for (int i = 0; i < num_vars; ++i) {
+    vars.push_back(universe->FreshVariable("q"));
+  }
+  std::vector<Atom> atoms;
+  std::unordered_set<Term> used;
+  for (int i = 0; i < num_atoms; ++i) {
+    PredicateId p = preds[rng->Below(preds.size())];
+    // Connectedness: after the first atom, one endpoint is already used.
+    Term first = used.empty()
+                     ? vars[rng->Below(vars.size())]
+                     : *std::next(used.begin(), rng->Below(used.size()));
+    Term second = vars[rng->Below(vars.size())];
+    used.insert(first);
+    used.insert(second);
+    atoms.push_back(Atom(p, {first, second}));
+  }
+  return Cq(std::move(atoms), {});
+}
+
+RuleSet UnaryChain(Universe* universe, int length) {
+  std::string text;
+  for (int i = 0; i < length; ++i) {
+    text += "U" + std::to_string(i) + "(x) -> U" + std::to_string(i + 1) +
+            "(x)\n";
+  }
+  return MustParseRuleSet(universe, text);
+}
+
+Rule ExplicitTournamentRule(Universe* universe, PredicateId e, int k) {
+  BDDFC_CHECK_GE(k, 2);
+  std::vector<Term> vertices;
+  for (int i = 0; i < k; ++i) {
+    vertices.push_back(universe->FreshVariable("t"));
+  }
+  std::vector<Atom> head;
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      head.push_back(Atom(e, {vertices[i], vertices[j]}));
+    }
+  }
+  return Rule({Atom(universe->top(), {})}, std::move(head),
+              "tournament" + std::to_string(k));
+}
+
+RuleSet Example1(Universe* universe) {
+  return MustParseRuleSet(universe,
+                          "E(x,y) -> E(y,z)\n"
+                          "E(x,y), E(y,z) -> E(x,z)\n");
+}
+
+RuleSet BddifiedExample1(Universe* universe) {
+  return MustParseRuleSet(universe,
+                          "E(x,y) -> E(y,z)\n"
+                          "E(x,x1), E(y,y1) -> E(x,y1)\n");
+}
+
+}  // namespace generators
+}  // namespace bddfc

@@ -1,0 +1,70 @@
+// Deterministic and pseudo-random workload generators: rule sets,
+// instances and queries for the property-test suites and the benchmark
+// harnesses. All randomness flows through an explicit Rng so every
+// workload is reproducible from its seed.
+
+#ifndef BDDFC_GENERATORS_WORKLOAD_H_
+#define BDDFC_GENERATORS_WORKLOAD_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "logic/cq.h"
+#include "logic/instance.h"
+#include "logic/rule.h"
+#include "logic/universe.h"
+
+namespace bddfc {
+namespace generators {
+
+/// Knobs for RandomBinaryRuleSet.
+struct RuleSetSpec {
+  /// Number of binary predicates P0..P{n-1} to draw from.
+  int num_predicates = 3;
+  /// Rules to generate.
+  int num_rules = 4;
+  /// Body atoms per rule, uniform in [1, max_body_atoms].
+  int max_body_atoms = 2;
+  /// Head atoms per rule, uniform in [1, max_head_atoms].
+  int max_head_atoms = 2;
+  /// Probability that a rule is Datalog (no existential variables).
+  double datalog_fraction = 0.5;
+  /// Restrict non-Datalog heads to the forward-existential shape
+  /// (Definition 21): binary head atoms E(frontier, existential).
+  bool forward_existential_only = false;
+};
+
+/// A random rule set over binary predicates. Bodies are connected (each
+/// atom shares a variable with an earlier one) so rules are triggerable.
+RuleSet RandomBinaryRuleSet(Universe* universe, const RuleSetSpec& spec,
+                            Rng* rng);
+
+/// A random instance over the binary predicates used by `rules`:
+/// `num_atoms` atoms over `num_constants` constants (named g0..g{n-1},
+/// shared across calls with the same universe).
+Instance RandomInstance(Universe* universe, const RuleSet& rules,
+                        int num_constants, int num_atoms, Rng* rng);
+
+/// A random Boolean CQ over the predicates of `rules`: `num_atoms` atoms
+/// over `num_vars` variables (connected, so entailment is non-trivial).
+Cq RandomBooleanCq(Universe* universe, const RuleSet& rules, int num_atoms,
+                   int num_vars, Rng* rng);
+
+/// Deterministic families --------------------------------------------------
+
+/// P0(x) -> P1(x), …, P{n-1}(x) -> Pn(x) (unary Datalog chain).
+RuleSet UnaryChain(Universe* universe, int length);
+
+/// ⊤ -> the explicit loop-free k-tournament over fresh existentials
+/// (edges oriented low-to-high index).
+Rule ExplicitTournamentRule(Universe* universe, PredicateId e, int k);
+
+/// The paper's flagship pair: Example 1 (transitivity; not bdd) and its
+/// bdd-ification from the introduction.
+RuleSet Example1(Universe* universe);
+RuleSet BddifiedExample1(Universe* universe);
+
+}  // namespace generators
+}  // namespace bddfc
+
+#endif  // BDDFC_GENERATORS_WORKLOAD_H_

@@ -1,0 +1,152 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace bddfc {
+
+Digraph::Digraph(int num_vertices)
+    : out_(num_vertices), in_(num_vertices) {}
+
+int Digraph::AddVertex() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<int>(out_.size()) - 1;
+}
+
+void Digraph::AddEdge(int u, int v) {
+  BDDFC_CHECK_GE(u, 0);
+  BDDFC_CHECK_LT(u, num_vertices());
+  BDDFC_CHECK_GE(v, 0);
+  BDDFC_CHECK_LT(v, num_vertices());
+  if (out_[u].insert(v).second) {
+    in_[v].insert(u);
+    ++num_edges_;
+  }
+}
+
+bool Digraph::HasEdge(int u, int v) const {
+  if (u < 0 || u >= num_vertices() || v < 0 || v >= num_vertices()) {
+    return false;
+  }
+  return out_[u].find(v) != out_[u].end();
+}
+
+bool Digraph::HasLoop() const {
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (HasEdge(v, v)) return true;
+  }
+  return false;
+}
+
+std::vector<int> Digraph::TopologicalOrder() const {
+  std::vector<int> in_degree(num_vertices(), 0);
+  for (int v = 0; v < num_vertices(); ++v) {
+    for (int w : out_[v]) ++in_degree[w];
+  }
+  std::vector<int> order;
+  std::vector<int> queue;
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (in_degree[v] == 0) queue.push_back(v);
+  }
+  while (!queue.empty()) {
+    int v = queue.back();
+    queue.pop_back();
+    order.push_back(v);
+    for (int w : out_[v]) {
+      if (--in_degree[w] == 0) queue.push_back(w);
+    }
+  }
+  if (order.size() != static_cast<std::size_t>(num_vertices())) {
+    return {};
+  }
+  return order;
+}
+
+bool Digraph::IsAcyclic() const {
+  if (num_vertices() == 0) return true;
+  return !TopologicalOrder().empty() || num_edges_ == 0;
+}
+
+Digraph Digraph::InducedSubgraph(const std::vector<int>& vertices) const {
+  Digraph sub(static_cast<int>(vertices.size()));
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (std::size_t j = 0; j < vertices.size(); ++j) {
+      if (HasEdge(vertices[i], vertices[j])) {
+        sub.AddEdge(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  return sub;
+}
+
+bool Digraph::IsTournament() const {
+  for (int u = 0; u < num_vertices(); ++u) {
+    for (int v = u + 1; v < num_vertices(); ++v) {
+      if (!AdjacentEitherWay(u, v)) return false;
+    }
+  }
+  return true;
+}
+
+bool Digraph::Reaches(int u, int v) const {
+  std::vector<bool> visited(num_vertices(), false);
+  std::vector<int> stack;
+  for (int w : out_[u]) {
+    if (!visited[w]) {
+      visited[w] = true;
+      stack.push_back(w);
+    }
+  }
+  while (!stack.empty()) {
+    int w = stack.back();
+    stack.pop_back();
+    if (w == v) return true;
+    for (int x : out_[w]) {
+      if (!visited[x]) {
+        visited[x] = true;
+        stack.push_back(x);
+      }
+    }
+  }
+  return false;
+}
+
+namespace {
+
+int VertexFor(Term t, InstanceGraph* ig) {
+  auto it = ig->term_ids.find(t);
+  if (it != ig->term_ids.end()) return it->second;
+  int v = ig->graph.AddVertex();
+  ig->term_ids.emplace(t, v);
+  ig->vertex_terms.push_back(t);
+  return v;
+}
+
+}  // namespace
+
+InstanceGraph GraphOfPredicate(const Instance& instance, PredicateId e) {
+  InstanceGraph ig;
+  for (std::uint32_t idx : instance.AtomsWith(e)) {
+    const Atom& a = instance.atoms()[idx];
+    BDDFC_CHECK(a.IsBinary());
+    int u = VertexFor(a.arg(0), &ig);
+    int v = VertexFor(a.arg(1), &ig);
+    ig.graph.AddEdge(u, v);
+  }
+  return ig;
+}
+
+InstanceGraph GraphOfAllBinaryAtoms(const Instance& instance) {
+  InstanceGraph ig;
+  for (const Atom& a : instance.atoms()) {
+    if (!a.IsBinary()) continue;
+    int u = VertexFor(a.arg(0), &ig);
+    int v = VertexFor(a.arg(1), &ig);
+    ig.graph.AddEdge(u, v);
+  }
+  return ig;
+}
+
+}  // namespace bddfc

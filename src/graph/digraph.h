@@ -1,0 +1,89 @@
+// Directed graphs (Section 2.4). Vertices are dense ints; the bridge from
+// logic instances views every binary E-atom as an edge.
+//
+// The paper's tournament is the *inclusive-or* variant: a set of vertices
+// such that for every distinct pair, an edge exists in at least one
+// direction (footnote 2). Tournament search therefore reduces to clique
+// search on the symmetrized adjacency.
+
+#ifndef BDDFC_GRAPH_DIGRAPH_H_
+#define BDDFC_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "logic/instance.h"
+#include "logic/term.h"
+
+namespace bddfc {
+
+/// A finite directed graph with loops allowed.
+class Digraph {
+ public:
+  explicit Digraph(int num_vertices = 0);
+
+  int AddVertex();
+
+  /// Adds edge u -> v (idempotent). Vertices must exist.
+  void AddEdge(int u, int v);
+
+  bool HasEdge(int u, int v) const;
+
+  /// True if u -> v or v -> u (the tournament adjacency).
+  bool AdjacentEitherWay(int u, int v) const {
+    return HasEdge(u, v) || HasEdge(v, u);
+  }
+
+  int num_vertices() const { return static_cast<int>(out_.size()); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  const std::unordered_set<int>& OutNeighbors(int u) const { return out_[u]; }
+  const std::unordered_set<int>& InNeighbors(int u) const { return in_[u]; }
+
+  /// True if some vertex has an edge to itself.
+  bool HasLoop() const;
+
+  /// True if the graph has no directed cycle (loops included).
+  bool IsAcyclic() const;
+
+  /// Topological order of the vertices; empty when cyclic (and non-empty
+  /// input).
+  std::vector<int> TopologicalOrder() const;
+
+  /// The induced subgraph on `vertices` (Section 2.4); vertex i of the
+  /// result corresponds to vertices[i].
+  Digraph InducedSubgraph(const std::vector<int>& vertices) const;
+
+  /// True if every pair of distinct vertices is adjacent in some direction.
+  bool IsTournament() const;
+
+  /// Directed reachability u ->* v (non-empty path when u == v).
+  bool Reaches(int u, int v) const;
+
+ private:
+  std::vector<std::unordered_set<int>> out_;
+  std::vector<std::unordered_set<int>> in_;
+  std::size_t num_edges_ = 0;
+};
+
+/// View of an instance's E-atoms as a digraph, remembering which term each
+/// vertex denotes.
+struct InstanceGraph {
+  Digraph graph;
+  std::vector<Term> vertex_terms;          // vertex -> term
+  std::unordered_map<Term, int> term_ids;  // term -> vertex
+};
+
+/// Builds the digraph of all `e`-atoms of `instance`. Only terms occurring
+/// in some `e`-atom become vertices.
+InstanceGraph GraphOfPredicate(const Instance& instance, PredicateId e);
+
+/// Builds the digraph over *all* binary atoms of `instance` (used for the
+/// chase order <_Ch(R∃) of Definition 38 and Observation 35).
+InstanceGraph GraphOfAllBinaryAtoms(const Instance& instance);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_GRAPH_DIGRAPH_H_

@@ -1,0 +1,177 @@
+#include "graph/ramsey.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/check.h"
+
+namespace bddfc {
+
+namespace {
+
+std::uint64_t SaturatingAdd(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a + b;
+  if (s < a) return Ramsey::kUnboundedlyLarge;
+  return s;
+}
+
+std::uint64_t UpperBoundMemo(std::vector<int> sizes,
+                             std::map<std::vector<int>, std::uint64_t>* memo) {
+  // Normalize: order does not matter.
+  std::sort(sizes.begin(), sizes.end());
+  // Base cases.
+  if (sizes.empty()) return 1;
+  if (sizes.front() <= 1) return 1;  // a 1-tournament always exists
+  if (sizes.size() == 1) return static_cast<std::uint64_t>(sizes[0]);
+  auto it = memo->find(sizes);
+  if (it != memo->end()) return it->second;
+  // R(s_1,…,s_k) ≤ 2 − k + Σ_i R(…, s_i − 1, …).
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::vector<int> smaller = sizes;
+    --smaller[i];
+    sum = SaturatingAdd(sum, UpperBoundMemo(std::move(smaller), memo));
+  }
+  std::uint64_t k = sizes.size();
+  std::uint64_t bound =
+      sum == Ramsey::kUnboundedlyLarge || sum + 2 < k
+          ? Ramsey::kUnboundedlyLarge
+          : sum + 2 - k;
+  memo->emplace(std::move(sizes), bound);
+  return bound;
+}
+
+// Exact search: a set S of size `need` all of whose pairs have color
+// `color` under `coloring`, restricted to `allowed`.
+bool FindColorClique(const std::vector<int>& allowed, int need, int color,
+                     const PairColoring& coloring, std::vector<int>* out,
+                     std::size_t start = 0) {
+  if (need == 0) return true;
+  if (allowed.size() - start < static_cast<std::size_t>(need)) return false;
+  for (std::size_t i = start; i + need <= allowed.size() + 0; ++i) {
+    int v = allowed[i];
+    bool compatible = true;
+    for (int u : *out) {
+      if (coloring(u, v) != color) {
+        compatible = false;
+        break;
+      }
+    }
+    if (!compatible) continue;
+    out->push_back(v);
+    if (FindColorClique(allowed, need - 1, color, coloring, out, i + 1)) {
+      return true;
+    }
+    out->pop_back();
+  }
+  return false;
+}
+
+}  // namespace
+
+std::uint64_t Ramsey::UpperBound(std::vector<int> sizes) {
+  std::map<std::vector<int>, std::uint64_t> memo;
+  return UpperBoundMemo(std::move(sizes), &memo);
+}
+
+bool Ramsey::VerifyAllColorings(int n, const std::vector<int>& sizes) {
+  const int num_colors = static_cast<int>(sizes.size());
+  BDDFC_CHECK_GE(num_colors, 1);
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) pairs.push_back({i, j});
+  }
+  // Enumerate colorings as base-k counters over the pairs.
+  std::vector<int> coloring(pairs.size(), 0);
+  std::vector<std::vector<int>> color_of(n, std::vector<int>(n, 0));
+  std::vector<int> all(n);
+  for (int i = 0; i < n; ++i) all[i] = i;
+  for (;;) {
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      color_of[pairs[p].first][pairs[p].second] = coloring[p];
+      color_of[pairs[p].second][pairs[p].first] = coloring[p];
+    }
+    PairColoring fn = [&](int u, int v) { return color_of[u][v]; };
+    bool found = false;
+    for (int c = 0; c < num_colors && !found; ++c) {
+      std::vector<int> witness;
+      found = FindColorClique(all, sizes[c], c, fn, &witness);
+    }
+    if (!found) return false;
+    // Advance the counter.
+    std::size_t p = 0;
+    while (p < pairs.size()) {
+      if (++coloring[p] < num_colors) break;
+      coloring[p] = 0;
+      ++p;
+    }
+    if (p == pairs.size()) break;
+  }
+  return true;
+}
+
+std::optional<MonochromaticTournament> Ramsey::FindMonochromatic(
+    const Digraph& tournament, const PairColoring& coloring, int num_colors,
+    const std::vector<int>& sizes) {
+  BDDFC_CHECK_EQ(static_cast<int>(sizes.size()), num_colors);
+  BDDFC_CHECK(tournament.IsTournament());
+  const int n = tournament.num_vertices();
+
+  // Phase 1: the inductive pigeonhole extraction. Starting from all
+  // vertices, repeatedly pick a vertex v, bucket the rest by their pair
+  // color with v, and descend into the largest bucket, reducing that
+  // color's requirement. Succeeds whenever the vertex pool is at least the
+  // recurrence bound; cheap, and certifies the constructive proof.
+  {
+    std::vector<int> pool(n);
+    for (int i = 0; i < n; ++i) pool[i] = i;
+    std::vector<int> need = sizes;
+    std::vector<std::vector<int>> picked(num_colors);
+    while (!pool.empty()) {
+      // A color already satisfied by the picked chain?
+      for (int c = 0; c < num_colors; ++c) {
+        if (need[c] <= 0) {
+          return MonochromaticTournament{c, picked[c]};
+        }
+        if (need[c] == 1) {
+          // One more vertex of any kind completes color c.
+          std::vector<int> vertices = picked[c];
+          vertices.push_back(pool.front());
+          return MonochromaticTournament{c, std::move(vertices)};
+        }
+      }
+      int v = pool.back();
+      pool.pop_back();
+      std::vector<std::vector<int>> buckets(num_colors);
+      for (int u : pool) buckets[coloring(v, u)].push_back(u);
+      int best_color = 0;
+      for (int c = 1; c < num_colors; ++c) {
+        if (buckets[c].size() > buckets[best_color].size()) best_color = c;
+      }
+      // v joins the chain for best_color: all of bucket[best_color] see v
+      // in color best_color.
+      picked[best_color].push_back(v);
+      --need[best_color];
+      pool = std::move(buckets[best_color]);
+    }
+    for (int c = 0; c < num_colors; ++c) {
+      if (need[c] <= 0) {
+        return MonochromaticTournament{c, picked[c]};
+      }
+    }
+  }
+
+  // Phase 2: exact fallback — the pigeonhole walk is not complete below
+  // the Ramsey bound, so search each color exhaustively.
+  std::vector<int> all(n);
+  for (int i = 0; i < n; ++i) all[i] = i;
+  for (int c = 0; c < num_colors; ++c) {
+    std::vector<int> witness;
+    if (FindColorClique(all, sizes[c], c, coloring, &witness)) {
+      return MonochromaticTournament{c, std::move(witness)};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace bddfc

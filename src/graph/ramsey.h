@@ -1,0 +1,68 @@
+// Ramsey machinery for edge-colored tournaments (Theorem 7).
+//
+// The paper colors each tournament edge by a valley query (one of |Q♦|
+// colors) and invokes Ramsey's theorem to extract a monochromatic
+// subtournament. Because the paper's tournaments are inclusive-or cliques,
+// the classical multicolor Ramsey numbers for complete graphs apply
+// directly: any k-coloring of the pairs of a large enough tournament
+// contains a subtournament of size s_i all of whose pairs are colored i.
+//
+// Provided here:
+//   * UpperBound — the constructive recurrence
+//       R(s_1,…,s_k) ≤ 2 − k + Σ_i R(s_1,…,s_i−1,…,s_k),
+//     with R(…,1,…) = 1 and R(s) = s; this is the bound the extraction
+//     algorithm certifies, and the N(4,…,4) bound of Question 46.
+//   * FindMonochromatic — the pigeonhole extraction from the inductive
+//     proof, plus an exact backtracking fallback so the result is correct
+//     on inputs smaller than the bound.
+//   * VerifyAllColorings — brute-force verification on tiny complete
+//     graphs (used to confirm e.g. R(3,3) = 6 in the benches/tests).
+
+#ifndef BDDFC_GRAPH_RAMSEY_H_
+#define BDDFC_GRAPH_RAMSEY_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace bddfc {
+
+/// Edge-coloring callback: color of the (unordered) pair {u, v}, in
+/// {0, …, num_colors-1}. Only called on adjacent pairs.
+using PairColoring = std::function<int(int, int)>;
+
+/// Monochromatic subtournament: the color and its vertices.
+struct MonochromaticTournament {
+  int color = 0;
+  std::vector<int> vertices;
+};
+
+class Ramsey {
+ public:
+  /// The recurrence upper bound R(s_1,…,s_k). Saturates at
+  /// kUnboundedlyLarge if intermediate values overflow.
+  static std::uint64_t UpperBound(std::vector<int> sizes);
+
+  /// Exhaustively checks that every `num_colors`-coloring of the pairs of
+  /// {0..n-1} contains, for some i, a set of sizes[i] vertices whose pairs
+  /// are all colored i. Exponential in n(n-1)/2 — tiny n only.
+  static bool VerifyAllColorings(int n, const std::vector<int>& sizes);
+
+  /// Finds a monochromatic subtournament of size sizes[i] in color i for
+  /// some i, inside `tournament` (which must satisfy IsTournament()) under
+  /// `coloring`. Uses the inductive pigeonhole extraction and falls back to
+  /// exact search; returns nullopt only if no such subtournament exists
+  /// (possible when the tournament is smaller than the Ramsey bound).
+  static std::optional<MonochromaticTournament> FindMonochromatic(
+      const Digraph& tournament, const PairColoring& coloring, int num_colors,
+      const std::vector<int>& sizes);
+
+  static constexpr std::uint64_t kUnboundedlyLarge = ~std::uint64_t{0};
+};
+
+}  // namespace bddfc
+
+#endif  // BDDFC_GRAPH_RAMSEY_H_

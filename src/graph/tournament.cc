@@ -1,0 +1,131 @@
+#include "graph/tournament.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace bddfc {
+
+TournamentSearch::TournamentSearch(const Digraph* graph,
+                                   TournamentSearchOptions options)
+    : graph_(graph), options_(options) {
+  BDDFC_CHECK(graph != nullptr);
+}
+
+// Bron–Kerbosch with pivoting over the symmetrized adjacency. `target` > 0
+// turns the search into a decision procedure that stops at the first
+// tournament of that size; `target` == 0 looks for the maximum.
+void TournamentSearch::Expand(std::vector<int>& r, std::vector<int> p,
+                              std::vector<int> x, int target) {
+  if (found_target_ || exceeded_) return;
+  if (++nodes_ > options_.max_nodes) {
+    exceeded_ = true;
+    return;
+  }
+  if (p.empty() && x.empty()) {
+    if (r.size() > best_.size()) best_ = r;
+    if (target > 0 && static_cast<int>(r.size()) >= target) {
+      found_target_ = true;
+    }
+    return;
+  }
+  if (target == 0 && r.size() + p.size() <= best_.size()) return;  // bound
+  if (target > 0 && static_cast<int>(r.size() + p.size()) < target) return;
+
+  // Pivot: vertex of p ∪ x with most neighbors in p.
+  int pivot = -1;
+  std::size_t pivot_degree = 0;
+  auto degree_in_p = [&](int v) {
+    std::size_t d = 0;
+    for (int u : p) {
+      if (u != v && graph_->AdjacentEitherWay(u, v)) ++d;
+    }
+    return d;
+  };
+  for (int v : p) {
+    std::size_t d = degree_in_p(v);
+    if (pivot == -1 || d > pivot_degree) {
+      pivot = v;
+      pivot_degree = d;
+    }
+  }
+  for (int v : x) {
+    std::size_t d = degree_in_p(v);
+    if (pivot == -1 || d > pivot_degree) {
+      pivot = v;
+      pivot_degree = d;
+    }
+  }
+
+  std::vector<int> candidates;
+  for (int v : p) {
+    // Self-loops are not tournament adjacency: the pivot itself must stay
+    // a candidate even when it carries a loop edge.
+    if (pivot == -1 || v == pivot ||
+        !graph_->AdjacentEitherWay(pivot, v)) {
+      candidates.push_back(v);
+    }
+  }
+  for (int v : candidates) {
+    std::vector<int> p2;
+    std::vector<int> x2;
+    for (int u : p) {
+      if (u != v && graph_->AdjacentEitherWay(u, v)) p2.push_back(u);
+    }
+    for (int u : x) {
+      if (graph_->AdjacentEitherWay(u, v)) x2.push_back(u);
+    }
+    r.push_back(v);
+    // A partial tournament already meeting the target is enough: any
+    // superset stays a tournament, so report r immediately.
+    if (target > 0 && static_cast<int>(r.size()) >= target) {
+      if (r.size() > best_.size()) best_ = r;
+      found_target_ = true;
+      r.pop_back();
+      return;
+    }
+    Expand(r, std::move(p2), std::move(x2), target);
+    r.pop_back();
+    if (found_target_ || exceeded_) return;
+    p.erase(std::find(p.begin(), p.end(), v));
+    x.push_back(v);
+  }
+}
+
+std::vector<int> TournamentSearch::FindMaximum() {
+  best_.clear();
+  nodes_ = 0;
+  exceeded_ = false;
+  found_target_ = false;
+  std::vector<int> r;
+  std::vector<int> p;
+  std::vector<int> x;
+  for (int v = 0; v < graph_->num_vertices(); ++v) p.push_back(v);
+  Expand(r, std::move(p), std::move(x), 0);
+  return best_;
+}
+
+std::optional<std::vector<int>> TournamentSearch::FindOfSize(int k) {
+  BDDFC_CHECK_GE(k, 1);
+  if (k > graph_->num_vertices()) return std::nullopt;
+  best_.clear();
+  nodes_ = 0;
+  exceeded_ = false;
+  found_target_ = false;
+  std::vector<int> r;
+  std::vector<int> p;
+  std::vector<int> x;
+  for (int v = 0; v < graph_->num_vertices(); ++v) p.push_back(v);
+  Expand(r, std::move(p), std::move(x), k);
+  if (static_cast<int>(best_.size()) >= k) {
+    best_.resize(k);
+    return best_;
+  }
+  return std::nullopt;
+}
+
+int TournamentSearch::MaximumSize() {
+  return static_cast<int>(FindMaximum().size());
+}
+
+}  // namespace bddfc

@@ -1,0 +1,57 @@
+// Tournament search: the largest set of pairwise either-way-adjacent
+// vertices of a digraph (Definition 9's k-tournaments). With the paper's
+// inclusive-or adjacency this is exactly maximum clique on the symmetrized
+// graph; we run Bron–Kerbosch with pivoting plus a greedy fallback for
+// large graphs.
+
+#ifndef BDDFC_GRAPH_TOURNAMENT_H_
+#define BDDFC_GRAPH_TOURNAMENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace bddfc {
+
+/// Options bounding the exact search.
+struct TournamentSearchOptions {
+  /// Maximum number of Bron–Kerbosch recursion nodes before giving up and
+  /// reporting the best tournament found so far.
+  std::uint64_t max_nodes = 5'000'000;
+};
+
+/// Exact (bounded) maximum-tournament search.
+class TournamentSearch {
+ public:
+  explicit TournamentSearch(const Digraph* graph,
+                            TournamentSearchOptions options = {});
+
+  /// Vertices of a maximum tournament (exact unless ExceededBudget()).
+  std::vector<int> FindMaximum();
+
+  /// Some tournament of size `k`, or nullopt if none (exact unless
+  /// ExceededBudget()).
+  std::optional<std::vector<int>> FindOfSize(int k);
+
+  /// Size of the maximum tournament.
+  int MaximumSize();
+
+  bool ExceededBudget() const { return exceeded_; }
+
+ private:
+  void Expand(std::vector<int>& r, std::vector<int> p, std::vector<int> x,
+              int target);
+
+  const Digraph* graph_;
+  TournamentSearchOptions options_;
+  std::vector<int> best_;
+  std::uint64_t nodes_ = 0;
+  bool exceeded_ = false;
+  bool found_target_ = false;
+};
+
+}  // namespace bddfc
+
+#endif  // BDDFC_GRAPH_TOURNAMENT_H_

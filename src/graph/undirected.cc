@@ -1,0 +1,208 @@
+#include "graph/undirected.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/check.h"
+
+namespace bddfc {
+
+UndirectedGraph::UndirectedGraph(int num_vertices) : adj_(num_vertices) {}
+
+int UndirectedGraph::AddVertex() {
+  adj_.emplace_back();
+  return static_cast<int>(adj_.size()) - 1;
+}
+
+void UndirectedGraph::AddEdge(int u, int v) {
+  BDDFC_CHECK_GE(u, 0);
+  BDDFC_CHECK_LT(u, num_vertices());
+  BDDFC_CHECK_GE(v, 0);
+  BDDFC_CHECK_LT(v, num_vertices());
+  if (u == v || HasEdge(u, v)) return;
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  ++num_edges_;
+}
+
+void UndirectedGraph::RemoveEdge(int u, int v) {
+  if (!HasEdge(u, v)) return;
+  adj_[u].erase(std::find(adj_[u].begin(), adj_[u].end(), v));
+  adj_[v].erase(std::find(adj_[v].begin(), adj_[v].end(), u));
+  --num_edges_;
+}
+
+bool UndirectedGraph::HasEdge(int u, int v) const {
+  if (u < 0 || v < 0 || u >= num_vertices() || v >= num_vertices()) {
+    return false;
+  }
+  return std::find(adj_[u].begin(), adj_[u].end(), v) != adj_[u].end();
+}
+
+UndirectedGraph UndirectedGraph::FromDigraph(const Digraph& d) {
+  UndirectedGraph g(d.num_vertices());
+  for (int u = 0; u < d.num_vertices(); ++u) {
+    for (int v : d.OutNeighbors(u)) {
+      if (u != v) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+int UndirectedGraph::Girth() const {
+  // For each edge (u,v): remove it conceptually and find the shortest
+  // alternative u-v path by BFS; cycle length = path + 1.
+  int best = kInfiniteGirth;
+  for (int u = 0; u < num_vertices(); ++u) {
+    for (int v : adj_[u]) {
+      if (v < u) continue;  // each edge once
+      std::vector<int> dist(num_vertices(), -1);
+      std::deque<int> queue;
+      dist[u] = 0;
+      queue.push_back(u);
+      while (!queue.empty()) {
+        int w = queue.front();
+        queue.pop_front();
+        if (w == v) break;
+        if (dist[w] + 1 >= best) continue;  // cannot improve
+        for (int x : adj_[w]) {
+          if (w == u && x == v) continue;  // skip the edge itself
+          if (dist[x] == -1) {
+            dist[x] = dist[w] + 1;
+            queue.push_back(x);
+          }
+        }
+      }
+      if (dist[v] != -1 && dist[v] + 1 < best) best = dist[v] + 1;
+    }
+  }
+  return best;
+}
+
+int ChromaticNumber::GreedyUpperBound(const UndirectedGraph& g) {
+  const int n = g.num_vertices();
+  if (n == 0) return 0;
+  // DSATUR: repeatedly color the vertex with the highest saturation degree.
+  std::vector<int> color(n, -1);
+  std::vector<std::vector<bool>> neighbor_colors(n);
+  int used = 0;
+  for (int step = 0; step < n; ++step) {
+    int pick = -1;
+    int pick_sat = -1;
+    int pick_deg = -1;
+    for (int v = 0; v < n; ++v) {
+      if (color[v] != -1) continue;
+      int sat = static_cast<int>(
+          std::count(neighbor_colors[v].begin(), neighbor_colors[v].end(),
+                     true));
+      int deg = static_cast<int>(g.Neighbors(v).size());
+      if (sat > pick_sat || (sat == pick_sat && deg > pick_deg)) {
+        pick = v;
+        pick_sat = sat;
+        pick_deg = deg;
+      }
+    }
+    int c = 0;
+    while (c < static_cast<int>(neighbor_colors[pick].size()) &&
+           neighbor_colors[pick][c]) {
+      ++c;
+    }
+    color[pick] = c;
+    used = std::max(used, c + 1);
+    for (int u : g.Neighbors(pick)) {
+      if (static_cast<int>(neighbor_colors[u].size()) <= c) {
+        neighbor_colors[u].resize(c + 1, false);
+      }
+      neighbor_colors[u][c] = true;
+    }
+  }
+  return used;
+}
+
+namespace {
+
+bool ColorableRec(const UndirectedGraph& g, int k, std::vector<int>* color,
+                  int v) {
+  const int n = g.num_vertices();
+  if (v == n) return true;
+  // Limit the branching factor: only try colors 0..min(k, used+1)-1 to
+  // break color-permutation symmetry.
+  int used = 0;
+  for (int u = 0; u < v; ++u) used = std::max(used, (*color)[u] + 1);
+  int limit = std::min(k, used + 1);
+  for (int c = 0; c < limit; ++c) {
+    bool ok = true;
+    for (int u : g.Neighbors(v)) {
+      if (u < v && (*color)[u] == c) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    (*color)[v] = c;
+    if (ColorableRec(g, k, color, v + 1)) return true;
+  }
+  (*color)[v] = -1;
+  return false;
+}
+
+}  // namespace
+
+bool ChromaticNumber::IsColorable(const UndirectedGraph& g, int k) {
+  if (g.num_vertices() == 0) return true;
+  if (k <= 0) return g.num_vertices() == 0;
+  std::vector<int> color(g.num_vertices(), -1);
+  return ColorableRec(g, k, &color, 0);
+}
+
+int ChromaticNumber::Exact(const UndirectedGraph& g, int max_colors) {
+  if (g.num_vertices() == 0) return 0;
+  int hi = std::min(GreedyUpperBound(g), max_colors);
+  for (int k = 1; k <= hi; ++k) {
+    if (IsColorable(g, k)) return k;
+  }
+  return hi;
+}
+
+UndirectedGraph ErdosHighGirthGraph(int n, double p, int girth, Rng* rng) {
+  BDDFC_CHECK(rng != nullptr);
+  UndirectedGraph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng->Flip(p)) g.AddEdge(u, v);
+    }
+  }
+  // Delete one edge from every cycle shorter than `girth`. BFS from each
+  // vertex finds short cycles; repeat until none survive.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int u = 0; u < n && !changed; ++u) {
+      // BFS with parents; a non-tree edge closing a short cycle is removed.
+      std::vector<int> dist(n, -1);
+      std::vector<int> parent(n, -1);
+      std::deque<int> queue;
+      dist[u] = 0;
+      queue.push_back(u);
+      while (!queue.empty() && !changed) {
+        int w = queue.front();
+        queue.pop_front();
+        for (int x : g.Neighbors(w)) {
+          if (x == parent[w]) continue;
+          if (dist[x] == -1) {
+            dist[x] = dist[w] + 1;
+            parent[x] = w;
+            queue.push_back(x);
+          } else if (dist[w] + dist[x] + 1 < girth) {
+            g.RemoveEdge(w, x);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace bddfc

@@ -1,0 +1,66 @@
+// Undirected graphs with the chromatic-number and girth machinery used by
+// the Conjecture 44 / Theorem 45 experiments (Section 6).
+
+#ifndef BDDFC_GRAPH_UNDIRECTED_H_
+#define BDDFC_GRAPH_UNDIRECTED_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "base/rng.h"
+#include "graph/digraph.h"
+
+namespace bddfc {
+
+/// A finite simple undirected graph.
+class UndirectedGraph {
+ public:
+  explicit UndirectedGraph(int num_vertices = 0);
+
+  int AddVertex();
+  void AddEdge(int u, int v);  // idempotent; u == v ignored (simple graph)
+  void RemoveEdge(int u, int v);
+  bool HasEdge(int u, int v) const;
+
+  int num_vertices() const { return static_cast<int>(adj_.size()); }
+  std::size_t num_edges() const { return num_edges_; }
+  const std::vector<int>& Neighbors(int u) const { return adj_[u]; }
+
+  /// Forgets edge directions of a digraph (loops dropped).
+  static UndirectedGraph FromDigraph(const Digraph& d);
+
+  /// Length of a shortest cycle, or kInfiniteGirth if acyclic.
+  int Girth() const;
+
+  static constexpr int kInfiniteGirth = std::numeric_limits<int>::max();
+
+ private:
+  std::vector<std::vector<int>> adj_;
+  std::size_t num_edges_ = 0;
+};
+
+/// Chromatic-number computation.
+class ChromaticNumber {
+ public:
+  /// DSATUR greedy upper bound (fast, any size).
+  static int GreedyUpperBound(const UndirectedGraph& g);
+
+  /// Exact chromatic number by branch and bound; practical for graphs up to
+  /// a few dozen vertices.
+  static int Exact(const UndirectedGraph& g, int max_colors = 64);
+
+  /// True if g admits a proper coloring with `k` colors.
+  static bool IsColorable(const UndirectedGraph& g, int k);
+};
+
+/// Theorem 45 (Erdős): graphs of high girth and high chromatic number
+/// exist. This generator realizes the standard probabilistic construction:
+/// sample G(n, p) and delete one edge from every cycle of length < `girth`;
+/// for suitable n and p the survivor has girth ≥ `girth` while its
+/// independence number stays small, forcing the chromatic number up.
+UndirectedGraph ErdosHighGirthGraph(int n, double p, int girth, Rng* rng);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_GRAPH_UNDIRECTED_H_

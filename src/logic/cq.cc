@@ -1,0 +1,110 @@
+#include "logic/cq.h"
+
+#include "base/check.h"
+
+namespace bddfc {
+
+Cq::Cq(std::vector<Atom> atoms, std::vector<Term> answers)
+    : atoms_(std::move(atoms)), answers_(std::move(answers)) {
+  std::unordered_set<Term> seen;
+  for (const Atom& a : atoms_) {
+    for (Term t : a.args()) {
+      if (t.IsVariable() && seen.insert(t).second) vars_.push_back(t);
+    }
+  }
+  for (Term t : answers_) {
+    BDDFC_CHECK(t.IsVariable());
+    BDDFC_CHECK(seen.find(t) != seen.end());
+    answer_set_.insert(t);
+  }
+}
+
+std::vector<Term> Cq::ExistentialVars() const {
+  std::vector<Term> out;
+  for (Term v : vars_) {
+    if (!IsAnswerVar(v)) out.push_back(v);
+  }
+  return out;
+}
+
+Cq Cq::Map(const Substitution& sigma) const {
+  return Cq(sigma.Apply(atoms_), sigma.ApplyTuple(answers_));
+}
+
+Cq Cq::Freshen(Universe* universe) const {
+  Substitution rename;
+  for (Term v : vars_) rename.Bind(v, universe->FreshVariable("v"));
+  return Map(rename);
+}
+
+Ucq::Ucq(std::vector<Cq> disjuncts) : disjuncts_(std::move(disjuncts)) {
+  for (std::size_t i = 1; i < disjuncts_.size(); ++i) {
+    BDDFC_CHECK_EQ(disjuncts_[i].answers().size(),
+                   disjuncts_[0].answers().size());
+  }
+}
+
+void Ucq::Add(Cq cq) {
+  if (!disjuncts_.empty()) {
+    BDDFC_CHECK_EQ(cq.answers().size(), disjuncts_[0].answers().size());
+  }
+  disjuncts_.push_back(std::move(cq));
+}
+
+std::size_t Ucq::TotalAtoms() const {
+  std::size_t n = 0;
+  for (const Cq& q : disjuncts_) n += q.size();
+  return n;
+}
+
+std::size_t Ucq::MaxDisjunctSize() const {
+  std::size_t n = 0;
+  for (const Cq& q : disjuncts_) n = std::max(n, q.size());
+  return n;
+}
+
+Cq LoopQuery(Universe* universe, PredicateId e) {
+  Term x = universe->InternVariable("loop_x");
+  return Cq({Atom(e, {x, x})}, {});
+}
+
+Cq EdgeQuery(Universe* universe, PredicateId e) {
+  Term x = universe->InternVariable("edge_x");
+  Term y = universe->InternVariable("edge_y");
+  return Cq({Atom(e, {x, y})}, {x, y});
+}
+
+Ucq TournamentQuery(Universe* universe, PredicateId e, int k) {
+  BDDFC_CHECK_GE(k, 1);
+  std::vector<Term> xs;
+  xs.reserve(k);
+  for (int i = 0; i < k; ++i) {
+    std::string name = "t";
+    name += std::to_string(k);
+    name += '_';
+    name += std::to_string(i);
+    xs.push_back(universe->InternVariable(name));
+  }
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) pairs.push_back({i, j});
+  }
+  Ucq out;
+  const std::size_t num_orientations = std::size_t{1} << pairs.size();
+  for (std::size_t mask = 0; mask < num_orientations; ++mask) {
+    std::vector<Atom> atoms;
+    atoms.reserve(pairs.size());
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      auto [i, j] = pairs[p];
+      if (mask & (std::size_t{1} << p)) {
+        atoms.push_back(Atom(e, {xs[i], xs[j]}));
+      } else {
+        atoms.push_back(Atom(e, {xs[j], xs[i]}));
+      }
+    }
+    out.Add(Cq(std::move(atoms), {}));
+  }
+  return out;
+}
+
+}  // namespace bddfc

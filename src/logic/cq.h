@@ -1,0 +1,104 @@
+// Conjunctive queries and unions thereof (Section 2.1).
+//
+// A CQ q(x̄) is a conjunction of atoms with a tuple of answer variables; it
+// is Boolean when the answer tuple is empty. A UCQ is a set of CQs sharing a
+// compatible answer tuple.
+
+#ifndef BDDFC_LOGIC_CQ_H_
+#define BDDFC_LOGIC_CQ_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "logic/atom.h"
+#include "logic/substitution.h"
+#include "logic/term.h"
+#include "logic/universe.h"
+
+namespace bddfc {
+
+/// A conjunctive query: atoms plus answer tuple. Value type.
+class Cq {
+ public:
+  Cq() = default;
+
+  /// Builds a CQ. Every answer variable must occur in some atom.
+  Cq(std::vector<Atom> atoms, std::vector<Term> answers);
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const std::vector<Term>& answers() const { return answers_; }
+
+  bool IsBoolean() const { return answers_.empty(); }
+
+  /// All variables, in first-occurrence order.
+  const std::vector<Term>& vars() const { return vars_; }
+
+  /// Variables that are not answer variables (the existentially quantified
+  /// ones).
+  std::vector<Term> ExistentialVars() const;
+
+  bool IsAnswerVar(Term t) const {
+    return answer_set_.find(t) != answer_set_.end();
+  }
+
+  /// Applies a substitution to atoms and answers.
+  Cq Map(const Substitution& sigma) const;
+
+  /// Renames all variables to fresh ones from `universe` (used to keep
+  /// rewriting steps variable-disjoint).
+  Cq Freshen(Universe* universe) const;
+
+  /// Number of atoms.
+  std::size_t size() const { return atoms_.size(); }
+
+  friend bool operator==(const Cq& a, const Cq& b) {
+    return a.atoms_ == b.atoms_ && a.answers_ == b.answers_;
+  }
+
+ private:
+  std::vector<Atom> atoms_;
+  std::vector<Term> answers_;
+  std::vector<Term> vars_;
+  std::unordered_set<Term> answer_set_;
+};
+
+/// A union of conjunctive queries. All disjuncts must have the same answer
+/// arity.
+class Ucq {
+ public:
+  Ucq() = default;
+  explicit Ucq(std::vector<Cq> disjuncts);
+
+  const std::vector<Cq>& disjuncts() const { return disjuncts_; }
+  std::size_t size() const { return disjuncts_.size(); }
+  bool empty() const { return disjuncts_.empty(); }
+
+  void Add(Cq cq);
+
+  /// Total number of atoms across disjuncts.
+  std::size_t TotalAtoms() const;
+
+  /// Maximum number of atoms of any disjunct (used for the multiset size
+  /// bound in Lemma 40).
+  std::size_t MaxDisjunctSize() const;
+
+ private:
+  std::vector<Cq> disjuncts_;
+};
+
+/// Builds the Boolean loop query Loop_E = ∃x E(x,x) (Definition 10).
+Cq LoopQuery(Universe* universe, PredicateId e);
+
+/// Builds the single-edge query q(x, y) = E(x, y).
+Cq EdgeQuery(Universe* universe, PredicateId e);
+
+/// Builds the Boolean k-tournament query: variables x_1..x_k, and for each
+/// i<j the disjunct choice E(x_i,x_j) ∨ E(x_j,x_i) expanded into a UCQ of
+/// all 2^(k(k-1)/2) orientations. For the (inclusive-or) tournament of
+/// Definition 9; use only for very small k — the library's tournament search
+/// in graph/ is the scalable path.
+Ucq TournamentQuery(Universe* universe, PredicateId e, int k);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_LOGIC_CQ_H_

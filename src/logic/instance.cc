@@ -1,0 +1,76 @@
+#include "logic/instance.h"
+
+#include "base/check.h"
+
+namespace bddfc {
+
+const std::vector<std::uint32_t> Instance::kEmptyIndex;
+
+Instance::Instance(Universe* universe) : universe_(universe) {
+  BDDFC_CHECK(universe != nullptr);
+  AddAtom(Atom(universe->top(), {}));
+}
+
+bool Instance::AddAtom(const Atom& atom) {
+  BDDFC_CHECK_EQ(static_cast<int>(atom.arity()),
+                 universe_->ArityOf(atom.pred()));
+  if (!pos_.emplace(atom, atoms_.size()).second) return false;
+  std::uint32_t idx = static_cast<std::uint32_t>(atoms_.size());
+  atoms_.push_back(atom);
+  by_pred_[atom.pred()].push_back(idx);
+  for (std::size_t pos = 0; pos < atom.arity(); ++pos) {
+    std::uint64_t pred_pos =
+        (static_cast<std::uint64_t>(atom.pred()) << 8) | pos;
+    by_pos_[{pred_pos, atom.arg(pos)}].push_back(idx);
+    Term t = atom.arg(pos);
+    if (adom_set_.insert(t).second) adom_.push_back(t);
+  }
+  return true;
+}
+
+void Instance::AddAtoms(const std::vector<Atom>& atoms) {
+  for (const Atom& a : atoms) AddAtom(a);
+}
+
+const std::vector<std::uint32_t>& Instance::AtomsWith(PredicateId pred) const {
+  auto it = by_pred_.find(pred);
+  return it == by_pred_.end() ? kEmptyIndex : it->second;
+}
+
+const std::vector<std::uint32_t>& Instance::AtomsWith(PredicateId pred,
+                                                      int pos, Term t) const {
+  std::uint64_t pred_pos = (static_cast<std::uint64_t>(pred) << 8) | pos;
+  auto it = by_pos_.find({pred_pos, t});
+  return it == by_pos_.end() ? kEmptyIndex : it->second;
+}
+
+Instance Instance::Restrict(
+    const std::unordered_set<PredicateId>& preds) const {
+  Instance out(universe_);
+  for (const Atom& a : atoms_) {
+    if (preds.find(a.pred()) != preds.end()) out.AddAtom(a);
+  }
+  return out;
+}
+
+Instance Instance::Map(const Substitution& sigma) const {
+  Instance out(universe_);
+  for (const Atom& a : atoms_) out.AddAtom(sigma.Apply(a));
+  return out;
+}
+
+Instance Instance::DisjointUnion(const Instance& a, const Instance& b) {
+  BDDFC_CHECK_EQ(a.universe_, b.universe_);
+  Universe* u = a.universe_;
+  Instance out(u);
+  for (const Atom& atom : a.atoms()) out.AddAtom(atom);
+  Substitution rename;
+  for (Term t : b.ActiveDomain()) {
+    if (t.IsRigid()) continue;
+    rename.Bind(t, u->FreshNull());
+  }
+  for (const Atom& atom : b.atoms()) out.AddAtom(rename.Apply(atom));
+  return out;
+}
+
+}  // namespace bddfc

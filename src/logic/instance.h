@@ -1,0 +1,104 @@
+// Instances: finite sets of atoms, with the indexes the homomorphism solver
+// and the chase rely on. Instances are grow-only; restriction and union
+// build new instances.
+//
+// Per the paper (Section 2.1), every instance implicitly contains the
+// nullary fact ⊤; Instance adds it on construction.
+
+#ifndef BDDFC_LOGIC_INSTANCE_H_
+#define BDDFC_LOGIC_INSTANCE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/hash.h"
+#include "logic/atom.h"
+#include "logic/substitution.h"
+#include "logic/universe.h"
+
+namespace bddfc {
+
+/// A set of atoms with per-predicate and per-(predicate, position, term)
+/// indexes. Atom order is insertion order, which the chase uses to expose
+/// creation steps.
+class Instance {
+ public:
+  /// Creates an instance containing only the implicit ⊤ fact.
+  explicit Instance(Universe* universe);
+
+  Universe* universe() const { return universe_; }
+
+  /// Adds an atom; returns true if it was not already present.
+  bool AddAtom(const Atom& atom);
+
+  /// Adds every atom of `atoms`.
+  void AddAtoms(const std::vector<Atom>& atoms);
+
+  bool Contains(const Atom& atom) const {
+    return pos_.find(atom) != pos_.end();
+  }
+
+  /// Position of `atom` in atoms(), or SIZE_MAX when absent.
+  std::size_t IndexOf(const Atom& atom) const {
+    auto it = pos_.find(atom);
+    return it == pos_.end() ? SIZE_MAX : it->second;
+  }
+
+  /// All atoms in insertion order (position 0 is ⊤).
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+  /// Number of atoms, including the implicit ⊤.
+  std::size_t size() const { return atoms_.size(); }
+
+  /// Indices (into atoms()) of atoms over `pred`.
+  const std::vector<std::uint32_t>& AtomsWith(PredicateId pred) const;
+
+  /// Indices of atoms over `pred` whose argument `pos` equals `t`.
+  const std::vector<std::uint32_t>& AtomsWith(PredicateId pred, int pos,
+                                              Term t) const;
+
+  /// The active domain: every term occurring in some atom, in first-seen
+  /// order.
+  const std::vector<Term>& ActiveDomain() const { return adom_; }
+
+  bool InActiveDomain(Term t) const {
+    return adom_set_.find(t) != adom_set_.end();
+  }
+
+  /// New instance containing only atoms whose predicate is in `preds`
+  /// (plus ⊤).
+  Instance Restrict(const std::unordered_set<PredicateId>& preds) const;
+
+  /// New instance containing σ(atom) for every atom.
+  Instance Map(const Substitution& sigma) const;
+
+  /// The disjoint union I ¯∪ J of the paper: atoms of `b` are renamed so
+  /// that their non-rigid terms avoid `a`'s active domain.
+  static Instance DisjointUnion(const Instance& a, const Instance& b);
+
+ private:
+  using PosKey = std::pair<std::uint64_t, Term>;
+  struct PosKeyHash {
+    std::size_t operator()(const PosKey& k) const {
+      std::size_t seed = std::hash<std::uint64_t>{}(k.first);
+      HashCombine(&seed, std::hash<Term>{}(k.second));
+      return seed;
+    }
+  };
+
+  Universe* universe_;
+  std::vector<Atom> atoms_;
+  std::unordered_map<Atom, std::size_t> pos_;
+  std::unordered_map<PredicateId, std::vector<std::uint32_t>> by_pred_;
+  std::unordered_map<PosKey, std::vector<std::uint32_t>, PosKeyHash> by_pos_;
+  std::vector<Term> adom_;
+  std::unordered_set<Term> adom_set_;
+
+  static const std::vector<std::uint32_t> kEmptyIndex;
+};
+
+}  // namespace bddfc
+
+#endif  // BDDFC_LOGIC_INSTANCE_H_

@@ -1,0 +1,65 @@
+// Text parser for rules, rule sets, instances and conjunctive queries.
+//
+// Syntax (one item per line; '#' and '%' start comments):
+//
+//   rule:      E(x,y), E(y,z) -> E(x,z)
+//              R(x) -> S(x,z), T(z)            # z is existential (implicit)
+//              [trans] E(x,y), E(y,z) -> E(x,z) # optional label
+//   instance:  E(a,b). E(b,c).                  # terms are constants
+//   CQ:        ?(x,y) :- E(x,z), E(z,y)         # answer tuple after '?'
+//              ? :- E(x,x)                      # Boolean CQ
+//   nullary:   true -> P(x)? no — nullary atoms are written bare: `true`
+//
+// Conventions: in rules, every identifier is a variable; in instances, every
+// identifier is a constant; in queries, identifiers already interned as
+// constants (e.g. parsed earlier from an instance) denote those constants,
+// everything else is a variable.
+
+#ifndef BDDFC_LOGIC_PARSER_H_
+#define BDDFC_LOGIC_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "logic/cq.h"
+#include "logic/instance.h"
+#include "logic/rule.h"
+#include "logic/universe.h"
+
+namespace bddfc {
+
+/// Description of a parse failure.
+struct ParseError {
+  std::string message;
+  int line = 0;
+};
+
+/// Parses a single rule from `text`. Returns nullopt and fills `error` (if
+/// non-null) on failure.
+std::optional<Rule> ParseRule(Universe* universe, std::string_view text,
+                              ParseError* error = nullptr);
+
+/// Parses one rule per non-empty line.
+std::optional<RuleSet> ParseRuleSet(Universe* universe, std::string_view text,
+                                    ParseError* error = nullptr);
+
+/// Parses a database instance: '.'-separated atoms over constants.
+std::optional<Instance> ParseInstance(Universe* universe,
+                                      std::string_view text,
+                                      ParseError* error = nullptr);
+
+/// Parses a conjunctive query.
+std::optional<Cq> ParseCq(Universe* universe, std::string_view text,
+                          ParseError* error = nullptr);
+
+/// CHECK-failing convenience wrappers for statically known-good inputs
+/// (used pervasively by tests, examples and benches).
+Rule MustParseRule(Universe* universe, std::string_view text);
+RuleSet MustParseRuleSet(Universe* universe, std::string_view text);
+Instance MustParseInstance(Universe* universe, std::string_view text);
+Cq MustParseCq(Universe* universe, std::string_view text);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_LOGIC_PARSER_H_

@@ -1,0 +1,75 @@
+#include "logic/printer.h"
+
+namespace bddfc {
+
+std::string ToString(const Universe& universe, const Atom& atom) {
+  std::string out = universe.PredicateName(atom.pred());
+  if (atom.IsNullary()) return out;
+  out += '(';
+  for (std::size_t i = 0; i < atom.arity(); ++i) {
+    if (i > 0) out += ',';
+    out += universe.TermName(atom.arg(i));
+  }
+  out += ')';
+  return out;
+}
+
+std::string ToString(const Universe& universe,
+                     const std::vector<Atom>& atoms) {
+  std::string out;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ToString(universe, atoms[i]);
+  }
+  return out;
+}
+
+std::string ToString(const Universe& universe, const Rule& rule) {
+  std::string out;
+  if (!rule.label().empty()) out += "[" + rule.label() + "] ";
+  out += ToString(universe, rule.body());
+  out += " -> ";
+  out += ToString(universe, rule.head());
+  return out;
+}
+
+std::string ToString(const Universe& universe, const RuleSet& rules) {
+  std::string out;
+  for (const Rule& r : rules) {
+    out += ToString(universe, r);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ToString(const Universe& universe, const Cq& cq) {
+  std::string out = "?(";
+  for (std::size_t i = 0; i < cq.answers().size(); ++i) {
+    if (i > 0) out += ',';
+    out += universe.TermName(cq.answers()[i]);
+  }
+  out += ") :- ";
+  out += ToString(universe, cq.atoms());
+  return out;
+}
+
+std::string ToString(const Universe& universe, const Ucq& ucq) {
+  std::string out;
+  for (const Cq& q : ucq.disjuncts()) {
+    out += ToString(universe, q);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ToString(const Universe& universe, const Instance& instance) {
+  std::string out;
+  for (const Atom& a : instance.atoms()) {
+    out += ToString(universe, a);
+    out += ". ";
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+}  // namespace bddfc

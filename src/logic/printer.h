@@ -1,0 +1,26 @@
+// Text rendering of logic objects, inverse of the parser's syntax.
+
+#ifndef BDDFC_LOGIC_PRINTER_H_
+#define BDDFC_LOGIC_PRINTER_H_
+
+#include <string>
+
+#include "logic/atom.h"
+#include "logic/cq.h"
+#include "logic/instance.h"
+#include "logic/rule.h"
+#include "logic/universe.h"
+
+namespace bddfc {
+
+std::string ToString(const Universe& universe, const Atom& atom);
+std::string ToString(const Universe& universe, const std::vector<Atom>& atoms);
+std::string ToString(const Universe& universe, const Rule& rule);
+std::string ToString(const Universe& universe, const RuleSet& rules);
+std::string ToString(const Universe& universe, const Cq& cq);
+std::string ToString(const Universe& universe, const Ucq& ucq);
+std::string ToString(const Universe& universe, const Instance& instance);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_LOGIC_PRINTER_H_

@@ -1,0 +1,74 @@
+#include "logic/rule.h"
+
+#include "base/check.h"
+#include "logic/instance.h"
+
+namespace bddfc {
+
+namespace {
+
+// Collects the variables of `atoms` in first-occurrence order.
+std::vector<Term> CollectVars(const std::vector<Atom>& atoms) {
+  std::vector<Term> vars;
+  std::unordered_set<Term> seen;
+  for (const Atom& a : atoms) {
+    for (Term t : a.args()) {
+      if (t.IsVariable() && seen.insert(t).second) vars.push_back(t);
+    }
+  }
+  return vars;
+}
+
+}  // namespace
+
+Rule::Rule(std::vector<Atom> body, std::vector<Atom> head, std::string label)
+    : body_(std::move(body)), head_(std::move(head)), label_(std::move(label)) {
+  BDDFC_CHECK(!body_.empty());
+  BDDFC_CHECK(!head_.empty());
+  body_vars_ = CollectVars(body_);
+  head_vars_ = CollectVars(head_);
+  std::unordered_set<Term> body_set(body_vars_.begin(), body_vars_.end());
+  for (Term v : head_vars_) {
+    if (body_set.find(v) != body_set.end()) {
+      frontier_.push_back(v);
+      frontier_set_.insert(v);
+    } else {
+      existentials_.push_back(v);
+      existential_set_.insert(v);
+    }
+  }
+}
+
+std::unordered_set<PredicateId> SignatureOf(const RuleSet& rules) {
+  std::unordered_set<PredicateId> sig;
+  for (const Rule& r : rules) {
+    for (const Atom& a : r.body()) sig.insert(a.pred());
+    for (const Atom& a : r.head()) sig.insert(a.pred());
+  }
+  return sig;
+}
+
+std::unordered_set<PredicateId> SignatureOf(const Instance& instance) {
+  std::unordered_set<PredicateId> sig;
+  for (const Atom& a : instance.atoms()) sig.insert(a.pred());
+  return sig;
+}
+
+int MaxArity(const RuleSet& rules, const Universe& universe) {
+  int max_arity = 0;
+  for (PredicateId p : SignatureOf(rules)) {
+    max_arity = std::max(max_arity, universe.ArityOf(p));
+  }
+  return max_arity;
+}
+
+std::pair<RuleSet, RuleSet> SplitDatalog(const RuleSet& rules) {
+  RuleSet datalog;
+  RuleSet existential;
+  for (const Rule& r : rules) {
+    (r.IsDatalog() ? datalog : existential).push_back(r);
+  }
+  return {std::move(datalog), std::move(existential)};
+}
+
+}  // namespace bddfc

@@ -1,0 +1,88 @@
+// Existential rules (Section 2.1): ∀x̄,ȳ B(x̄,ȳ) → ∃z̄ H(ȳ,z̄).
+//
+// The frontier fr(ρ) is the set of variables shared between body and head;
+// existential variables are head variables outside the body. A rule is
+// Datalog when it has no existential variables.
+
+#ifndef BDDFC_LOGIC_RULE_H_
+#define BDDFC_LOGIC_RULE_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "logic/atom.h"
+#include "logic/term.h"
+#include "logic/universe.h"
+
+namespace bddfc {
+
+class Instance;
+
+/// An existential rule, with body/head/frontier decomposition precomputed.
+class Rule {
+ public:
+  /// Builds a rule; body and head must be non-empty conjunctions of atoms
+  /// over variable terms (constants in rules are permitted and treated as
+  /// rigid).
+  Rule(std::vector<Atom> body, std::vector<Atom> head,
+       std::string label = "");
+
+  const std::vector<Atom>& body() const { return body_; }
+  const std::vector<Atom>& head() const { return head_; }
+  const std::string& label() const { return label_; }
+
+  /// Variables occurring in the body.
+  const std::vector<Term>& body_vars() const { return body_vars_; }
+  /// Variables occurring in the head.
+  const std::vector<Term>& head_vars() const { return head_vars_; }
+  /// Frontier: variables occurring in both body and head.
+  const std::vector<Term>& frontier() const { return frontier_; }
+  /// Existential variables: head variables not in the body.
+  const std::vector<Term>& existentials() const { return existentials_; }
+
+  bool IsDatalog() const { return existentials_.empty(); }
+
+  bool IsFrontierVar(Term t) const {
+    return frontier_set_.find(t) != frontier_set_.end();
+  }
+  bool IsExistentialVar(Term t) const {
+    return existential_set_.find(t) != existential_set_.end();
+  }
+
+  friend bool operator==(const Rule& a, const Rule& b) {
+    return a.body_ == b.body_ && a.head_ == b.head_;
+  }
+
+ private:
+  std::vector<Atom> body_;
+  std::vector<Atom> head_;
+  std::string label_;
+  std::vector<Term> body_vars_;
+  std::vector<Term> head_vars_;
+  std::vector<Term> frontier_;
+  std::vector<Term> existentials_;
+  std::unordered_set<Term> frontier_set_;
+  std::unordered_set<Term> existential_set_;
+};
+
+/// A rule set is an ordered collection of rules (order only matters for
+/// reporting).
+using RuleSet = std::vector<Rule>;
+
+/// All predicates mentioned by the rule set (its signature).
+std::unordered_set<PredicateId> SignatureOf(const RuleSet& rules);
+
+/// All predicates mentioned by an instance.
+std::unordered_set<PredicateId> SignatureOf(const Instance& instance);
+
+/// Maximum predicate arity used in the rule set.
+int MaxArity(const RuleSet& rules, const Universe& universe);
+
+/// Splits a rule set into (Datalog rules, non-Datalog rules) — the
+/// R_DL / R_∃ decomposition used throughout Section 5.
+std::pair<RuleSet, RuleSet> SplitDatalog(const RuleSet& rules);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_LOGIC_RULE_H_

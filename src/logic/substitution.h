@@ -1,0 +1,84 @@
+// Substitutions: partial functions from terms to terms, applied to atoms and
+// atom sets. Matches the paper's Section 2.1 ("a substitution π is a function
+// from Vars to Vars"; we allow any term in the range, which is needed for
+// triggers and homomorphisms into instances).
+
+#ifndef BDDFC_LOGIC_SUBSTITUTION_H_
+#define BDDFC_LOGIC_SUBSTITUTION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "logic/atom.h"
+#include "logic/term.h"
+
+namespace bddfc {
+
+/// A partial map Term -> Term. Terms outside the domain are left unchanged
+/// by Apply (the paper's convention: "replace x with π(x) if the latter is
+/// defined").
+class Substitution {
+ public:
+  Substitution() = default;
+
+  /// Binds `from` to `to`, overwriting any previous binding.
+  void Bind(Term from, Term to) { map_[from] = to; }
+
+  /// Returns the image of `t`, or `t` itself if unbound.
+  Term Apply(Term t) const {
+    auto it = map_.find(t);
+    return it == map_.end() ? t : it->second;
+  }
+
+  /// Returns the image of `t` if bound, otherwise an invalid term.
+  Term Lookup(Term t) const {
+    auto it = map_.find(t);
+    return it == map_.end() ? Term() : it->second;
+  }
+
+  bool IsBound(Term t) const { return map_.find(t) != map_.end(); }
+
+  Atom Apply(const Atom& a) const {
+    std::vector<Term> args;
+    args.reserve(a.arity());
+    for (Term t : a.args()) args.push_back(Apply(t));
+    return Atom(a.pred(), std::move(args));
+  }
+
+  std::vector<Atom> Apply(const std::vector<Atom>& atoms) const {
+    std::vector<Atom> out;
+    out.reserve(atoms.size());
+    for (const Atom& a : atoms) out.push_back(Apply(a));
+    return out;
+  }
+
+  std::vector<Term> ApplyTuple(const std::vector<Term>& tuple) const {
+    std::vector<Term> out;
+    out.reserve(tuple.size());
+    for (Term t : tuple) out.push_back(Apply(t));
+    return out;
+  }
+
+  /// Composition: returns the substitution t -> other.Apply(this->Apply(t)),
+  /// with domain = dom(this) ∪ dom(other).
+  Substitution ComposeWith(const Substitution& other) const {
+    Substitution out;
+    for (const auto& [from, to] : map_) out.Bind(from, other.Apply(to));
+    for (const auto& [from, to] : other.map_) {
+      if (!out.IsBound(from)) out.Bind(from, to);
+    }
+    return out;
+  }
+
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  const std::unordered_map<Term, Term>& entries() const { return map_; }
+
+ private:
+  std::unordered_map<Term, Term> map_;
+};
+
+}  // namespace bddfc
+
+#endif  // BDDFC_LOGIC_SUBSTITUTION_H_

@@ -1,0 +1,107 @@
+// Terms of the first-order substrate.
+//
+// A Term is a tagged 32-bit value: a constant, a variable, or a labeled null
+// (a fresh value invented by the chase, Section 2.2 of the paper). The tag
+// lives in the top two bits so terms hash and compare as plain integers.
+//
+// Convention used throughout the library (it matches the paper's semantics):
+//   * constants are rigid: every homomorphism maps a constant to itself;
+//   * variables and nulls are flexible: homomorphisms may map them anywhere.
+// The paper's instances are "sets of atoms over variables"; we parse database
+// instances over constants, which realizes the same semantics because
+// homomorphic equivalence of chases must fix the database elements.
+
+#ifndef BDDFC_LOGIC_TERM_H_
+#define BDDFC_LOGIC_TERM_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "base/check.h"
+
+namespace bddfc {
+
+/// The three kinds of term. See file comment for mapping semantics.
+enum class TermKind : std::uint8_t {
+  kConstant = 0,
+  kVariable = 1,
+  kNull = 2,
+};
+
+/// A compact, value-type term. Invalid (default-constructed) terms are used
+/// as "unbound" sentinels by the homomorphism solver.
+class Term {
+ public:
+  /// Constructs the invalid term.
+  constexpr Term() : bits_(kInvalidBits) {}
+
+  static constexpr Term MakeConstant(std::uint32_t index) {
+    return Term(Pack(TermKind::kConstant, index));
+  }
+  static constexpr Term MakeVariable(std::uint32_t index) {
+    return Term(Pack(TermKind::kVariable, index));
+  }
+  static constexpr Term MakeNull(std::uint32_t index) {
+    return Term(Pack(TermKind::kNull, index));
+  }
+
+  constexpr bool IsValid() const { return bits_ != kInvalidBits; }
+  constexpr TermKind kind() const {
+    return static_cast<TermKind>(bits_ >> kShift);
+  }
+  constexpr std::uint32_t index() const { return bits_ & kIndexMask; }
+
+  constexpr bool IsConstant() const {
+    return IsValid() && kind() == TermKind::kConstant;
+  }
+  constexpr bool IsVariable() const {
+    return IsValid() && kind() == TermKind::kVariable;
+  }
+  constexpr bool IsNull() const {
+    return IsValid() && kind() == TermKind::kNull;
+  }
+
+  /// True if homomorphisms must map this term to itself.
+  constexpr bool IsRigid() const { return IsConstant(); }
+
+  /// Raw bits, suitable for hashing.
+  constexpr std::uint32_t raw() const { return bits_; }
+
+  friend constexpr bool operator==(Term a, Term b) {
+    return a.bits_ == b.bits_;
+  }
+  friend constexpr bool operator!=(Term a, Term b) {
+    return a.bits_ != b.bits_;
+  }
+  friend constexpr bool operator<(Term a, Term b) { return a.bits_ < b.bits_; }
+
+ private:
+  static constexpr int kShift = 30;
+  static constexpr std::uint32_t kIndexMask = (1u << kShift) - 1;
+  static constexpr std::uint32_t kInvalidBits = 0xffffffffu;
+
+  static constexpr std::uint32_t Pack(TermKind kind, std::uint32_t index) {
+    return (static_cast<std::uint32_t>(kind) << kShift) | (index & kIndexMask);
+  }
+
+  explicit constexpr Term(std::uint32_t bits) : bits_(bits) {}
+
+  std::uint32_t bits_;
+};
+
+}  // namespace bddfc
+
+namespace std {
+template <>
+struct hash<bddfc::Term> {
+  std::size_t operator()(bddfc::Term t) const {
+    // splitmix-style finalizer over the raw bits.
+    std::uint64_t z = t.raw() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+}  // namespace std
+
+#endif  // BDDFC_LOGIC_TERM_H_

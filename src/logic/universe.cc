@@ -1,0 +1,84 @@
+#include "logic/universe.h"
+
+#include "base/check.h"
+
+namespace bddfc {
+
+Universe::Universe() {
+  // Intern ⊤ as predicate 0 so `top()` is stable.
+  PredicateId top_id = InternPredicate("true", 0);
+  BDDFC_CHECK_EQ(top_id, kTopPredicate);
+}
+
+PredicateId Universe::InternPredicate(std::string_view name, int arity) {
+  BDDFC_CHECK_GE(arity, 0);
+  SymbolId existing = predicates_.Find(name);
+  if (existing != SymbolTable::kNotFound) {
+    BDDFC_CHECK_EQ(arities_[existing], arity);
+    return existing;
+  }
+  SymbolId id = predicates_.Intern(name);
+  arities_.push_back(arity);
+  BDDFC_CHECK_EQ(arities_.size(), predicates_.size());
+  return id;
+}
+
+PredicateId Universe::FindPredicate(std::string_view name) const {
+  SymbolId id = predicates_.Find(name);
+  return id == SymbolTable::kNotFound ? kNoPredicate : id;
+}
+
+PredicateId Universe::FreshPredicate(std::string_view prefix, int arity) {
+  SymbolId id = predicates_.Fresh(prefix);
+  arities_.push_back(arity);
+  BDDFC_CHECK_EQ(arities_.size(), predicates_.size());
+  return id;
+}
+
+int Universe::ArityOf(PredicateId pred) const {
+  BDDFC_CHECK_LT(pred, arities_.size());
+  return arities_[pred];
+}
+
+const std::string& Universe::PredicateName(PredicateId pred) const {
+  return predicates_.NameOf(pred);
+}
+
+Term Universe::InternConstant(std::string_view name) {
+  return Term::MakeConstant(constants_.Intern(name));
+}
+
+Term Universe::InternVariable(std::string_view name) {
+  return Term::MakeVariable(variables_.Intern(name));
+}
+
+Term Universe::FindConstant(std::string_view name) const {
+  SymbolId id = constants_.Find(name);
+  return id == SymbolTable::kNotFound ? Term() : Term::MakeConstant(id);
+}
+
+Term Universe::FindVariable(std::string_view name) const {
+  SymbolId id = variables_.Find(name);
+  return id == SymbolTable::kNotFound ? Term() : Term::MakeVariable(id);
+}
+
+Term Universe::FreshVariable(std::string_view prefix) {
+  return Term::MakeVariable(variables_.Fresh(prefix));
+}
+
+Term Universe::FreshNull() { return Term::MakeNull(null_count_++); }
+
+std::string Universe::TermName(Term t) const {
+  BDDFC_CHECK(t.IsValid());
+  switch (t.kind()) {
+    case TermKind::kConstant:
+      return constants_.NameOf(t.index());
+    case TermKind::kVariable:
+      return variables_.NameOf(t.index());
+    case TermKind::kNull:
+      return "_n" + std::to_string(t.index());
+  }
+  return "<invalid>";
+}
+
+}  // namespace bddfc

@@ -1,0 +1,89 @@
+// The Universe owns all naming state for one logical workspace: the
+// predicate signature (names + arities), constant and variable names, and the
+// labeled-null counter used by the chase.
+//
+// All other logic types (Atom, Instance, Rule, Cq) are plain values that
+// reference Universe ids; functions that need names or fresh symbols take a
+// Universe (const for printing, mutable for interning).
+
+#ifndef BDDFC_LOGIC_UNIVERSE_H_
+#define BDDFC_LOGIC_UNIVERSE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/symbol_table.h"
+#include "logic/term.h"
+
+namespace bddfc {
+
+/// Dense id of an interned predicate.
+using PredicateId = std::uint32_t;
+
+/// Naming context. Every parsed or programmatically built rule set, instance
+/// and query lives inside exactly one Universe.
+class Universe {
+ public:
+  Universe();
+
+  // --- Predicates ---------------------------------------------------------
+
+  /// Interns predicate `name` with the given arity. Aborts if `name` was
+  /// already interned with a different arity.
+  PredicateId InternPredicate(std::string_view name, int arity);
+
+  /// Finds an interned predicate or returns `kNoPredicate`.
+  PredicateId FindPredicate(std::string_view name) const;
+
+  /// Interns a fresh predicate whose name starts with `prefix`.
+  PredicateId FreshPredicate(std::string_view prefix, int arity);
+
+  int ArityOf(PredicateId pred) const;
+  const std::string& PredicateName(PredicateId pred) const;
+  std::size_t num_predicates() const { return arities_.size(); }
+
+  /// The distinguished nullary predicate `true` (the paper's ⊤), which every
+  /// instance implicitly contains. Always interned as id 0.
+  PredicateId top() const { return kTopPredicate; }
+
+  // --- Terms ---------------------------------------------------------------
+
+  Term InternConstant(std::string_view name);
+  Term InternVariable(std::string_view name);
+
+  /// Returns the constant named `name` if interned, else an invalid term.
+  Term FindConstant(std::string_view name) const;
+
+  /// Returns the variable named `name` if interned, else an invalid term.
+  Term FindVariable(std::string_view name) const;
+
+  /// Fresh variable whose name starts with `prefix`.
+  Term FreshVariable(std::string_view prefix);
+
+  /// Fresh labeled null (invented value), as created by chase triggers.
+  Term FreshNull();
+
+  /// Human-readable name of any valid term.
+  std::string TermName(Term t) const;
+
+  std::size_t num_constants() const { return constants_.size(); }
+  std::size_t num_variables() const { return variables_.size(); }
+  std::size_t num_nulls() const { return null_count_; }
+
+  static constexpr PredicateId kNoPredicate = 0xffffffffu;
+
+ private:
+  static constexpr PredicateId kTopPredicate = 0;
+
+  SymbolTable predicates_;
+  std::vector<int> arities_;
+  SymbolTable constants_;
+  SymbolTable variables_;
+  std::uint32_t null_count_ = 0;
+};
+
+}  // namespace bddfc
+
+#endif  // BDDFC_LOGIC_UNIVERSE_H_

@@ -1,0 +1,141 @@
+// Finite multisets over an ordered domain, with the strict lexicographic
+// order <_lex of Section 2.4. The order is the termination measure of the
+// peak-removing argument (Lemma 40); Lemma 8 (well-foundedness on bounded
+// sizes) is exercised by the property tests.
+
+#ifndef BDDFC_MULTISET_MULTISET_H_
+#define BDDFC_MULTISET_MULTISET_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "base/check.h"
+
+namespace bddfc {
+
+/// A finite multiset over `T` with the paper's operations: union ∪_m,
+/// intersection ∩_m, difference ∖_m, max_m, and the lexicographic order.
+template <typename T>
+class Multiset {
+ public:
+  Multiset() = default;
+
+  Multiset(std::initializer_list<T> elements) {
+    for (const T& x : elements) Add(x);
+  }
+
+  /// {x_1, ..., x_n}_m of a list.
+  static Multiset FromList(const std::vector<T>& elements) {
+    Multiset m;
+    for (const T& x : elements) m.Add(x);
+    return m;
+  }
+
+  void Add(const T& x, std::size_t count = 1) {
+    if (count > 0) counts_[x] += count;
+  }
+
+  /// Removes up to `count` copies of x.
+  void Remove(const T& x, std::size_t count = 1) {
+    auto it = counts_.find(x);
+    if (it == counts_.end()) return;
+    if (it->second <= count) {
+      counts_.erase(it);
+    } else {
+      it->second -= count;
+    }
+  }
+
+  std::size_t Count(const T& x) const {
+    auto it = counts_.find(x);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  /// |M| = Σ_x M(x).
+  std::size_t Size() const {
+    std::size_t n = 0;
+    for (const auto& [x, c] : counts_) n += c;
+    return n;
+  }
+
+  bool Empty() const { return counts_.empty(); }
+
+  /// max_m(M); nullopt on the empty multiset.
+  std::optional<T> Max() const {
+    if (counts_.empty()) return std::nullopt;
+    return counts_.rbegin()->first;
+  }
+
+  /// M ∪_m N : x ↦ M(x) + N(x).
+  Multiset Union(const Multiset& other) const {
+    Multiset out = *this;
+    for (const auto& [x, c] : other.counts_) out.Add(x, c);
+    return out;
+  }
+
+  /// M ∩_m N : x ↦ min(M(x), N(x)).
+  Multiset Intersect(const Multiset& other) const {
+    Multiset out;
+    for (const auto& [x, c] : counts_) {
+      std::size_t m = std::min(c, other.Count(x));
+      if (m > 0) out.Add(x, m);
+    }
+    return out;
+  }
+
+  /// M ∖_m N : x ↦ max(M(x) − N(x), 0).
+  Multiset Difference(const Multiset& other) const {
+    Multiset out;
+    for (const auto& [x, c] : counts_) {
+      std::size_t n = other.Count(x);
+      if (c > n) out.Add(x, c - n);
+    }
+    return out;
+  }
+
+  /// Distinct elements in ascending order (with their multiplicities).
+  const std::map<T, std::size_t>& counts() const { return counts_; }
+
+  friend bool operator==(const Multiset& a, const Multiset& b) {
+    return a.counts_ == b.counts_;
+  }
+  friend bool operator!=(const Multiset& a, const Multiset& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::map<T, std::size_t> counts_;
+};
+
+/// The strict lexicographic order <_lex of Section 2.4:
+///   ∅ <_lex N for non-empty N, and M <_lex N iff max(M) < max(N), or the
+///   maxima agree and (M ∖ {max}) <_lex (N ∖ {max}).
+/// Equivalently: compare the descending (value, multiplicity) runs; at the
+/// first difference a smaller value — or an equal value with smaller
+/// multiplicity — makes the multiset smaller, and a proper prefix is
+/// smaller.
+template <typename T>
+bool LexLess(const Multiset<T>& a, const Multiset<T>& b) {
+  auto ia = a.counts().rbegin();
+  auto ib = b.counts().rbegin();
+  while (ia != a.counts().rend() && ib != b.counts().rend()) {
+    if (ia->first != ib->first) return ia->first < ib->first;
+    if (ia->second != ib->second) return ia->second < ib->second;
+    ++ia;
+    ++ib;
+  }
+  return ia == a.counts().rend() && ib != b.counts().rend();
+}
+
+/// M ≤_lex N.
+template <typename T>
+bool LexLessEq(const Multiset<T>& a, const Multiset<T>& b) {
+  return a == b || LexLess(a, b);
+}
+
+}  // namespace bddfc
+
+#endif  // BDDFC_MULTISET_MULTISET_H_

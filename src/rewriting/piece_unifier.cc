@@ -1,0 +1,244 @@
+#include "rewriting/piece_unifier.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/check.h"
+#include "logic/substitution.h"
+
+namespace bddfc {
+
+namespace {
+
+// Union-find over terms, tracking per-class validity data lazily.
+class TermUnionFind {
+ public:
+  int IdOf(Term t) {
+    auto it = ids_.find(t);
+    if (it != ids_.end()) return it->second;
+    int id = static_cast<int>(parent_.size());
+    ids_.emplace(t, id);
+    parent_.push_back(id);
+    terms_.push_back(t);
+    return id;
+  }
+
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(Term a, Term b) {
+    int ra = Find(IdOf(a));
+    int rb = Find(IdOf(b));
+    if (ra != rb) parent_[ra] = rb;
+  }
+
+  /// Groups all registered terms by representative.
+  std::vector<std::vector<Term>> Classes() {
+    std::unordered_map<int, std::vector<Term>> by_root;
+    for (std::size_t i = 0; i < terms_.size(); ++i) {
+      by_root[Find(static_cast<int>(i))].push_back(terms_[i]);
+    }
+    std::vector<std::vector<Term>> out;
+    out.reserve(by_root.size());
+    for (auto& [root, members] : by_root) out.push_back(std::move(members));
+    return out;
+  }
+
+ private:
+  std::unordered_map<Term, int> ids_;
+  std::vector<int> parent_;
+  std::vector<Term> terms_;
+};
+
+// Context for one (query, freshened rule) pair.
+struct UnifierContext {
+  const Cq* q;
+  const Rule* rule;  // freshened copy
+  std::size_t rule_index;
+  Universe* universe;
+  std::vector<PieceRewriting>* out;
+
+  // Variables of q occurring in atoms outside the current piece are
+  // recomputed per piece; answer variables are always separating.
+};
+
+// Validates the merge and builds the rewritten query. `piece` holds query
+// atom indices, `partners[i]` the head atom matched with piece[i].
+void EmitIfAdmissible(UnifierContext* ctx,
+                      const std::vector<std::size_t>& piece,
+                      const std::vector<std::size_t>& partners) {
+  const Cq& q = *ctx->q;
+  const Rule& rule = *ctx->rule;
+
+  TermUnionFind uf;
+  // Register rule-body terms so representatives can be computed uniformly.
+  for (const Atom& a : rule.body()) {
+    for (Term t : a.args()) uf.IdOf(t);
+  }
+  for (std::size_t i = 0; i < piece.size(); ++i) {
+    const Atom& qa = q.atoms()[piece[i]];
+    const Atom& ha = rule.head()[partners[i]];
+    BDDFC_CHECK_EQ(qa.pred(), ha.pred());
+    for (std::size_t p = 0; p < qa.arity(); ++p) {
+      uf.Union(qa.arg(p), ha.arg(p));
+    }
+  }
+
+  // Separating variables: answer variables of q, and variables occurring in
+  // q ∖ q'.
+  std::unordered_set<std::size_t> piece_set(piece.begin(), piece.end());
+  std::unordered_set<Term> separating;
+  for (Term t : q.answers()) separating.insert(t);
+  for (std::size_t i = 0; i < q.atoms().size(); ++i) {
+    if (piece_set.find(i) != piece_set.end()) continue;
+    for (Term t : q.atoms()[i].args()) {
+      if (!t.IsRigid()) separating.insert(t);
+    }
+  }
+
+  // Query variables (to distinguish from rule variables in shared classes).
+  std::unordered_set<Term> query_vars(q.vars().begin(), q.vars().end());
+
+  // Validate classes and pick representatives.
+  Substitution u;
+  for (const std::vector<Term>& cls : uf.Classes()) {
+    Term constant;
+    Term existential;
+    Term frontier_var;
+    Term separating_var;
+    Term query_var;
+    Term any_var;
+    bool two_existentials = false;
+    for (Term t : cls) {
+      if (t.IsRigid()) {
+        if (constant.IsValid() && constant != t) return;  // two constants
+        constant = t;
+      } else if (rule.IsExistentialVar(t)) {
+        if (existential.IsValid() && existential != t) two_existentials = true;
+        existential = t;
+      } else if (rule.IsFrontierVar(t)) {
+        frontier_var = t;
+      } else if (query_vars.find(t) != query_vars.end()) {
+        query_var = t;
+        if (separating.find(t) != separating.end()) separating_var = t;
+      } else {
+        any_var = t;  // non-frontier rule body variable (shouldn't unify,
+                      // but kept for representative completeness)
+      }
+    }
+    if (existential.IsValid()) {
+      // Admissibility of existential classes.
+      if (constant.IsValid() || frontier_var.IsValid() || two_existentials ||
+          separating_var.IsValid()) {
+        return;
+      }
+      // Existential classes vanish with the piece: no binding needed for
+      // the query vars they absorb (those vars occur only inside q').
+      continue;
+    }
+    // Representative priority: constant > separating/query var > frontier
+    // var > any.
+    Term rep;
+    if (constant.IsValid()) {
+      rep = constant;
+    } else if (separating_var.IsValid()) {
+      rep = separating_var;
+    } else if (query_var.IsValid()) {
+      rep = query_var;
+    } else if (frontier_var.IsValid()) {
+      rep = frontier_var;
+    } else if (any_var.IsValid()) {
+      rep = any_var;
+    } else {
+      continue;
+    }
+    for (Term t : cls) {
+      if (t != rep && !t.IsRigid()) u.Bind(t, rep);
+    }
+  }
+
+  // Answer variables must stay variables.
+  for (Term a : q.answers()) {
+    if (u.Apply(a).IsRigid()) return;
+  }
+
+  // Build β(q, ρ, μ) = u(q ∖ q') ∪ u(B).
+  std::vector<Atom> atoms;
+  std::unordered_set<Atom> seen;
+  for (std::size_t i = 0; i < q.atoms().size(); ++i) {
+    if (piece_set.find(i) != piece_set.end()) continue;
+    Atom mapped = u.Apply(q.atoms()[i]);
+    if (seen.insert(mapped).second) atoms.push_back(std::move(mapped));
+  }
+  for (const Atom& a : rule.body()) {
+    Atom mapped = u.Apply(a);
+    if (seen.insert(mapped).second) atoms.push_back(std::move(mapped));
+  }
+  BDDFC_CHECK(!atoms.empty());
+
+  PieceRewriting rewriting;
+  rewriting.result = Cq(std::move(atoms), u.ApplyTuple(q.answers()));
+  rewriting.piece = piece;
+  rewriting.rule_index = ctx->rule_index;
+  ctx->out->push_back(std::move(rewriting));
+}
+
+// Recursively extends the piece: each query atom is either skipped or
+// matched with a same-predicate head atom. To enumerate every non-empty
+// subset exactly once, atoms are considered in index order.
+void ExtendPiece(UnifierContext* ctx, std::size_t next_atom,
+                 std::vector<std::size_t>* piece,
+                 std::vector<std::size_t>* partners) {
+  if (next_atom == ctx->q->atoms().size()) {
+    if (!piece->empty()) EmitIfAdmissible(ctx, *piece, *partners);
+    return;
+  }
+  // Option 1: atom not in the piece.
+  ExtendPiece(ctx, next_atom + 1, piece, partners);
+  // Option 2: match it with each compatible head atom.
+  const Atom& qa = ctx->q->atoms()[next_atom];
+  for (std::size_t h = 0; h < ctx->rule->head().size(); ++h) {
+    if (ctx->rule->head()[h].pred() != qa.pred()) continue;
+    piece->push_back(next_atom);
+    partners->push_back(h);
+    ExtendPiece(ctx, next_atom + 1, piece, partners);
+    piece->pop_back();
+    partners->pop_back();
+  }
+}
+
+// Returns a copy of `rule` with all variables replaced by fresh ones.
+Rule FreshenRule(const Rule& rule, Universe* universe) {
+  Substitution rename;
+  for (Term v : rule.body_vars()) rename.Bind(v, universe->FreshVariable("r"));
+  for (Term v : rule.head_vars()) {
+    if (!rename.IsBound(v)) rename.Bind(v, universe->FreshVariable("r"));
+  }
+  return Rule(rename.Apply(rule.body()), rename.Apply(rule.head()),
+              rule.label());
+}
+
+}  // namespace
+
+std::vector<PieceRewriting> EnumeratePieceRewritings(const Cq& q,
+                                                     const RuleSet& rules,
+                                                     Universe* universe) {
+  std::vector<PieceRewriting> out;
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    Rule fresh = FreshenRule(rules[r], universe);
+    UnifierContext ctx{&q, &fresh, r, universe, &out};
+    std::vector<std::size_t> piece;
+    std::vector<std::size_t> partners;
+    ExtendPiece(&ctx, 0, &piece, &partners);
+  }
+  return out;
+}
+
+}  // namespace bddfc

@@ -1,0 +1,54 @@
+// Piece-unifiers: the single-step backward-chaining operator behind UCQ
+// rewritability (Section 2.3, following König et al. [22]).
+//
+// A piece-unifier of a CQ q with a rule ρ = B → ∃z̄ H picks a non-empty
+// subset q' of q's atoms, matches every atom of q' with some atom of H
+// (same predicate), and merges terms positionwise. The merge is admissible
+// when every equivalence class satisfies:
+//   * at most one constant, and
+//   * if the class contains an existential variable of ρ, it contains no
+//     constant, no frontier variable of ρ, no second distinct existential,
+//     no answer variable of q, and no query variable that also occurs in
+//     q ∖ q' (a "separating" variable — it must survive the cut).
+// The rewriting β(q, ρ, μ) = u(q ∖ q') ∪ u(B) then replaces the unified
+// piece by the rule body, with u collapsing each class to a representative.
+//
+// Enumerating all subsets q' (not only single atoms) yields the *aggregated*
+// unifiers needed for completeness of the rewriting operator.
+
+#ifndef BDDFC_REWRITING_PIECE_UNIFIER_H_
+#define BDDFC_REWRITING_PIECE_UNIFIER_H_
+
+#include <vector>
+
+#include "logic/cq.h"
+#include "logic/rule.h"
+#include "logic/universe.h"
+
+namespace bddfc {
+
+/// One admissible piece-unifier application, already turned into the
+/// rewritten query.
+struct PieceRewriting {
+  /// β(q, ρ, μ): the rewritten CQ (atoms deduplicated, answers mapped).
+  Cq result;
+  /// Indices (into q.atoms()) of the unified piece q'.
+  std::vector<std::size_t> piece;
+  /// Index of the rule used.
+  std::size_t rule_index = 0;
+};
+
+/// Enumerates every admissible piece-unifier of `q` with any rule of
+/// `rules` (each rule copy freshened so rule variables never collide with
+/// query variables) and returns the rewritten queries.
+///
+/// Unifiers whose representative choice would force an answer variable onto
+/// a constant are skipped (cannot be expressed as a Cq; does not arise for
+/// constant-free rule sets like all of the paper's constructions).
+std::vector<PieceRewriting> EnumeratePieceRewritings(const Cq& q,
+                                                     const RuleSet& rules,
+                                                     Universe* universe);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_REWRITING_PIECE_UNIFIER_H_

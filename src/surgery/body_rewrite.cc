@@ -1,0 +1,48 @@
+#include "surgery/body_rewrite.h"
+
+#include "base/check.h"
+#include "logic/substitution.h"
+
+namespace bddfc {
+namespace surgery {
+
+BodyRewriteResult BodyRewrite(const RuleSet& rules, Universe* universe,
+                              RewriterOptions options) {
+  BodyRewriteResult result;
+  result.rules = rules;
+  UcqRewriter rewriter(rules, universe, options);
+
+  for (const Rule& rule : rules) {
+    // The body as a CQ with the frontier as answer tuple.
+    Cq body_query(rule.body(), rule.frontier());
+    RewriteResult rewritten = rewriter.Rewrite(body_query);
+    if (!rewritten.saturated) result.complete = false;
+
+    for (const Cq& disjunct : rewritten.ucq.disjuncts()) {
+      // σ: original frontier position i ↦ the disjunct's (possibly
+      // specialized) answer variable i. Head existentials are untouched.
+      BDDFC_CHECK_EQ(disjunct.answers().size(), rule.frontier().size());
+      Substitution sigma;
+      for (std::size_t i = 0; i < rule.frontier().size(); ++i) {
+        sigma.Bind(rule.frontier()[i], disjunct.answers()[i]);
+      }
+      Rule candidate(disjunct.atoms(), sigma.Apply(rule.head()),
+                     rule.label().empty() ? "rew" : rule.label() + "_rew");
+      bool duplicate = false;
+      for (const Rule& existing : result.rules) {
+        if (existing == candidate) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        result.rules.push_back(std::move(candidate));
+        ++result.added;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace surgery
+}  // namespace bddfc

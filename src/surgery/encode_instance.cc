@@ -1,0 +1,41 @@
+#include "surgery/encode_instance.h"
+
+#include "base/check.h"
+#include "logic/substitution.h"
+
+namespace bddfc {
+namespace surgery {
+
+Rule TopToInstanceRule(const Instance& j, Universe* universe) {
+  Substitution to_vars;
+  for (Term t : j.ActiveDomain()) {
+    to_vars.Bind(t, universe->FreshVariable("enc"));
+  }
+  std::vector<Atom> head;
+  for (const Atom& a : j.atoms()) {
+    if (a.pred() == universe->top()) continue;  // ⊤ is implicit
+    head.push_back(to_vars.Apply(a));
+  }
+  BDDFC_CHECK(!head.empty());
+  std::vector<Atom> body = {Atom(universe->top(), {})};
+  return Rule(std::move(body), std::move(head), "top_to_instance");
+}
+
+RuleSet EncodeInstance(const RuleSet& rules, const Instance& j,
+                       Universe* universe) {
+  RuleSet out = rules;
+  out.push_back(TopToInstanceRule(j, universe));
+  return out;
+}
+
+Instance FlexibleCopy(const Instance& j) {
+  Universe* universe = j.universe();
+  Substitution to_nulls;
+  for (Term t : j.ActiveDomain()) {
+    to_nulls.Bind(t, universe->FreshNull());
+  }
+  return j.Map(to_nulls);
+}
+
+}  // namespace surgery
+}  // namespace bddfc

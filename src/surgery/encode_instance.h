@@ -1,0 +1,39 @@
+// Section 4.1 — encoding instances in rule sets.
+//
+// Definition 12: for an instance J, the rule ⊤ → J existentially quantifies
+// a fresh variable for every element of adom(J). Corollary 15 then gives
+// Ch(J,S) ↔ Ch({⊤}, S ∪ {⊤ → J}), and Observation 16 shows the surgery
+// preserves UCQ-rewritability.
+//
+// Note on rigidity: the paper's instances are sets of atoms over
+// *variables*, so every element of adom(J) is flexible. Our parsed database
+// instances use constants (rigid under homomorphisms); FlexibleCopy
+// produces the variable-style reading of an instance, which is the right
+// left-hand side when verifying Corollary 15.
+
+#ifndef BDDFC_SURGERY_ENCODE_INSTANCE_H_
+#define BDDFC_SURGERY_ENCODE_INSTANCE_H_
+
+#include "logic/instance.h"
+#include "logic/rule.h"
+#include "logic/universe.h"
+
+namespace bddfc {
+namespace surgery {
+
+/// Definition 12: the rule ⊤ → J (every adom element becomes an existential
+/// variable of the head).
+Rule TopToInstanceRule(const Instance& j, Universe* universe);
+
+/// The surgery of Section 4.1: S ∪ {⊤ → J}.
+RuleSet EncodeInstance(const RuleSet& rules, const Instance& j,
+                       Universe* universe);
+
+/// The instance with every term replaced by a fresh labeled null — the
+/// paper's "instance over variables" reading of a database.
+Instance FlexibleCopy(const Instance& j);
+
+}  // namespace surgery
+}  // namespace bddfc
+
+#endif  // BDDFC_SURGERY_ENCODE_INSTANCE_H_

@@ -1,0 +1,75 @@
+// Rule-set property checkers of Sections 4.3–4.4: forward-existential
+// (Definition 21), predicate-unique (Definition 22), quick (Definition 26),
+// and regal (Definition 27), plus the Section 6 device for tournaments over
+// UCQ-definable relations.
+
+#ifndef BDDFC_SURGERY_PROPERTIES_H_
+#define BDDFC_SURGERY_PROPERTIES_H_
+
+#include <string>
+#include <vector>
+
+#include "chase/chase.h"
+#include "logic/cq.h"
+#include "logic/instance.h"
+#include "logic/rule.h"
+#include "logic/universe.h"
+#include "rewriting/rewriter.h"
+
+namespace bddfc {
+namespace surgery {
+
+/// Definition 21: every binary head atom of a non-Datalog rule has a
+/// frontier first argument and an existential second argument. Unary head
+/// atoms are permitted with either kind of variable (the definition
+/// constrains the edge-producing atoms; ▽(S)'s A^ρ_0(w) is unary with w
+/// existential). Head atoms of arity > 2 in a non-Datalog rule fail the
+/// check (the definition presupposes a binary signature).
+bool IsForwardExistential(const RuleSet& rules);
+
+/// Definition 22: in every non-Datalog rule, each predicate occurs at most
+/// once in the head.
+bool IsPredicateUnique(const RuleSet& rules);
+
+/// Operational check of Definition 26 ("quick"): for each test instance I,
+/// chase a bounded prefix of Ch(I,R); every atom β all of whose
+/// adom(I)-anchored terms lie in adom(I) — i.e. β's terms are database
+/// terms or chase terms created with frontier inside adom(I) — must have an
+/// image in Ch_1(I,R) fixing β's database terms. Sound for refutation
+/// (returns false only on a genuine violation); "true" certifies quickness
+/// up to the chase bound on the supplied family.
+bool IsQuick(const RuleSet& rules, const std::vector<Instance>& test_instances,
+             ChaseOptions options = {});
+
+/// Aggregate regality report (Definition 27) for a rule set over a binary
+/// signature. UCQ-rewritability is probed by rewriting the atomic query of
+/// every predicate of the signature; quickness by IsQuick on the supplied
+/// instances.
+struct RegalityReport {
+  bool binary_signature = false;
+  bool forward_existential = false;
+  bool predicate_unique = false;
+  bool quick = false;
+  bool ucq_rewritable = false;  // all probe queries saturated
+  bool IsRegal() const {
+    return binary_signature && forward_existential && predicate_unique &&
+           quick && ucq_rewritable;
+  }
+  std::string ToString() const;
+};
+
+RegalityReport CheckRegal(const RuleSet& rules, Universe* universe,
+                          const std::vector<Instance>& test_instances,
+                          RewriterOptions rewriter_options = {},
+                          ChaseOptions chase_options = {});
+
+/// Section 6 ("Tournament Definition"): extends the rule set with
+/// q_i(x,y) → E(x,y) for every disjunct of a binary UCQ, making E the
+/// UCQ-defined relation. E should be fresh to preserve UCQ-rewritability.
+RuleSet DefineRelationByUcq(const RuleSet& rules, const Ucq& definition,
+                            PredicateId e);
+
+}  // namespace surgery
+}  // namespace bddfc
+
+#endif  // BDDFC_SURGERY_PROPERTIES_H_

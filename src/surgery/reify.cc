@@ -1,0 +1,108 @@
+#include "surgery/reify.h"
+
+#include "base/check.h"
+
+namespace bddfc {
+namespace surgery {
+
+Reifier::Reifier(Universe* universe) : universe_(universe) {
+  BDDFC_CHECK(universe != nullptr);
+}
+
+const std::vector<PredicateId>& Reifier::ComponentsOf(PredicateId pred) {
+  auto it = components_.find(pred);
+  if (it != components_.end()) return it->second;
+  std::vector<PredicateId> comps;
+  int arity = universe_->ArityOf(pred);
+  if (arity > 2) {
+    comps.reserve(arity);
+    const std::string& base = universe_->PredicateName(pred);
+    for (int i = 1; i <= arity; ++i) {
+      comps.push_back(universe_->FreshPredicate(
+          base + "_r" + std::to_string(i), 2));
+    }
+  }
+  return components_.emplace(pred, std::move(comps)).first->second;
+}
+
+void Reifier::ReifyAtom(const Atom& atom,
+                        const std::function<Term()>& witness,
+                        std::vector<Atom>* out) {
+  if (atom.arity() <= 2) {
+    out->push_back(atom);
+    return;
+  }
+  const std::vector<PredicateId>& comps = ComponentsOf(atom.pred());
+  Term w = witness();
+  for (std::size_t i = 0; i < atom.arity(); ++i) {
+    out->push_back(Atom(comps[i], {atom.arg(i), w}));
+  }
+}
+
+RuleSet Reifier::ReifyRules(const RuleSet& rules) {
+  RuleSet out;
+  out.reserve(rules.size());
+  for (const Rule& rule : rules) {
+    std::vector<Atom> body;
+    for (const Atom& a : rule.body()) {
+      // Body witnesses are universally quantified fresh variables.
+      ReifyAtom(a, [&] { return universe_->FreshVariable("rw"); }, &body);
+    }
+    std::vector<Atom> head;
+    for (const Atom& a : rule.head()) {
+      // Head witnesses are existential: a fresh variable not in the body.
+      ReifyAtom(a, [&] { return universe_->FreshVariable("rw"); }, &head);
+    }
+    out.push_back(Rule(std::move(body), std::move(head), rule.label()));
+  }
+  return out;
+}
+
+Instance Reifier::ReifyInstance(const Instance& instance) {
+  Instance out(universe_);
+  std::vector<Atom> atoms;
+  for (const Atom& a : instance.atoms()) {
+    atoms.clear();
+    ReifyAtom(a, [&] { return universe_->FreshNull(); }, &atoms);
+    out.AddAtoms(atoms);
+  }
+  return out;
+}
+
+Cq Reifier::ReifyCq(const Cq& q) {
+  std::vector<Atom> atoms;
+  for (const Atom& a : q.atoms()) {
+    ReifyAtom(a, [&] { return universe_->FreshVariable("rw"); }, &atoms);
+  }
+  return Cq(std::move(atoms), q.answers());
+}
+
+RuleSet Reifier::ProjectionRules() {
+  RuleSet out;
+  for (const auto& [pred, comps] : components_) {
+    if (comps.empty()) continue;
+    int arity = universe_->ArityOf(pred);
+    std::vector<Term> args;
+    for (int i = 0; i < arity; ++i) {
+      args.push_back(universe_->FreshVariable("p"));
+    }
+    Term z = universe_->FreshVariable("p");
+    std::vector<Atom> head;
+    for (int i = 0; i < arity; ++i) {
+      head.push_back(Atom(comps[i], {args[i], z}));
+    }
+    out.push_back(Rule({Atom(pred, args)}, std::move(head),
+                       "project_" + universe_->PredicateName(pred)));
+  }
+  return out;
+}
+
+bool IsBinarySignature(const RuleSet& rules, const Universe& universe) {
+  for (PredicateId p : SignatureOf(rules)) {
+    if (universe.ArityOf(p) > 2) return false;
+  }
+  return true;
+}
+
+}  // namespace surgery
+}  // namespace bddfc

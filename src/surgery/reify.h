@@ -1,0 +1,65 @@
+// Section 4.2 — reduction to binary signatures by reification.
+//
+// For every predicate A of arity n > 2, reify introduces binary predicates
+// A_1, …, A_n, and an atom A(x_1,…,x_n) becomes { A_i(x_i, x_α) | i ≤ n }
+// with x_α a fresh "atom witness" (a fresh existential variable in rule
+// heads, a fresh universal variable in rule bodies and queries, a fresh
+// null in instances). Lemma 19 gives Ch(reify(J),reify(S)) ↔
+// reify(Ch(J,S)); Lemma 20 shows reification preserves UCQ-rewritability.
+//
+// (The paper's displayed index set reads 1 < i ≤ n; we include i = 1 as the
+// surrounding definitions require — reify(A) is defined as the full set
+// {A_1,…,A_{ar(A)}} — so no argument position is dropped.)
+
+#ifndef BDDFC_SURGERY_REIFY_H_
+#define BDDFC_SURGERY_REIFY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "logic/cq.h"
+#include "logic/instance.h"
+#include "logic/rule.h"
+#include "logic/universe.h"
+
+namespace bddfc {
+namespace surgery {
+
+/// Shared mapping from higher-arity predicates to their binary components.
+/// Reifying rules, instances and queries against the same Reifier keeps the
+/// component predicates aligned.
+class Reifier {
+ public:
+  explicit Reifier(Universe* universe);
+
+  /// The binary components reify(A); computed on first use. For predicates
+  /// of arity ≤ 2 returns an empty vector (they are kept as-is).
+  const std::vector<PredicateId>& ComponentsOf(PredicateId pred);
+
+  /// reify(α) appended to `out`; fresh witness produced by `witness()`.
+  void ReifyAtom(const Atom& atom, const std::function<Term()>& witness,
+                 std::vector<Atom>* out);
+
+  RuleSet ReifyRules(const RuleSet& rules);
+  Instance ReifyInstance(const Instance& instance);
+  Cq ReifyCq(const Cq& q);
+
+  /// Lemma 20's auxiliary projection rules ρ_A:
+  ///   A(x_1,…,x_n) → ∃z ⋀_i A_i(x_i, z)
+  /// for every higher-arity predicate seen so far.
+  RuleSet ProjectionRules();
+
+  Universe* universe() const { return universe_; }
+
+ private:
+  Universe* universe_;
+  std::unordered_map<PredicateId, std::vector<PredicateId>> components_;
+};
+
+/// True if every predicate of the rule set has arity ≤ 2.
+bool IsBinarySignature(const RuleSet& rules, const Universe& universe);
+
+}  // namespace surgery
+}  // namespace bddfc
+
+#endif  // BDDFC_SURGERY_REIFY_H_

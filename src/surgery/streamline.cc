@@ -1,0 +1,80 @@
+#include "surgery/streamline.h"
+
+#include "base/check.h"
+
+namespace bddfc {
+namespace surgery {
+
+StreamlinedRule StreamlineRule(const Rule& rule, Universe* universe,
+                               const std::string& tag) {
+  BDDFC_CHECK(!rule.IsDatalog());
+
+  const std::vector<Term>& frontier = rule.frontier();
+  const std::vector<Term>& existentials = rule.existentials();
+  Term w = universe->FreshVariable("w");
+
+  // Fresh predicates for this rule.
+  PredicateId a0 = universe->FreshPredicate("A0_" + tag, 1);
+  std::vector<PredicateId> a_y;
+  a_y.reserve(frontier.size());
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    a_y.push_back(
+        universe->FreshPredicate("Ay" + std::to_string(i) + "_" + tag, 2));
+  }
+  // One B predicate per (y' ∈ ȳ ∪ {w}, z ∈ z̄) pair; index f = frontier
+  // position or |frontier| for w.
+  std::vector<std::vector<PredicateId>> b(frontier.size() + 1);
+  for (std::size_t f = 0; f <= frontier.size(); ++f) {
+    b[f].reserve(existentials.size());
+    for (std::size_t zi = 0; zi < existentials.size(); ++zi) {
+      b[f].push_back(universe->FreshPredicate(
+          "B" + std::to_string(f) + "_" + std::to_string(zi) + "_" + tag, 2));
+    }
+  }
+
+  // ρ_init.
+  std::vector<Atom> init_head;
+  init_head.push_back(Atom(a0, {w}));
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    init_head.push_back(Atom(a_y[i], {frontier[i], w}));
+  }
+  Rule init(rule.body(), init_head, tag + "_init");
+
+  // ρ_∃: body = ρ_init's head; head = all B^ρ_{y',z}(y', z).
+  std::vector<Atom> exists_head;
+  for (std::size_t f = 0; f <= frontier.size(); ++f) {
+    Term y_prime = f < frontier.size() ? frontier[f] : w;
+    for (std::size_t zi = 0; zi < existentials.size(); ++zi) {
+      exists_head.push_back(Atom(b[f][zi], {y_prime, existentials[zi]}));
+    }
+  }
+  Rule exists(init_head, exists_head, tag + "_exists");
+
+  // ρ_DL: body = ρ_∃'s head; head = the original head.
+  Rule datalog(exists_head, rule.head(), tag + "_dl");
+
+  return {std::move(init), std::move(exists), std::move(datalog)};
+}
+
+RuleSet Streamline(const RuleSet& rules, Universe* universe) {
+  RuleSet out;
+  int counter = 0;
+  for (const Rule& rule : rules) {
+    if (rule.IsDatalog()) {
+      out.push_back(rule);
+      continue;
+    }
+    std::string tag = rule.label().empty()
+                          ? "r" + std::to_string(counter)
+                          : rule.label();
+    ++counter;
+    StreamlinedRule split = StreamlineRule(rule, universe, tag);
+    out.push_back(std::move(split.init));
+    out.push_back(std::move(split.exists));
+    out.push_back(std::move(split.datalog));
+  }
+  return out;
+}
+
+}  // namespace surgery
+}  // namespace bddfc

@@ -1,0 +1,49 @@
+// Section 4.3 — streamlining heads: the ▽(S) surgery.
+//
+// Every non-Datalog rule ρ = B(x̄,ȳ) → ∃z̄ H(ȳ,z̄) is split into three:
+//
+//   ρ_init:  B  →  ∃w  A^ρ_0(w) ∧ ⋀_{y∈ȳ} A^ρ_y(y,w)
+//   ρ_∃:     A^ρ_0(w) ∧ ⋀_{y∈ȳ} A^ρ_y(y,w)
+//              →  ∃z̄  ⋀_{y'∈ȳ∪{w}} ⋀_{z∈z̄} B^ρ_{y',z}(y',z)
+//   ρ_DL:    ⋀_{y'∈ȳ∪{w}} ⋀_{z∈z̄} B^ρ_{y',z}(y',z)  →  H(ȳ,z̄)
+//
+// with fresh predicates A^ρ_0 (unary), A^ρ_y and B^ρ_{y',z} (binary, one
+// per index — which is what makes ▽(S) predicate-unique, Definition 22).
+// Every binary head atom of ρ_init and ρ_∃ has a frontier first argument
+// and an existential second argument (forward-existential, Definition 21).
+// Lemma 24: Ch(J,S) ↔ Ch(J,▽(S)) restricted to the signature of S (the
+// three stages dilate chase steps by a factor of 3, Lemma 48). Lemma 25:
+// ▽ preserves UCQ-rewritability.
+//
+// Datalog rules of S are kept unchanged: Definitions 21/22 only constrain
+// non-Datalog rules, and the split of a rule without existential variables
+// would produce an empty ρ_∃ head.
+
+#ifndef BDDFC_SURGERY_STREAMLINE_H_
+#define BDDFC_SURGERY_STREAMLINE_H_
+
+#include "logic/rule.h"
+#include "logic/universe.h"
+
+namespace bddfc {
+namespace surgery {
+
+/// The three-way split of one non-Datalog rule.
+struct StreamlinedRule {
+  Rule init;
+  Rule exists;
+  Rule datalog;
+};
+
+/// Splits one non-Datalog rule (aborts on Datalog input).
+StreamlinedRule StreamlineRule(const Rule& rule, Universe* universe,
+                               const std::string& tag);
+
+/// ▽(S): every non-Datalog rule replaced by its three-way split; Datalog
+/// rules kept.
+RuleSet Streamline(const RuleSet& rules, Universe* universe);
+
+}  // namespace surgery
+}  // namespace bddfc
+
+#endif  // BDDFC_SURGERY_STREAMLINE_H_

@@ -1,0 +1,29 @@
+#include "valley/chase_order.h"
+
+namespace bddfc {
+
+ChaseOrder::ChaseOrder(const Instance& instance)
+    : graph_(GraphOfAllBinaryAtoms(instance)) {
+  is_dag_ = graph_.graph.IsAcyclic();
+}
+
+bool ChaseOrder::Less(Term s, Term t) const {
+  auto is_ = graph_.term_ids.find(s);
+  auto it = graph_.term_ids.find(t);
+  if (is_ == graph_.term_ids.end() || it == graph_.term_ids.end()) {
+    return false;
+  }
+  return graph_.graph.Reaches(is_->second, it->second);
+}
+
+std::vector<Term> ChaseOrder::MaximalTerms() const {
+  std::vector<Term> out;
+  for (int v = 0; v < graph_.graph.num_vertices(); ++v) {
+    if (graph_.graph.OutNeighbors(v).empty()) {
+      out.push_back(graph_.vertex_terms[v]);
+    }
+  }
+  return out;
+}
+
+}  // namespace bddfc

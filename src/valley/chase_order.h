@@ -1,0 +1,46 @@
+// The strict partial order <_I of Definition 38: s <_I t iff a directed
+// path (through binary atoms) leads from s to t. On the chase of a
+// forward-existential rule set this is a DAG order (Observation 35) and the
+// backbone of the valley-query machinery.
+
+#ifndef BDDFC_VALLEY_CHASE_ORDER_H_
+#define BDDFC_VALLEY_CHASE_ORDER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "logic/instance.h"
+
+namespace bddfc {
+
+/// Reachability order over the terms of an instance, viewing every binary
+/// atom as a directed edge.
+class ChaseOrder {
+ public:
+  explicit ChaseOrder(const Instance& instance);
+
+  /// s <_I t: non-trivial directed path from s to t.
+  bool Less(Term s, Term t) const;
+
+  /// s ≤_I t: reflexive closure.
+  bool Leq(Term s, Term t) const { return s == t || Less(s, t); }
+
+  /// Observation 35's premise: the binary atoms form a DAG.
+  bool IsDag() const { return is_dag_; }
+
+  /// ≤-maximal terms (no outgoing edge). Terms that occur only in unary or
+  /// nullary atoms do not participate in the order.
+  std::vector<Term> MaximalTerms() const;
+
+  /// All terms participating in the order.
+  const std::vector<Term>& terms() const { return graph_.vertex_terms; }
+
+ private:
+  InstanceGraph graph_;
+  bool is_dag_ = false;
+};
+
+}  // namespace bddfc
+
+#endif  // BDDFC_VALLEY_CHASE_ORDER_H_

@@ -1,0 +1,60 @@
+#include "valley/functionality.h"
+
+#include <unordered_map>
+
+#include "base/check.h"
+#include "graph/digraph.h"
+#include "homomorphism/homomorphism.h"
+
+namespace bddfc {
+
+FunctionalityReport CheckFunctionality(const Cq& q,
+                                       const Instance& chase_exists) {
+  BDDFC_CHECK_GE(q.answers().size(), 1u);
+  FunctionalityReport report;
+  report.is_function = true;
+
+  HomSearch search(q.atoms(), &chase_exists);
+  search.ForEach({}, [&](const Substitution& h) {
+    Term s = h.Apply(q.answers()[0]);
+    std::vector<Term> tuple;
+    for (std::size_t i = 1; i < q.answers().size(); ++i) {
+      tuple.push_back(h.Apply(q.answers()[i]));
+    }
+    auto [it, inserted] = report.function.emplace(s, tuple);
+    if (!inserted && it->second != tuple) {
+      report.is_function = false;
+      report.counterexample = s;
+      return false;
+    }
+    return true;
+  });
+  return report;
+}
+
+bool AllBelowFirstAnswer(const Cq& q) {
+  BDDFC_CHECK_GE(q.answers().size(), 1u);
+  // Build the variable digraph and test reachability to the first answer.
+  Digraph graph;
+  std::unordered_map<Term, int> ids;
+  auto vertex = [&](Term t) {
+    auto it = ids.find(t);
+    if (it != ids.end()) return it->second;
+    int v = graph.AddVertex();
+    ids.emplace(t, v);
+    return v;
+  };
+  for (Term v : q.vars()) vertex(v);
+  for (const Atom& a : q.atoms()) {
+    if (a.IsBinary()) graph.AddEdge(vertex(a.arg(0)), vertex(a.arg(1)));
+  }
+  int x = ids[q.answers()[0]];
+  for (std::size_t i = 1; i < q.answers().size(); ++i) {
+    int y = ids[q.answers()[i]];
+    if (y == x) return false;
+    if (!graph.Reaches(y, x)) return false;
+  }
+  return true;
+}
+
+}  // namespace bddfc

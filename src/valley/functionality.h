@@ -1,0 +1,43 @@
+// The functionality lemma (Lemma 42): on the chase of a regal rule set's
+// existential part, a CQ q(x, ȳ) whose non-distinguished tuple lies
+// strictly below x defines a *function* from images of x to images of ȳ.
+// This is the engine of Proposition 43.
+
+#ifndef BDDFC_VALLEY_FUNCTIONALITY_H_
+#define BDDFC_VALLEY_FUNCTIONALITY_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/hash.h"
+#include "logic/cq.h"
+#include "logic/instance.h"
+
+namespace bddfc {
+
+/// Outcome of the functionality check.
+struct FunctionalityReport {
+  /// True if {⟨s, t̄⟩ | Ch ⊨ q(s, t̄)} is a function (at most one t̄ per s).
+  bool is_function = false;
+  /// The function, as computed: image of x ↦ image tuple of ȳ.
+  std::unordered_map<Term, std::vector<Term>> function;
+  /// A violating s with two distinct tuples, when !is_function.
+  std::optional<Term> counterexample;
+};
+
+/// Checks Lemma 42's conclusion for q(x, ȳ) over `chase_exists`, where the
+/// first answer variable of q plays the role of x and the remaining ones
+/// form ȳ. (The lemma's premise — every y ∈ ȳ is <_q below x on a chase of
+/// a forward-existential, predicate-unique set — is the caller's
+/// responsibility; the check itself is sound for any q.)
+FunctionalityReport CheckFunctionality(const Cq& q,
+                                       const Instance& chase_exists);
+
+/// Lemma 42 premise check: every non-first answer variable of q is
+/// strictly <_q-below the first one.
+bool AllBelowFirstAnswer(const Cq& q);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_VALLEY_FUNCTIONALITY_H_

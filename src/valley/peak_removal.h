@@ -1,0 +1,100 @@
+// The peak-removing argument (Lemma 40), executable.
+//
+// Given an edge E(s,t) of the Datalog saturation and the injective
+// rewriting Q♦ of E(x,y) against a regal rule set, the procedure starts
+// from the TS_m-lex-minimal injective witness ⟨q,h⟩ of (s,t) in Ch(R∃) and,
+// while q is not a valley query:
+//   * picks a ≤_q-maximal existential variable z (exists since q is not a
+//     valley),
+//   * cuts the atoms Z ∋ z from the image and splices in the body of the
+//     trigger that created h(z):  I = h(q) ∖ h(Z) ∪ π(body(ρ)),
+//   * re-finds a witness inside I — whose timestamp multiset is strictly
+//     <_lex-smaller, because the trigger body's terms all predate h(z).
+// Lemma 8 (well-foundedness of <_lex on bounded sizes) makes this
+// terminate; the procedure records the full descent trajectory so the
+// benches can chart it.
+
+#ifndef BDDFC_VALLEY_PEAK_REMOVAL_H_
+#define BDDFC_VALLEY_PEAK_REMOVAL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chase/chase.h"
+#include "logic/cq.h"
+#include "multiset/multiset.h"
+
+namespace bddfc {
+
+/// One point of the descent trajectory.
+struct PeakStep {
+  /// Disjunct of Q♦ witnessing the edge at this step.
+  std::size_t witness_index = 0;
+  /// The witness query.
+  Cq query;
+  /// TS_m of the witness image's terms.
+  Multiset<int> timestamps;
+  /// Whether this witness is already a valley query.
+  bool is_valley = false;
+};
+
+/// Outcome of the descent.
+struct PeakRemovalResult {
+  /// Reached a valley-query witness.
+  bool success = false;
+  std::vector<PeakStep> trajectory;
+  /// Human-readable reason when !success (incomplete rewriting, database
+  /// peak, bound hit, or a non-decreasing step, which would refute
+  /// Lemma 40).
+  std::string failure_reason;
+  /// Every step strictly decreased TS_m (Lemma 40's invariant).
+  bool strictly_decreasing = true;
+};
+
+/// Where the descent starts.
+enum class PeakStart {
+  /// The TS_m-lex-minimal witness, as in Lemma 40's proof. On a complete
+  /// injective rewriting the minimum is already a valley (that *is* the
+  /// lemma), so success is typically immediate — a failure here exposes an
+  /// incomplete rewriting or a Lemma 40 violation.
+  kMinimal,
+  /// The lex-maximal witness: exercises genuine multi-step descents, which
+  /// is what the benches chart.
+  kMaximal,
+};
+
+/// Runs the peak-removal descent on the chase `chase_exists` = Ch(R∃)
+/// (which must expose trigger provenance) for the injective rewriting
+/// `q_inj` of E(x,y).
+class PeakRemover {
+ public:
+  PeakRemover(const ObliviousChase* chase_exists, const Ucq* q_inj,
+              std::size_t max_iterations = 64,
+              PeakStart start = PeakStart::kMinimal);
+
+  /// Descends from the chosen starting witness of (s,t). E(s,t) need not
+  /// be an atom of the chase itself — only witnessed by Q♦.
+  PeakRemovalResult Run(Term s, Term t) const;
+
+ private:
+  struct WitnessCandidate {
+    std::size_t index;
+    Substitution hom;
+    Multiset<int> timestamps;
+  };
+
+  std::optional<WitnessCandidate> ExtremalWitness(const Instance& target,
+                                                  Term s, Term t,
+                                                  bool minimal) const;
+  Multiset<int> ImageTimestamps(const Cq& q, const Substitution& hom) const;
+
+  const ObliviousChase* chase_;
+  const Ucq* q_inj_;
+  std::size_t max_iterations_;
+  PeakStart start_;
+};
+
+}  // namespace bddfc
+
+#endif  // BDDFC_VALLEY_PEAK_REMOVAL_H_

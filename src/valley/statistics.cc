@@ -1,0 +1,96 @@
+#include "valley/statistics.h"
+
+#include <unordered_map>
+
+#include "graph/digraph.h"
+#include "valley/valley_query.h"
+
+namespace bddfc {
+
+std::string UcqValleyStats::ToString() const {
+  std::string out;
+  out += "total: " + std::to_string(total);
+  out += ", valleys: " + std::to_string(valleys);
+  out += " (disconnected: " + std::to_string(disconnected);
+  out += ", single-maximal: " + std::to_string(single_maximal);
+  out += ", two-maximal: " + std::to_string(two_maximal);
+  out += "), peaked: " + std::to_string(peaked);
+  out += ", cyclic: " + std::to_string(cyclic);
+  out += ", non-binary answers: " + std::to_string(non_binary_answers);
+  return out;
+}
+
+UcqValleyStats AnalyzeUcqValleys(const Ucq& q) {
+  UcqValleyStats stats;
+  stats.total = q.size();
+  for (const Cq& disjunct : q.disjuncts()) {
+    if (disjunct.answers().size() != 2) {
+      ++stats.non_binary_answers;
+      continue;
+    }
+    ValleyAnalysis analysis = AnalyzeValley(disjunct);
+    if (!analysis.is_dag) {
+      ++stats.cyclic;
+      continue;
+    }
+    if (!analysis.is_valley) {
+      ++stats.peaked;
+      continue;
+    }
+    ++stats.valleys;
+    // Case split, mirroring AnalyzeValleyTournament.
+    Term x = disjunct.answers()[0];
+    Term y = disjunct.answers()[1];
+    if (!analysis.connected) {
+      // Only disconnected *between the answers* counts as the
+      // Proposition 43 first case; recompute components.
+      Digraph graph;
+      std::unordered_map<Term, int> ids;
+      auto vertex = [&](Term t) {
+        auto it = ids.find(t);
+        if (it != ids.end()) return it->second;
+        int v = graph.AddVertex();
+        ids.emplace(t, v);
+        return v;
+      };
+      for (Term v : disjunct.vars()) vertex(v);
+      for (const Atom& a : disjunct.atoms()) {
+        if (a.IsBinary()) graph.AddEdge(vertex(a.arg(0)), vertex(a.arg(1)));
+      }
+      // Weak reachability from x.
+      std::vector<bool> seen(graph.num_vertices(), false);
+      std::vector<int> stack = {ids.at(x)};
+      seen[ids.at(x)] = true;
+      while (!stack.empty()) {
+        int v = stack.back();
+        stack.pop_back();
+        auto push = [&](int w) {
+          if (!seen[w]) {
+            seen[w] = true;
+            stack.push_back(w);
+          }
+        };
+        for (int w : graph.OutNeighbors(v)) push(w);
+        for (int w : graph.InNeighbors(v)) push(w);
+      }
+      if (x != y && !seen[ids.at(y)]) {
+        ++stats.disconnected;
+        continue;
+      }
+    }
+    bool x_maximal = false;
+    bool y_maximal = false;
+    for (Term m : analysis.maximal_vars) {
+      if (m == x) x_maximal = true;
+      if (m == y) y_maximal = true;
+    }
+    if (x_maximal && y_maximal) {
+      ++stats.two_maximal;
+    } else {
+      ++stats.single_maximal;
+    }
+  }
+  return stats;
+}
+
+}  // namespace bddfc

@@ -1,0 +1,82 @@
+#include "valley/valley_query.h"
+
+#include <unordered_map>
+
+#include "base/check.h"
+#include "graph/digraph.h"
+
+namespace bddfc {
+
+ValleyAnalysis AnalyzeValley(const Cq& q) {
+  BDDFC_CHECK_EQ(q.answers().size(), 2u);
+  ValleyAnalysis out;
+
+  Digraph graph;
+  std::unordered_map<Term, int> ids;
+  auto vertex = [&](Term t) {
+    auto it = ids.find(t);
+    if (it != ids.end()) return it->second;
+    int v = graph.AddVertex();
+    ids.emplace(t, v);
+    return v;
+  };
+  // Every variable participates (unary atoms give isolated vertices).
+  for (Term v : q.vars()) vertex(v);
+
+  for (const Atom& a : q.atoms()) {
+    if (a.arity() > 2) return out;  // non-binary: not a valley query
+    if (!a.IsBinary()) continue;
+    graph.AddEdge(vertex(a.arg(0)), vertex(a.arg(1)));
+  }
+
+  out.is_dag = graph.IsAcyclic();
+
+  // Maximal = no outgoing edge.
+  std::vector<Term> terms(ids.size());
+  for (const auto& [t, v] : ids) terms[v] = t;
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.OutNeighbors(v).empty()) out.maximal_vars.push_back(terms[v]);
+  }
+
+  // Weak connectivity.
+  if (graph.num_vertices() > 0) {
+    std::vector<bool> visited(graph.num_vertices(), false);
+    std::vector<int> stack = {0};
+    visited[0] = true;
+    int count = 1;
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      auto push = [&](int w) {
+        if (!visited[w]) {
+          visited[w] = true;
+          ++count;
+          stack.push_back(w);
+        }
+      };
+      for (int w : graph.OutNeighbors(v)) push(w);
+      for (int w : graph.InNeighbors(v)) push(w);
+    }
+    out.connected = count == graph.num_vertices();
+  }
+
+  if (!out.is_dag) return out;
+
+  // Definition 39 asks that the only ≤_q-maximal variables are x and y.
+  // Proposition 43's case analysis explicitly covers valley queries where
+  // just one of the two is maximal, so the right reading is
+  // maximal_vars ⊆ {x, y} (and non-emptiness, which holds in any finite
+  // DAG with at least one variable).
+  Term x = q.answers()[0];
+  Term y = q.answers()[1];
+  bool only_answers_maximal = true;
+  for (Term t : out.maximal_vars) {
+    if (t != x && t != y) only_answers_maximal = false;
+  }
+  out.is_valley = only_answers_maximal && !out.maximal_vars.empty();
+  return out;
+}
+
+bool IsValleyQuery(const Cq& q) { return AnalyzeValley(q).is_valley; }
+
+}  // namespace bddfc

@@ -1,0 +1,38 @@
+// Valley queries (Definition 39): binary CQs q(x,y) that are DAGs whose
+// only ≤_q-maximal variables are the two answer variables.
+
+#ifndef BDDFC_VALLEY_VALLEY_QUERY_H_
+#define BDDFC_VALLEY_VALLEY_QUERY_H_
+
+#include <vector>
+
+#include "logic/cq.h"
+
+namespace bddfc {
+
+/// Structural analysis of a binary CQ as a directed graph over its
+/// variables.
+struct ValleyAnalysis {
+  /// The binary atoms of q form a DAG (no loops, no directed cycles).
+  bool is_dag = false;
+  /// ≤_q-maximal variables (sinks plus isolated variables).
+  std::vector<Term> maximal_vars;
+  /// Definition 39 verdict: DAG, and maximal vars ⊆ {x, y} with both
+  /// answers maximal.
+  bool is_valley = false;
+  /// The query's variable graph is (weakly) connected.
+  bool connected = false;
+};
+
+/// Analyzes q(x,y); q must have exactly two answer variables. Unary atoms
+/// contribute isolated vertices unless their variable also occurs in a
+/// binary atom; atoms of arity > 2 make the query trivially non-valley
+/// (the machinery lives on binary signatures).
+ValleyAnalysis AnalyzeValley(const Cq& q);
+
+/// Convenience: Definition 39 check.
+bool IsValleyQuery(const Cq& q);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_VALLEY_VALLEY_QUERY_H_

@@ -1,0 +1,233 @@
+#include "valley/valley_tournament.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/check.h"
+#include "graph/digraph.h"
+#include "homomorphism/homomorphism.h"
+#include "valley/functionality.h"
+#include "valley/valley_query.h"
+
+namespace bddfc {
+
+const char* ValleyCaseName(ValleyCase c) {
+  switch (c) {
+    case ValleyCase::kNotValley:
+      return "not a valley query";
+    case ValleyCase::kDisconnected:
+      return "disconnected";
+    case ValleyCase::kSingleMaximal:
+      return "single maximal";
+    case ValleyCase::kTwoMaximal:
+      return "two maximal";
+  }
+  return "?";
+}
+
+namespace {
+
+// Variable digraph of a binary CQ plus reachability helpers.
+struct VarGraph {
+  Digraph graph;
+  std::unordered_map<Term, int> ids;
+
+  explicit VarGraph(const Cq& q) {
+    for (Term v : q.vars()) Vertex(v);
+    for (const Atom& a : q.atoms()) {
+      if (a.IsBinary()) graph.AddEdge(Vertex(a.arg(0)), Vertex(a.arg(1)));
+    }
+  }
+
+  int Vertex(Term t) {
+    auto it = ids.find(t);
+    if (it != ids.end()) return it->second;
+    int v = graph.AddVertex();
+    ids.emplace(t, v);
+    return v;
+  }
+
+  bool Leq(Term a, Term b) {
+    if (a == b) return true;
+    return graph.Reaches(ids.at(a), ids.at(b));
+  }
+
+  // Weak component id of every variable.
+  std::unordered_map<Term, int> WeakComponents() {
+    std::unordered_map<Term, int> comp;
+    std::vector<int> comp_of(graph.num_vertices(), -1);
+    int next = 0;
+    for (int start = 0; start < graph.num_vertices(); ++start) {
+      if (comp_of[start] != -1) continue;
+      std::vector<int> stack = {start};
+      comp_of[start] = next;
+      while (!stack.empty()) {
+        int v = stack.back();
+        stack.pop_back();
+        auto push = [&](int w) {
+          if (comp_of[w] == -1) {
+            comp_of[w] = next;
+            stack.push_back(w);
+          }
+        };
+        for (int w : graph.OutNeighbors(v)) push(w);
+        for (int w : graph.InNeighbors(v)) push(w);
+      }
+      ++next;
+    }
+    for (const auto& [t, v] : ids) comp.emplace(t, comp_of[v]);
+    return comp;
+  }
+};
+
+// Atoms of q whose variables all lie in `keep` (unary atoms included when
+// their variable is kept).
+std::vector<Atom> AtomsWithin(const Cq& q,
+                              const std::unordered_set<Term>& keep) {
+  std::vector<Atom> out;
+  for (const Atom& a : q.atoms()) {
+    bool inside = true;
+    for (Term t : a.args()) {
+      if (!t.IsRigid() && keep.find(t) == keep.end()) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace
+
+ValleyTournamentResult AnalyzeValleyTournament(
+    const Cq& valley, const Instance& chase_exists,
+    const std::vector<Term>& tournament,
+    const std::function<bool(Term, Term)>& edge) {
+  ValleyTournamentResult result;
+  ValleyAnalysis analysis = AnalyzeValley(valley);
+  if (!analysis.is_valley) {
+    result.valley_case = ValleyCase::kNotValley;
+    result.detail = "input query is not a valley query";
+    return result;
+  }
+
+  Term x = valley.answers()[0];
+  Term y = valley.answers()[1];
+  VarGraph vars(valley);
+
+  // --- Case 1: x and y live in different weak components. ------------------
+  std::unordered_map<Term, int> comp = vars.WeakComponents();
+  if (comp.at(x) != comp.at(y)) {
+    result.valley_case = ValleyCase::kDisconnected;
+    std::unordered_set<Term> comp_x;
+    std::unordered_set<Term> comp_y;
+    for (const auto& [t, c] : comp) {
+      if (c == comp.at(x)) comp_x.insert(t);
+      if (c == comp.at(y)) comp_y.insert(t);
+    }
+    Cq q1(AtomsWithin(valley, comp_x), {x});
+    Cq q2(AtomsWithin(valley, comp_y), {y});
+    for (Term u : tournament) {
+      if (Entails(chase_exists, q1, {u}) && Entails(chase_exists, q2, {u})) {
+        // q3 (the remaining components) holds because some edge is defined
+        // by q; hence q(u,u) and so E(u,u).
+        result.loop_derived = true;
+        result.loop_term = u;
+        result.detail =
+            "disconnected case: q1 and q2 both hold at one tournament "
+            "element";
+        return result;
+      }
+    }
+    result.detail =
+        "disconnected case: no element satisfies both halves (tournament "
+        "edges not all defined by this query?)";
+    return result;
+  }
+
+  // Which answer variables are maximal?
+  bool x_maximal = false;
+  bool y_maximal = false;
+  for (Term m : analysis.maximal_vars) {
+    if (m == x) x_maximal = true;
+    if (m == y) y_maximal = true;
+  }
+
+  // --- Case 2: a single maximal answer variable. ---------------------------
+  if (!(x_maximal && y_maximal)) {
+    result.valley_case = ValleyCase::kSingleMaximal;
+    // Reorder answers so the maximal variable comes first; Lemma 42 then
+    // says the defined relation is functional.
+    Cq reordered = x_maximal ? Cq(valley.atoms(), {x, y})
+                             : Cq(valley.atoms(), {y, x});
+    FunctionalityReport fn = CheckFunctionality(reordered, chase_exists);
+    result.functionality_held = fn.is_function;
+    result.impossible = fn.is_function;
+    result.detail = fn.is_function
+                        ? "single-maximal case: relation is functional, "
+                          "out-degree <= 1, no 4-tournament definable"
+                        : "single-maximal case: functionality VIOLATED "
+                          "(refutes Lemma 42 premises)";
+    return result;
+  }
+
+  // --- Case 3: both x and y maximal. ---------------------------------------
+  result.valley_case = ValleyCase::kTwoMaximal;
+  // v̄: variables below both x and y; q_x / q_y: atoms within the down-sets
+  // of x / y.
+  std::unordered_set<Term> below_x;
+  std::unordered_set<Term> below_y;
+  std::vector<Term> shared;
+  for (Term v : valley.vars()) {
+    bool bx = vars.Leq(v, x);
+    bool by = vars.Leq(v, y);
+    if (bx) below_x.insert(v);
+    if (by) below_y.insert(v);
+    if (bx && by && v != x && v != y) shared.push_back(v);
+  }
+
+  std::vector<Term> fx_answers = {x};
+  fx_answers.insert(fx_answers.end(), shared.begin(), shared.end());
+  std::vector<Term> fy_answers = {y};
+  fy_answers.insert(fy_answers.end(), shared.begin(), shared.end());
+  Cq qx(AtomsWithin(valley, below_x), fx_answers);
+  Cq qy(AtomsWithin(valley, below_y), fy_answers);
+
+  FunctionalityReport fx = CheckFunctionality(qx, chase_exists);
+  FunctionalityReport fy = CheckFunctionality(qy, chase_exists);
+  result.functionality_held = fx.is_function && fy.is_function;
+  if (!result.functionality_held) {
+    result.detail = "two-maximal case: f_x or f_y not functional (refutes "
+                    "Lemma 42 premises)";
+    return result;
+  }
+
+  // Find a transitive triangle E(k1,k2), E(k1,k3), E(k2,k3); every
+  // tournament on >= 4 vertices contains one. The loop then sits at k2.
+  for (Term k1 : tournament) {
+    for (Term k2 : tournament) {
+      if (k2 == k1 || !edge(k1, k2)) continue;
+      for (Term k3 : tournament) {
+        if (k3 == k1 || k3 == k2) continue;
+        if (!edge(k1, k3) || !edge(k2, k3)) continue;
+        // Chain: f_x(k1)=f_y(k2), f_x(k1)=f_y(k3), f_x(k2)=f_y(k3)
+        //   ⇒ f_x(k2)=f_y(k2) ⇒ q(k2,k2).
+        if (Entails(chase_exists, valley, {k2, k2})) {
+          result.loop_derived = true;
+          result.loop_term = k2;
+          result.detail =
+              "two-maximal case: transitive triangle forces "
+              "f_x(k2) = f_y(k2); loop verified at the middle vertex";
+          return result;
+        }
+      }
+    }
+  }
+  result.detail =
+      "two-maximal case: no transitive triangle with a verifiable loop "
+      "(tournament edges not all defined by this query?)";
+  return result;
+}
+
+}  // namespace bddfc

@@ -1,0 +1,41 @@
+#include "valley/witnesses.h"
+
+#include <cstdint>
+
+#include "homomorphism/homomorphism.h"
+#include "valley/valley_query.h"
+
+namespace bddfc {
+
+std::vector<std::size_t> Witnesses(const Instance& chase_exists,
+                                   const Ucq& q_inj, Term s, Term t) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < q_inj.size(); ++i) {
+    if (EntailsInjectively(chase_exists, q_inj.disjuncts()[i], {s, t})) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::size_t FirstWitness(const Instance& chase_exists, const Ucq& q_inj,
+                         Term s, Term t) {
+  for (std::size_t i = 0; i < q_inj.size(); ++i) {
+    if (EntailsInjectively(chase_exists, q_inj.disjuncts()[i], {s, t})) {
+      return i;
+    }
+  }
+  return SIZE_MAX;
+}
+
+std::vector<std::size_t> ValleyWitnesses(const Instance& chase_exists,
+                                         const Ucq& q_inj, Term s, Term t) {
+  std::vector<std::size_t> out;
+  for (std::size_t i : Witnesses(chase_exists, q_inj, s, t)) {
+    const Cq& q = q_inj.disjuncts()[i];
+    if (q.answers().size() == 2 && IsValleyQuery(q)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace bddfc

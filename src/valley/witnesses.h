@@ -1,0 +1,34 @@
+// Witness sets (Definition 36): for an edge E(s,t) of Ch(Ch(R∃),R_DL), the
+// disjuncts of the injective rewriting Q♦ of E(x,y) that hold injectively
+// for (s,t) in Ch(R∃).
+
+#ifndef BDDFC_VALLEY_WITNESSES_H_
+#define BDDFC_VALLEY_WITNESSES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "logic/cq.h"
+#include "logic/instance.h"
+
+namespace bddfc {
+
+/// Indices (into q_inj.disjuncts()) of the witnesses W(s,t) of E(s,t) in
+/// `chase_exists` = Ch(R∃).
+std::vector<std::size_t> Witnesses(const Instance& chase_exists,
+                                   const Ucq& q_inj, Term s, Term t);
+
+/// Observation 37: W(s,t) non-empty for every E-edge of the Datalog
+/// saturation — the first witness index, or SIZE_MAX if none (which, on a
+/// complete injective rewriting, refutes the edge).
+std::size_t FirstWitness(const Instance& chase_exists, const Ucq& q_inj,
+                         Term s, Term t);
+
+/// The indices of W(s,t) that are valley queries (Lemma 40 guarantees at
+/// least one on complete rewritings of regal sets).
+std::vector<std::size_t> ValleyWitnesses(const Instance& chase_exists,
+                                         const Ucq& q_inj, Term s, Term t);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_VALLEY_WITNESSES_H_

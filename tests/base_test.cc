@@ -1,0 +1,112 @@
+// Unit tests for the base utilities.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "base/hash.h"
+#include "base/rng.h"
+#include "base/symbol_table.h"
+#include "base/table_printer.h"
+
+namespace bddfc {
+namespace {
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable table;
+  SymbolId a = table.Intern("alpha");
+  SymbolId b = table.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, table.Intern("alpha"));
+  EXPECT_EQ(b, table.Intern("beta"));
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SymbolTableTest, NameRoundTrips) {
+  SymbolTable table;
+  SymbolId a = table.Intern("some_name");
+  EXPECT_EQ(table.NameOf(a), "some_name");
+}
+
+TEST(SymbolTableTest, FindDoesNotIntern) {
+  SymbolTable table;
+  EXPECT_EQ(table.Find("missing"), SymbolTable::kNotFound);
+  EXPECT_EQ(table.size(), 0u);
+  table.Intern("present");
+  EXPECT_NE(table.Find("present"), SymbolTable::kNotFound);
+}
+
+TEST(SymbolTableTest, FreshAvoidsCollisions) {
+  SymbolTable table;
+  table.Intern("p#0");
+  SymbolId fresh = table.Fresh("p");
+  EXPECT_NE(table.NameOf(fresh), "p#0");
+  std::unordered_set<std::string> names;
+  for (int i = 0; i < 100; ++i) {
+    names.insert(table.NameOf(table.Fresh("p")));
+  }
+  EXPECT_EQ(names.size(), 100u);
+}
+
+TEST(HashTest, HashCombineChangesSeed) {
+  std::size_t seed1 = 0;
+  HashCombine(&seed1, 42);
+  std::size_t seed2 = 0;
+  HashCombine(&seed2, 43);
+  EXPECT_NE(seed1, seed2);
+}
+
+TEST(HashTest, PairHashDistinguishesOrder) {
+  PairHash h;
+  EXPECT_NE(h(std::make_pair(1, 2)), h(std::make_pair(2, 1)));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, UnitStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer_name", "22"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer_name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only_one"});
+  EXPECT_NE(table.ToString().find("only_one"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatHelpers) {
+  EXPECT_EQ(FormatBool(true), "yes");
+  EXPECT_EQ(FormatBool(false), "no");
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace bddfc

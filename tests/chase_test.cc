@@ -1,0 +1,274 @@
+// Unit tests for the chase engine, including the paper's Example 1 and the
+// structural facts of Section 5 (timestamps, DAG shape, Lemma 33).
+
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "homomorphism/homomorphism.h"
+#include "logic/parser.h"
+
+namespace bddfc {
+namespace {
+
+class ChaseTest : public ::testing::Test {
+ protected:
+  Universe u_;
+};
+
+TEST_F(ChaseTest, SingleRuleFiresOnce) {
+  // Observation 13: a ⊤-bodied rule triggers exactly once.
+  RuleSet rules = MustParseRuleSet(&u_, "true -> E(x,y)");
+  Instance db(&u_);
+  ObliviousChase chase(db, rules, {.max_steps = 10});
+  chase.Run();
+  EXPECT_TRUE(chase.Saturated());
+  EXPECT_EQ(chase.TriggersFired(), 1u);
+  PredicateId e = u_.FindPredicate("E");
+  EXPECT_EQ(chase.Result().AtomsWith(e).size(), 1u);
+}
+
+TEST_F(ChaseTest, DatalogSaturation) {
+  RuleSet rules = MustParseRuleSet(&u_, "E(x,y), E(y,z) -> E(x,z)");
+  Instance db = MustParseInstance(&u_, "E(a,b). E(b,c). E(c,d).");
+  ObliviousChase chase(db, rules, {.max_steps = 32});
+  chase.Run();
+  EXPECT_TRUE(chase.Saturated());
+  // Transitive closure of the path a->b->c->d: 6 edges.
+  PredicateId e = u_.FindPredicate("E");
+  EXPECT_EQ(chase.Result().AtomsWith(e).size(), 6u);
+}
+
+TEST_F(ChaseTest, Example1NeverEntailsLoop) {
+  // Example 1: E(a,b), successor rule + transitivity. The chase (of any
+  // finite prefix) never entails ∃x E(x,x).
+  RuleSet rules = MustParseRuleSet(&u_,
+                                   "E(x,y) -> E(y,z)\n"
+                                   "E(x,y), E(y,z) -> E(x,z)\n");
+  Instance db = MustParseInstance(&u_, "E(a,b).");
+  ObliviousChase chase(db, rules, {.max_steps = 5, .max_atoms = 20000});
+  chase.Run();
+  PredicateId e = u_.FindPredicate("E");
+  Cq loop = LoopQuery(&u_, e);
+  EXPECT_FALSE(Entails(chase.Result(), loop));
+  // And the chase keeps growing (not saturated).
+  EXPECT_FALSE(chase.Saturated());
+  EXPECT_GT(chase.Result().AtomsWith(e).size(), 5u);
+}
+
+TEST_F(ChaseTest, BddifiedExample1EntailsLoop) {
+  // The bdd variant from the introduction: replacing transitivity with
+  // E(x,x'), E(y,y') -> E(x,y') makes the loop derivable from any edge —
+  // Property (p) in action.
+  RuleSet rules = MustParseRuleSet(&u_,
+                                   "E(x,y) -> E(y,z)\n"
+                                   "E(x,x1), E(y,y1) -> E(x,y1)\n");
+  Instance db = MustParseInstance(&u_, "E(a,b).");
+  ObliviousChase chase(db, rules, {.max_steps = 3, .max_atoms = 50000});
+  chase.Run();
+  PredicateId e = u_.FindPredicate("E");
+  EXPECT_TRUE(Entails(chase.Result(), LoopQuery(&u_, e)));
+}
+
+TEST_F(ChaseTest, TimestampsAndFrontiers) {
+  RuleSet rules = MustParseRuleSet(&u_, "E(x,y) -> E(y,z)");
+  Instance db = MustParseInstance(&u_, "E(a,b).");
+  ObliviousChase chase(db, rules, {.max_steps = 3});
+  chase.Run();
+  // Database terms have timestamp 0.
+  Term a = u_.FindConstant("a");
+  Term b = u_.FindConstant("b");
+  EXPECT_EQ(chase.TimestampOf(a), 0);
+  EXPECT_EQ(chase.TimestampOf(b), 0);
+  EXPECT_EQ(chase.InfoOf(a), nullptr);
+  // Chase terms have increasing timestamps and their frontier is the
+  // previous node of the chain.
+  int seen_depth[4] = {0, 0, 0, 0};
+  for (Term t : chase.Result().ActiveDomain()) {
+    const ChaseTermInfo* info = chase.InfoOf(t);
+    if (info == nullptr) continue;
+    ASSERT_GE(info->timestamp, 1);
+    ASSERT_LE(info->timestamp, 3);
+    ++seen_depth[info->timestamp];
+    ASSERT_EQ(info->frontier.size(), 1u);
+    EXPECT_EQ(chase.TimestampOf(info->frontier[0]), info->timestamp - 1);
+  }
+  EXPECT_EQ(seen_depth[1], 1);
+  EXPECT_EQ(seen_depth[2], 1);
+  EXPECT_EQ(seen_depth[3], 1);
+}
+
+TEST_F(ChaseTest, StepPrefixesAreMonotone) {
+  RuleSet rules = MustParseRuleSet(&u_, "E(x,y) -> E(y,z)");
+  Instance db = MustParseInstance(&u_, "E(a,b).");
+  ObliviousChase chase(db, rules, {.max_steps = 4});
+  chase.Run();
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_LE(chase.AtomCountAtStep(k), chase.AtomCountAtStep(k + 1));
+    Instance prefix = chase.Prefix(k);
+    EXPECT_EQ(prefix.size(), chase.AtomCountAtStep(k));
+  }
+}
+
+TEST_F(ChaseTest, ForwardExistentialChaseIsDag) {
+  // Observation 35: with forward-existential rules and no database edges,
+  // the chase is a DAG.
+  RuleSet rules = MustParseRuleSet(&u_,
+                                   "true -> A(x)\n"
+                                   "A(x) -> E(x,y), A(y)\n");
+  Instance db(&u_);
+  ObliviousChase chase(db, rules, {.max_steps = 5});
+  chase.Run();
+  EXPECT_TRUE(chase.IsDag());
+}
+
+TEST_F(ChaseTest, LoopBreaksDag) {
+  RuleSet rules = MustParseRuleSet(&u_, "E(x,y) -> E(y,y)");
+  Instance db = MustParseInstance(&u_, "E(a,b).");
+  ObliviousChase chase(db, rules, {.max_steps = 2});
+  chase.Run();
+  EXPECT_FALSE(chase.IsDag());
+}
+
+TEST_F(ChaseTest, RestrictedChaseTerminatesWhenObliviousDoesNot) {
+  // E(x,y) -> E(y,x): oblivious keeps inventing, restricted saturates.
+  RuleSet rules = MustParseRuleSet(&u_, "E(x,y) -> E(y,z)");
+  Instance db = MustParseInstance(&u_, "E(a,b). E(b,a).");
+  ObliviousChase restricted(
+      db, rules, {.max_steps = 50, .variant = ChaseVariant::kRestricted});
+  restricted.Run();
+  EXPECT_TRUE(restricted.Saturated());
+  ObliviousChase oblivious(db, rules, {.max_steps = 50, .max_atoms = 500});
+  oblivious.Run();
+  EXPECT_FALSE(oblivious.Saturated());
+}
+
+TEST_F(ChaseTest, ChaseThenDatalogMatchesLemma33Shape) {
+  // Lemma 33: Ch(S) ↔ Ch(Ch(S∃), S_DL) for quick rule sets. Here we only
+  // check the engine plumbing: Datalog applied after the existential part
+  // produces a hom-equivalent result for a quick set.
+  RuleSet rules = MustParseRuleSet(&u_,
+                                   "A(x) -> E(x,y), A(y)\n"
+                                   "E(x,y) -> F(x,y)\n");
+  Instance db = MustParseInstance(&u_, "A(a).");
+  auto [datalog, existential] = SplitDatalog(rules);
+  Instance combined = Chase(db, rules, {.max_steps = 6});
+  Instance staged = ChaseThenDatalog(db, existential, datalog,
+                                     {.max_steps = 6});
+  EXPECT_TRUE(MapsInto(staged, combined) || MapsInto(combined, staged));
+}
+
+TEST_F(ChaseTest, MaxAtomBoundStopsRun) {
+  RuleSet rules = MustParseRuleSet(&u_, "E(x,y) -> E(y,z), E(x,z)");
+  Instance db = MustParseInstance(&u_, "E(a,b).");
+  ObliviousChase chase(db, rules, {.max_steps = 100, .max_atoms = 50});
+  chase.Run();
+  EXPECT_TRUE(chase.HitBounds());
+  EXPECT_LE(chase.Result().size(), 60u);  // bound plus one step's slack
+}
+
+TEST_F(ChaseTest, ProvenanceTracksTriggers) {
+  RuleSet rules = MustParseRuleSet(&u_,
+                                   "[succ] E(x,y) -> E(y,z)\n");
+  Instance db = MustParseInstance(&u_, "E(a,b).");
+  ObliviousChase chase(db, rules, {.max_steps = 2});
+  chase.Run();
+  // Atom 0 is ⊤, atom 1 is E(a,b): database provenance.
+  EXPECT_TRUE(chase.ProvenanceOf(1).database);
+  // Atom 2 is the first derived edge.
+  const auto& p = chase.ProvenanceOf(2);
+  EXPECT_FALSE(p.database);
+  EXPECT_EQ(p.step, 1);
+  EXPECT_EQ(p.rule_index, 0u);
+}
+
+TEST_F(ChaseTest, ExplainRendersDerivationTree) {
+  RuleSet rules = MustParseRuleSet(&u_,
+                                   "[pq] P(x) -> Q(x)\n"
+                                   "[qr] Q(x) -> R(x)\n");
+  Instance db = MustParseInstance(&u_, "P(a).");
+  ObliviousChase chase(db, rules, {.max_steps = 4});
+  chase.Run();
+  PredicateId r = u_.FindPredicate("R");
+  Term a = u_.FindConstant("a");
+  std::string explanation = chase.Explain(Atom(r, {a}));
+  // R(a) via qr from Q(a) via pq from database P(a).
+  EXPECT_NE(explanation.find("R(a)"), std::string::npos);
+  EXPECT_NE(explanation.find("rule qr"), std::string::npos);
+  EXPECT_NE(explanation.find("Q(a)"), std::string::npos);
+  EXPECT_NE(explanation.find("rule pq"), std::string::npos);
+  EXPECT_NE(explanation.find("[database]"), std::string::npos);
+}
+
+TEST_F(ChaseTest, ExplainDepthLimit) {
+  RuleSet rules = MustParseRuleSet(&u_, "E(x,y) -> E(y,z)");
+  Instance db = MustParseInstance(&u_, "E(a,b).");
+  ObliviousChase chase(db, rules, {.max_steps = 5});
+  chase.Run();
+  // The deepest edge: last atom.
+  const Atom& deepest = chase.Result().atoms().back();
+  std::string shallow = chase.Explain(deepest, 1);
+  EXPECT_NE(shallow.find("..."), std::string::npos);
+  std::string full = chase.Explain(deepest, 10);
+  EXPECT_EQ(full.find("..."), std::string::npos);
+  EXPECT_NE(full.find("[database]"), std::string::npos);
+}
+
+TEST_F(ChaseTest, ExplainUnknownAtom) {
+  RuleSet rules = MustParseRuleSet(&u_, "E(x,y) -> E(y,z)");
+  Instance db = MustParseInstance(&u_, "E(a,b).");
+  ObliviousChase chase(db, rules, {.max_steps = 1});
+  chase.Run();
+  PredicateId e = u_.FindPredicate("E");
+  Term a = u_.FindConstant("a");
+  std::string text = chase.Explain(Atom(e, {a, a}));
+  EXPECT_NE(text.find("NOT IN CHASE"), std::string::npos);
+}
+
+TEST_F(ChaseTest, SemiObliviousCollapsesNonFrontierVariables) {
+  // Rule with a non-frontier body variable: E(x,y), E(x,z) -> E(y,w).
+  // The oblivious chase fires once per (x,y,z) triple; the semi-oblivious
+  // chase once per frontier image (y).
+  RuleSet rules = MustParseRuleSet(&u_, "E(x,y), E(x,z) -> F(y,w)");
+  Instance db = MustParseInstance(&u_, "E(a,b). E(a,c). E(a,d).");
+  PredicateId f = u_.FindPredicate("F");
+
+  ObliviousChase oblivious(db, rules, {.max_steps = 2});
+  oblivious.Run();
+  ObliviousChase semi(db, rules,
+                      {.max_steps = 2,
+                       .variant = ChaseVariant::kSemiOblivious});
+  semi.Run();
+  // Oblivious: 3 choices of y × 3 of z = 9 triggers; semi: 3 frontier
+  // images.
+  EXPECT_EQ(oblivious.Result().AtomsWith(f).size(), 9u);
+  EXPECT_EQ(semi.Result().AtomsWith(f).size(), 3u);
+  // Same universal model up to homomorphic equivalence.
+  EXPECT_TRUE(MapsInto(semi.Result(), oblivious.Result()));
+  EXPECT_TRUE(MapsInto(oblivious.Result(), semi.Result()));
+}
+
+TEST_F(ChaseTest, SemiObliviousStillFiresDistinctFrontiers) {
+  RuleSet rules = MustParseRuleSet(&u_, "E(x,y) -> F(y,w)");
+  Instance db = MustParseInstance(&u_, "E(a,b). E(c,d).");
+  ObliviousChase semi(db, rules,
+                      {.max_steps = 2,
+                       .variant = ChaseVariant::kSemiOblivious});
+  semi.Run();
+  PredicateId f = u_.FindPredicate("F");
+  EXPECT_EQ(semi.Result().AtomsWith(f).size(), 2u);
+}
+
+TEST_F(ChaseTest, ChaseOfTopOnlyInstance) {
+  // Ch(R) := Ch({⊤}, R) — the Section 4.1 normal form.
+  RuleSet rules = MustParseRuleSet(&u_,
+                                   "true -> E(x,y)\n"
+                                   "E(x,y) -> E(y,z)\n");
+  Instance db(&u_);
+  ObliviousChase chase(db, rules, {.max_steps = 4});
+  chase.Run();
+  PredicateId e = u_.FindPredicate("E");
+  EXPECT_EQ(chase.Result().AtomsWith(e).size(), 4u);
+}
+
+}  // namespace
+}  // namespace bddfc

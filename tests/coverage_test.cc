@@ -1,0 +1,148 @@
+// Coverage round-up: small public APIs not exercised elsewhere.
+
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "graph/undirected.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "multiset/multiset.h"
+#include "valley/chase_order.h"
+
+namespace bddfc {
+namespace {
+
+TEST(CoverageTest, UcqSizeHelpers) {
+  Universe u;
+  Ucq q({MustParseCq(&u, "? :- E(x,y)"),
+         MustParseCq(&u, "? :- E(x,y), E(y,z), E(z,w)")});
+  EXPECT_EQ(q.TotalAtoms(), 4u);
+  EXPECT_EQ(q.MaxDisjunctSize(), 3u);
+  EXPECT_FALSE(q.empty());
+  Ucq empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.TotalAtoms(), 0u);
+  EXPECT_EQ(empty.MaxDisjunctSize(), 0u);
+}
+
+TEST(CoverageTest, InstanceIndexOf) {
+  Universe u;
+  Instance inst = MustParseInstance(&u, "E(a,b). E(b,c).");
+  PredicateId e = u.FindPredicate("E");
+  Term a = u.FindConstant("a");
+  Term b = u.FindConstant("b");
+  Term c = u.FindConstant("c");
+  EXPECT_EQ(inst.IndexOf(Atom(e, {a, b})), 1u);  // 0 is ⊤
+  EXPECT_EQ(inst.IndexOf(Atom(e, {b, c})), 2u);
+  EXPECT_EQ(inst.IndexOf(Atom(e, {c, a})), SIZE_MAX);
+}
+
+TEST(CoverageTest, InstanceMapSubstitution) {
+  Universe u;
+  Instance inst = MustParseInstance(&u, "E(a,b).");
+  Substitution sigma;
+  sigma.Bind(u.FindConstant("b"), u.FindConstant("a"));
+  Instance mapped = inst.Map(sigma);
+  PredicateId e = u.FindPredicate("E");
+  Term a = u.FindConstant("a");
+  EXPECT_TRUE(mapped.Contains(Atom(e, {a, a})));
+}
+
+TEST(CoverageTest, MultisetOverStrings) {
+  Multiset<std::string> m{"b", "a", "b"};
+  EXPECT_EQ(m.Count("b"), 2u);
+  EXPECT_EQ(*m.Max(), "b");
+  Multiset<std::string> n{"c"};
+  EXPECT_TRUE(LexLess(m, n));  // "c" > "b"
+}
+
+TEST(CoverageTest, UndirectedRemoveEdge) {
+  UndirectedGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_EQ(g.num_edges(), 2u);
+  g.RemoveEdge(0, 1);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  g.RemoveEdge(0, 1);  // idempotent
+  EXPECT_EQ(g.num_edges(), 1u);
+  // Self-edges are ignored on insert.
+  g.AddEdge(2, 2);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(CoverageTest, ChaseOrderOnEdgelessInstance) {
+  Universe u;
+  Instance inst = MustParseInstance(&u, "P(a). P(b).");
+  ChaseOrder order(inst);
+  EXPECT_TRUE(order.IsDag());
+  EXPECT_TRUE(order.terms().empty());  // unary atoms define no order
+  EXPECT_FALSE(order.Less(u.FindConstant("a"), u.FindConstant("b")));
+}
+
+TEST(CoverageTest, FreshPredicateNamesAreUnique) {
+  Universe u;
+  PredicateId p1 = u.FreshPredicate("Gen", 2);
+  PredicateId p2 = u.FreshPredicate("Gen", 2);
+  EXPECT_NE(p1, p2);
+  EXPECT_NE(u.PredicateName(p1), u.PredicateName(p2));
+  EXPECT_EQ(u.ArityOf(p1), 2);
+}
+
+TEST(CoverageTest, ChaseUniverseAccessor) {
+  Universe u;
+  RuleSet rules = MustParseRuleSet(&u, "E(x,y) -> E(y,z)");
+  Instance db = MustParseInstance(&u, "E(a,b).");
+  ObliviousChase chase(db, rules, {.max_steps = 1});
+  EXPECT_EQ(chase.universe(), &u);
+  EXPECT_EQ(chase.rules().size(), 1u);
+}
+
+TEST(CoverageTest, PrintInstanceIncludesTop) {
+  Universe u;
+  Instance inst(&u);
+  std::string text = ToString(u, inst);
+  EXPECT_NE(text.find("true"), std::string::npos);
+}
+
+TEST(CoverageTest, DisjointUnionOfFlexibleInstances) {
+  Universe u;
+  PredicateId e = u.InternPredicate("E", 2);
+  Instance i1(&u);
+  i1.AddAtom(Atom(e, {u.FreshNull(), u.FreshNull()}));
+  Instance i2(&u);
+  i2.AddAtom(Atom(e, {u.FreshNull(), u.FreshNull()}));
+  Instance both = Instance::DisjointUnion(i1, i2);
+  EXPECT_EQ(both.AtomsWith(e).size(), 2u);
+  EXPECT_EQ(both.ActiveDomain().size(), 4u);
+}
+
+TEST(CoverageTest, AtomMentions) {
+  Universe u;
+  PredicateId e = u.InternPredicate("E", 2);
+  Term a = u.InternConstant("a");
+  Term b = u.InternConstant("b");
+  Term c = u.InternConstant("c");
+  Atom atom(e, {a, b});
+  EXPECT_TRUE(atom.Mentions(a));
+  EXPECT_TRUE(atom.Mentions(b));
+  EXPECT_FALSE(atom.Mentions(c));
+}
+
+TEST(CoverageTest, SubstitutionLookupVsApply) {
+  Universe u;
+  Term x = u.InternVariable("x");
+  Term y = u.InternVariable("y");
+  Substitution s;
+  s.Bind(x, y);
+  EXPECT_EQ(s.Lookup(x), y);
+  EXPECT_FALSE(s.Lookup(y).IsValid());
+  EXPECT_EQ(s.Apply(y), y);
+  EXPECT_TRUE(s.IsBound(x));
+  EXPECT_FALSE(s.IsBound(y));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_FALSE(s.empty());
+}
+
+}  // namespace
+}  // namespace bddfc

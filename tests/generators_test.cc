@@ -1,0 +1,168 @@
+// Unit tests for the workload generators.
+
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "generators/workload.h"
+#include "graph/digraph.h"
+#include "graph/tournament.h"
+#include "homomorphism/homomorphism.h"
+#include "logic/parser.h"
+#include "surgery/properties.h"
+
+namespace bddfc {
+namespace {
+
+using generators::RuleSetSpec;
+
+TEST(GeneratorsTest, RandomRuleSetRespectsSpec) {
+  Universe u;
+  Rng rng(99);
+  RuleSetSpec spec;
+  spec.num_predicates = 4;
+  spec.num_rules = 6;
+  spec.max_body_atoms = 3;
+  spec.max_head_atoms = 2;
+  RuleSet rules = generators::RandomBinaryRuleSet(&u, spec, &rng);
+  ASSERT_EQ(rules.size(), 6u);
+  for (const Rule& r : rules) {
+    EXPECT_GE(r.body().size(), 1u);
+    EXPECT_LE(r.body().size(), 3u);
+    EXPECT_GE(r.head().size(), 1u);
+    EXPECT_LE(r.head().size(), 2u);
+    for (const Atom& a : r.body()) EXPECT_EQ(a.arity(), 2u);
+    for (const Atom& a : r.head()) EXPECT_EQ(a.arity(), 2u);
+  }
+}
+
+TEST(GeneratorsTest, ForwardExistentialSpecHolds) {
+  Universe u;
+  Rng rng(7);
+  RuleSetSpec spec;
+  spec.num_rules = 10;
+  spec.datalog_fraction = 0.0;
+  spec.forward_existential_only = true;
+  RuleSet rules = generators::RandomBinaryRuleSet(&u, spec, &rng);
+  EXPECT_TRUE(surgery::IsForwardExistential(rules));
+  for (const Rule& r : rules) {
+    EXPECT_FALSE(r.IsDatalog());
+  }
+}
+
+TEST(GeneratorsTest, DatalogFractionOne) {
+  Universe u;
+  Rng rng(13);
+  RuleSetSpec spec;
+  spec.num_rules = 10;
+  spec.datalog_fraction = 1.0;
+  RuleSet rules = generators::RandomBinaryRuleSet(&u, spec, &rng);
+  for (const Rule& r : rules) {
+    EXPECT_TRUE(r.IsDatalog());
+  }
+}
+
+TEST(GeneratorsTest, GeneratedBodiesAreConnected) {
+  // Connected bodies: any generated rule is triggerable on a clique
+  // instance (every variable assignment pattern realizable).
+  Universe u;
+  Rng rng(21);
+  RuleSetSpec spec;
+  spec.num_rules = 8;
+  spec.max_body_atoms = 3;
+  RuleSet rules = generators::RandomBinaryRuleSet(&u, spec, &rng);
+  // Build the all-pairs instance over 2 constants for every predicate.
+  Instance db(&u);
+  Term c0 = u.InternConstant("c0");
+  Term c1 = u.InternConstant("c1");
+  for (PredicateId p : SignatureOf(rules)) {
+    if (u.ArityOf(p) != 2) continue;
+    for (Term a : {c0, c1}) {
+      for (Term b : {c0, c1}) {
+        db.AddAtom(Atom(p, {a, b}));
+      }
+    }
+  }
+  for (const Rule& r : rules) {
+    HomSearch search(r.body(), &db);
+    EXPECT_TRUE(search.Exists());
+  }
+}
+
+TEST(GeneratorsTest, RandomInstanceShape) {
+  Universe u;
+  Rng rng(3);
+  RuleSet rules = MustParseRuleSet(&u, "P0(x,y) -> P1(x,y)");
+  Instance db = generators::RandomInstance(&u, rules, 5, 12, &rng);
+  EXPECT_LE(db.size(), 13u);  // ⊤ + up to 12 (duplicates collapse)
+  EXPECT_LE(db.ActiveDomain().size(), 5u);
+  for (Term t : db.ActiveDomain()) {
+    EXPECT_TRUE(t.IsConstant());
+  }
+}
+
+TEST(GeneratorsTest, RandomCqIsWellFormed) {
+  Universe u;
+  Rng rng(5);
+  RuleSet rules = MustParseRuleSet(&u, "P0(x,y) -> P1(x,y)");
+  for (int i = 0; i < 10; ++i) {
+    Cq q = generators::RandomBooleanCq(&u, rules, 3, 4, &rng);
+    EXPECT_EQ(q.atoms().size(), 3u);
+    EXPECT_TRUE(q.IsBoolean());
+    EXPECT_LE(q.vars().size(), 4u);
+  }
+}
+
+TEST(GeneratorsTest, UnaryChainChasesToTheEnd) {
+  Universe u;
+  RuleSet chain = generators::UnaryChain(&u, 5);
+  EXPECT_EQ(chain.size(), 5u);
+  Instance db = MustParseInstance(&u, "U0(a).");
+  Instance result = Chase(db, chain, {.max_steps = 8});
+  PredicateId last = u.FindPredicate("U5");
+  ASSERT_NE(last, Universe::kNoPredicate);
+  EXPECT_EQ(result.AtomsWith(last).size(), 1u);
+}
+
+TEST(GeneratorsTest, ExplicitTournamentRuleBuildsTournament) {
+  Universe u;
+  PredicateId e = u.InternPredicate("E", 2);
+  Rule rule = generators::ExplicitTournamentRule(&u, e, 5);
+  EXPECT_EQ(rule.head().size(), 10u);  // C(5,2)
+  EXPECT_EQ(rule.existentials().size(), 5u);
+  Instance top(&u);
+  Instance result = Chase(top, {rule}, {.max_steps = 2});
+  InstanceGraph eg = GraphOfPredicate(result, e);
+  TournamentSearch search(&eg.graph);
+  EXPECT_EQ(search.MaximumSize(), 5);
+  EXPECT_FALSE(eg.graph.HasLoop());
+}
+
+TEST(GeneratorsTest, Example1FamiliesParse) {
+  Universe u;
+  RuleSet ex1 = generators::Example1(&u);
+  RuleSet bdd = generators::BddifiedExample1(&u);
+  EXPECT_EQ(ex1.size(), 2u);
+  EXPECT_EQ(bdd.size(), 2u);
+  auto [dl1, ex1e] = SplitDatalog(ex1);
+  EXPECT_EQ(dl1.size(), 1u);
+  EXPECT_EQ(ex1e.size(), 1u);
+}
+
+TEST(GeneratorsTest, DeterministicAcrossRuns) {
+  Universe u1;
+  Universe u2;
+  Rng rng1(42);
+  Rng rng2(42);
+  RuleSetSpec spec;
+  RuleSet a = generators::RandomBinaryRuleSet(&u1, spec, &rng1);
+  RuleSet b = generators::RandomBinaryRuleSet(&u2, spec, &rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].body().size(), b[i].body().size());
+    EXPECT_EQ(a[i].head().size(), b[i].head().size());
+    EXPECT_EQ(a[i].IsDatalog(), b[i].IsDatalog());
+  }
+}
+
+}  // namespace
+}  // namespace bddfc

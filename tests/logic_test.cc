@@ -1,0 +1,328 @@
+// Unit tests for the logic substrate: terms, atoms, instances, rules,
+// queries, parser and printer.
+
+#include <gtest/gtest.h>
+
+#include "logic/cq.h"
+#include "logic/instance.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "logic/rule.h"
+#include "logic/universe.h"
+
+namespace bddfc {
+namespace {
+
+TEST(TermTest, KindsAndEquality) {
+  Term c = Term::MakeConstant(3);
+  Term v = Term::MakeVariable(3);
+  Term n = Term::MakeNull(3);
+  EXPECT_TRUE(c.IsConstant());
+  EXPECT_TRUE(v.IsVariable());
+  EXPECT_TRUE(n.IsNull());
+  EXPECT_NE(c, v);
+  EXPECT_NE(v, n);
+  EXPECT_EQ(c.index(), 3u);
+  EXPECT_TRUE(c.IsRigid());
+  EXPECT_FALSE(v.IsRigid());
+  EXPECT_FALSE(n.IsRigid());
+}
+
+TEST(TermTest, InvalidTerm) {
+  Term t;
+  EXPECT_FALSE(t.IsValid());
+  EXPECT_FALSE(t.IsConstant());
+}
+
+TEST(UniverseTest, PredicateInterning) {
+  Universe u;
+  PredicateId e = u.InternPredicate("E", 2);
+  EXPECT_EQ(u.ArityOf(e), 2);
+  EXPECT_EQ(u.PredicateName(e), "E");
+  EXPECT_EQ(u.InternPredicate("E", 2), e);
+  EXPECT_EQ(u.FindPredicate("E"), e);
+  EXPECT_EQ(u.FindPredicate("missing"), Universe::kNoPredicate);
+}
+
+TEST(UniverseTest, TopIsNullaryTrue) {
+  Universe u;
+  EXPECT_EQ(u.ArityOf(u.top()), 0);
+  EXPECT_EQ(u.PredicateName(u.top()), "true");
+}
+
+TEST(UniverseTest, TermNaming) {
+  Universe u;
+  Term a = u.InternConstant("a");
+  Term x = u.InternVariable("x");
+  Term n = u.FreshNull();
+  EXPECT_EQ(u.TermName(a), "a");
+  EXPECT_EQ(u.TermName(x), "x");
+  EXPECT_EQ(u.TermName(n), "_n0");
+  EXPECT_EQ(u.FindConstant("a"), a);
+  EXPECT_FALSE(u.FindConstant("b").IsValid());
+}
+
+TEST(UniverseTest, ConstantsAndVariablesAreDistinctSpaces) {
+  Universe u;
+  Term a_const = u.InternConstant("a");
+  Term a_var = u.InternVariable("a");
+  EXPECT_NE(a_const, a_var);
+}
+
+TEST(InstanceTest, AddAndContains) {
+  Universe u;
+  PredicateId e = u.InternPredicate("E", 2);
+  Term a = u.InternConstant("a");
+  Term b = u.InternConstant("b");
+  Instance inst(&u);
+  EXPECT_TRUE(inst.AddAtom(Atom(e, {a, b})));
+  EXPECT_FALSE(inst.AddAtom(Atom(e, {a, b})));  // duplicate
+  EXPECT_TRUE(inst.Contains(Atom(e, {a, b})));
+  EXPECT_FALSE(inst.Contains(Atom(e, {b, a})));
+  // ⊤ plus the edge.
+  EXPECT_EQ(inst.size(), 2u);
+}
+
+TEST(InstanceTest, ContainsTopByDefault) {
+  Universe u;
+  Instance inst(&u);
+  EXPECT_TRUE(inst.Contains(Atom(u.top(), {})));
+}
+
+TEST(InstanceTest, IndexesWork) {
+  Universe u;
+  PredicateId e = u.InternPredicate("E", 2);
+  Term a = u.InternConstant("a");
+  Term b = u.InternConstant("b");
+  Term c = u.InternConstant("c");
+  Instance inst(&u);
+  inst.AddAtom(Atom(e, {a, b}));
+  inst.AddAtom(Atom(e, {a, c}));
+  inst.AddAtom(Atom(e, {b, c}));
+  EXPECT_EQ(inst.AtomsWith(e).size(), 3u);
+  EXPECT_EQ(inst.AtomsWith(e, 0, a).size(), 2u);
+  EXPECT_EQ(inst.AtomsWith(e, 1, c).size(), 2u);
+  EXPECT_EQ(inst.AtomsWith(e, 0, c).size(), 0u);
+}
+
+TEST(InstanceTest, ActiveDomain) {
+  Universe u;
+  PredicateId e = u.InternPredicate("E", 2);
+  Term a = u.InternConstant("a");
+  Term b = u.InternConstant("b");
+  Instance inst(&u);
+  inst.AddAtom(Atom(e, {a, b}));
+  inst.AddAtom(Atom(e, {b, a}));
+  EXPECT_EQ(inst.ActiveDomain().size(), 2u);
+  EXPECT_TRUE(inst.InActiveDomain(a));
+  EXPECT_TRUE(inst.InActiveDomain(b));
+}
+
+TEST(InstanceTest, DisjointUnionRenamesFlexibleTerms) {
+  Universe u;
+  PredicateId e = u.InternPredicate("E", 2);
+  Term a = u.InternConstant("a");
+  Instance i1(&u);
+  Term n1 = u.FreshNull();
+  i1.AddAtom(Atom(e, {a, n1}));
+  Instance i2(&u);
+  Term n2 = u.FreshNull();
+  i2.AddAtom(Atom(e, {a, n2}));
+  Instance both = Instance::DisjointUnion(i1, i2);
+  // a is rigid and shared; the nulls stay distinct.
+  EXPECT_EQ(both.AtomsWith(e).size(), 2u);
+  EXPECT_EQ(both.AtomsWith(e, 0, a).size(), 2u);
+}
+
+TEST(InstanceTest, RestrictKeepsOnlyGivenPredicates) {
+  Universe u;
+  PredicateId e = u.InternPredicate("E", 2);
+  PredicateId f = u.InternPredicate("F", 2);
+  Term a = u.InternConstant("a");
+  Term b = u.InternConstant("b");
+  Instance inst(&u);
+  inst.AddAtom(Atom(e, {a, b}));
+  inst.AddAtom(Atom(f, {a, b}));
+  Instance restricted = inst.Restrict({e});
+  EXPECT_TRUE(restricted.Contains(Atom(e, {a, b})));
+  EXPECT_FALSE(restricted.Contains(Atom(f, {a, b})));
+}
+
+TEST(RuleTest, FrontierAndExistentials) {
+  Universe u;
+  Rule r = MustParseRule(&u, "E(x,y) -> E(y,z)");
+  EXPECT_EQ(r.body_vars().size(), 2u);
+  EXPECT_EQ(r.frontier().size(), 1u);  // y
+  EXPECT_EQ(r.existentials().size(), 1u);  // z
+  EXPECT_FALSE(r.IsDatalog());
+  Term y = u.FindVariable("y");
+  Term z = u.FindVariable("z");
+  EXPECT_TRUE(r.IsFrontierVar(y));
+  EXPECT_TRUE(r.IsExistentialVar(z));
+}
+
+TEST(RuleTest, DatalogDetection) {
+  Universe u;
+  Rule r = MustParseRule(&u, "E(x,y), E(y,z) -> E(x,z)");
+  EXPECT_TRUE(r.IsDatalog());
+  EXPECT_EQ(r.frontier().size(), 2u);  // x and z
+}
+
+TEST(RuleTest, SplitDatalog) {
+  Universe u;
+  RuleSet rules = MustParseRuleSet(&u,
+                                   "E(x,y) -> E(y,z)\n"
+                                   "E(x,y), E(y,z) -> E(x,z)\n");
+  auto [datalog, existential] = SplitDatalog(rules);
+  EXPECT_EQ(datalog.size(), 1u);
+  EXPECT_EQ(existential.size(), 1u);
+}
+
+TEST(RuleTest, SignatureOf) {
+  Universe u;
+  RuleSet rules = MustParseRuleSet(&u, "R(x) -> S(x,z), T(z)");
+  auto sig = SignatureOf(rules);
+  EXPECT_EQ(sig.size(), 3u);
+  EXPECT_EQ(MaxArity(rules, u), 2);
+}
+
+TEST(CqTest, AnswerVariables) {
+  Universe u;
+  Cq q = MustParseCq(&u, "?(x,y) :- E(x,z), E(z,y)");
+  EXPECT_EQ(q.answers().size(), 2u);
+  EXPECT_EQ(q.vars().size(), 3u);
+  EXPECT_EQ(q.ExistentialVars().size(), 1u);
+  EXPECT_FALSE(q.IsBoolean());
+}
+
+TEST(CqTest, BooleanQuery) {
+  Universe u;
+  Cq q = MustParseCq(&u, "? :- E(x,x)");
+  EXPECT_TRUE(q.IsBoolean());
+  EXPECT_EQ(q.atoms().size(), 1u);
+}
+
+TEST(CqTest, FreshenPreservesShape) {
+  Universe u;
+  Cq q = MustParseCq(&u, "?(x) :- E(x,y), E(y,x)");
+  Cq fresh = q.Freshen(&u);
+  EXPECT_EQ(fresh.atoms().size(), q.atoms().size());
+  EXPECT_EQ(fresh.answers().size(), 1u);
+  EXPECT_NE(fresh.answers()[0], q.answers()[0]);
+}
+
+TEST(CqTest, LoopAndEdgeQueries) {
+  Universe u;
+  PredicateId e = u.InternPredicate("E", 2);
+  Cq loop = LoopQuery(&u, e);
+  EXPECT_TRUE(loop.IsBoolean());
+  EXPECT_EQ(loop.atoms().size(), 1u);
+  EXPECT_EQ(loop.atoms()[0].arg(0), loop.atoms()[0].arg(1));
+  Cq edge = EdgeQuery(&u, e);
+  EXPECT_EQ(edge.answers().size(), 2u);
+}
+
+TEST(CqTest, TournamentQueryOrientationCount) {
+  Universe u;
+  PredicateId e = u.InternPredicate("E", 2);
+  Ucq t3 = TournamentQuery(&u, e, 3);
+  // 3 pairs, 2^3 orientations.
+  EXPECT_EQ(t3.size(), 8u);
+  for (const Cq& q : t3.disjuncts()) {
+    EXPECT_EQ(q.atoms().size(), 3u);
+  }
+}
+
+TEST(ParserTest, ParsesInstance) {
+  Universe u;
+  Instance inst = MustParseInstance(&u, "E(a,b). E(b,c). P(a).");
+  PredicateId e = u.FindPredicate("E");
+  EXPECT_EQ(inst.AtomsWith(e).size(), 2u);
+  EXPECT_EQ(inst.ActiveDomain().size(), 3u);
+  for (Term t : inst.ActiveDomain()) {
+    EXPECT_TRUE(t.IsConstant());
+  }
+}
+
+TEST(ParserTest, ParsesRuleWithLabel) {
+  Universe u;
+  Rule r = MustParseRule(&u, "[trans] E(x,y), E(y,z) -> E(x,z)");
+  EXPECT_EQ(r.label(), "trans");
+}
+
+TEST(ParserTest, ParsesNullaryAtoms) {
+  Universe u;
+  Rule r = MustParseRule(&u, "true -> P(x)");
+  EXPECT_EQ(r.body().size(), 1u);
+  EXPECT_TRUE(r.body()[0].IsNullary());
+  EXPECT_EQ(r.body()[0].pred(), u.top());
+}
+
+TEST(ParserTest, QueryConstantsResolve) {
+  Universe u;
+  MustParseInstance(&u, "E(a,b).");
+  Cq q = MustParseCq(&u, "? :- E(a,x)");
+  EXPECT_TRUE(q.atoms()[0].arg(0).IsConstant());
+  EXPECT_TRUE(q.atoms()[0].arg(1).IsVariable());
+}
+
+TEST(ParserTest, RejectsArityMismatch) {
+  Universe u;
+  MustParseRule(&u, "E(x,y) -> E(y,x)");
+  ParseError error;
+  auto bad = ParseRule(&u, "E(x) -> E(x,x)", &error);
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_NE(error.message.find("arity"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  Universe u;
+  ParseError error;
+  EXPECT_FALSE(ParseRule(&u, "E(x,y) E(y,x)", &error).has_value());
+  EXPECT_FALSE(ParseCq(&u, "E(x,y)", &error).has_value());
+}
+
+TEST(ParserTest, SkipsComments) {
+  Universe u;
+  RuleSet rules = MustParseRuleSet(&u,
+                                   "# a comment\n"
+                                   "E(x,y) -> E(y,x)\n"
+                                   "% another\n");
+  EXPECT_EQ(rules.size(), 1u);
+}
+
+TEST(PrinterTest, RoundTripsRule) {
+  Universe u;
+  Rule r = MustParseRule(&u, "E(x,y), E(y,z) -> E(x,z)");
+  std::string text = ToString(u, r);
+  Universe u2;
+  Rule r2 = MustParseRule(&u2, text);
+  EXPECT_EQ(r2.body().size(), 2u);
+  EXPECT_EQ(r2.head().size(), 1u);
+}
+
+TEST(PrinterTest, PrintsQuery) {
+  Universe u;
+  Cq q = MustParseCq(&u, "?(x) :- E(x,y)");
+  std::string text = ToString(u, q);
+  EXPECT_NE(text.find("?(x)"), std::string::npos);
+  EXPECT_NE(text.find("E(x,y)"), std::string::npos);
+}
+
+TEST(SubstitutionTest, ApplyAndCompose) {
+  Universe u;
+  Term x = u.InternVariable("x");
+  Term y = u.InternVariable("y");
+  Term a = u.InternConstant("a");
+  Substitution s1;
+  s1.Bind(x, y);
+  Substitution s2;
+  s2.Bind(y, a);
+  Substitution composed = s1.ComposeWith(s2);
+  EXPECT_EQ(composed.Apply(x), a);
+  EXPECT_EQ(composed.Apply(y), a);
+  EXPECT_EQ(s1.Apply(a), a);  // unbound terms unchanged
+}
+
+}  // namespace
+}  // namespace bddfc

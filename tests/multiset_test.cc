@@ -1,0 +1,208 @@
+// Unit and property tests for multisets and the lexicographic order of
+// Section 2.4, including Lemma 8 (well-foundedness on bounded sizes).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/rng.h"
+#include "multiset/multiset.h"
+
+namespace bddfc {
+namespace {
+
+TEST(MultisetTest, BasicCounts) {
+  Multiset<int> m{1, 2, 2, 3};
+  EXPECT_EQ(m.Size(), 4u);
+  EXPECT_EQ(m.Count(2), 2u);
+  EXPECT_EQ(m.Count(5), 0u);
+  EXPECT_FALSE(m.Empty());
+  EXPECT_EQ(m.Max(), 3);
+}
+
+TEST(MultisetTest, EmptyMultiset) {
+  Multiset<int> m;
+  EXPECT_TRUE(m.Empty());
+  EXPECT_EQ(m.Size(), 0u);
+  EXPECT_FALSE(m.Max().has_value());
+}
+
+TEST(MultisetTest, FromList) {
+  Multiset<int> m = Multiset<int>::FromList({5, 5, 5, 1});
+  EXPECT_EQ(m.Count(5), 3u);
+  EXPECT_EQ(m.Count(1), 1u);
+}
+
+TEST(MultisetTest, UnionAddsMultiplicities) {
+  Multiset<int> a{1, 2};
+  Multiset<int> b{2, 3};
+  Multiset<int> u = a.Union(b);
+  EXPECT_EQ(u.Count(1), 1u);
+  EXPECT_EQ(u.Count(2), 2u);
+  EXPECT_EQ(u.Count(3), 1u);
+}
+
+TEST(MultisetTest, IntersectTakesMin) {
+  Multiset<int> a{1, 2, 2, 2};
+  Multiset<int> b{2, 2, 3};
+  Multiset<int> i = a.Intersect(b);
+  EXPECT_EQ(i.Count(2), 2u);
+  EXPECT_EQ(i.Count(1), 0u);
+  EXPECT_EQ(i.Count(3), 0u);
+}
+
+TEST(MultisetTest, DifferenceSaturatesAtZero) {
+  Multiset<int> a{1, 2, 2};
+  Multiset<int> b{2, 2, 2, 3};
+  Multiset<int> d = a.Difference(b);
+  EXPECT_EQ(d.Count(1), 1u);
+  EXPECT_EQ(d.Count(2), 0u);
+  EXPECT_EQ(d.Count(3), 0u);
+}
+
+TEST(MultisetTest, RemoveErasesWhenExhausted) {
+  Multiset<int> m{7, 7};
+  m.Remove(7);
+  EXPECT_EQ(m.Count(7), 1u);
+  m.Remove(7);
+  EXPECT_TRUE(m.Empty());
+  m.Remove(7);  // no-op
+  EXPECT_TRUE(m.Empty());
+}
+
+TEST(LexOrderTest, EmptyIsSmallest) {
+  Multiset<int> empty;
+  Multiset<int> one{0};
+  EXPECT_TRUE(LexLess(empty, one));
+  EXPECT_FALSE(LexLess(one, empty));
+  EXPECT_FALSE(LexLess(empty, empty));
+}
+
+TEST(LexOrderTest, MaxDominates) {
+  // {5} > {4,4,4,4,4}: the maximum decides first.
+  Multiset<int> five{5};
+  Multiset<int> fours{4, 4, 4, 4, 4};
+  EXPECT_TRUE(LexLess(fours, five));
+  EXPECT_FALSE(LexLess(five, fours));
+}
+
+TEST(LexOrderTest, MultiplicityOfMaxDecidesNext) {
+  // {5,5} > {5,4,4,4}: equal maxima, then multiplicity of the max.
+  Multiset<int> a{5, 5};
+  Multiset<int> b{5, 4, 4, 4};
+  EXPECT_TRUE(LexLess(b, a));
+  EXPECT_FALSE(LexLess(a, b));
+}
+
+TEST(LexOrderTest, PaperDefinitionRecursion) {
+  // M <lex N iff max equal and M∖{max} <lex N∖{max}.
+  Multiset<int> m{3, 2, 1};
+  Multiset<int> n{3, 2, 2};
+  EXPECT_TRUE(LexLess(m, n));
+  Multiset<int> m2 = m.Difference(Multiset<int>{3});
+  Multiset<int> n2 = n.Difference(Multiset<int>{3});
+  EXPECT_TRUE(LexLess(m2, n2));
+}
+
+TEST(LexOrderTest, EqualityIsNotLess) {
+  Multiset<int> a{1, 2, 3};
+  Multiset<int> b{3, 2, 1};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(LexLess(a, b));
+  EXPECT_TRUE(LexLessEq(a, b));
+}
+
+// Property: <lex is a strict total order on random multisets.
+TEST(LexOrderPropertyTest, StrictTotalOrder) {
+  Rng rng(42);
+  std::vector<Multiset<int>> samples;
+  for (int i = 0; i < 60; ++i) {
+    Multiset<int> m;
+    std::size_t n = rng.Below(6);
+    for (std::size_t j = 0; j < n; ++j) {
+      m.Add(static_cast<int>(rng.Below(5)));
+    }
+    samples.push_back(std::move(m));
+  }
+  for (const auto& a : samples) {
+    EXPECT_FALSE(LexLess(a, a));  // irreflexive
+    for (const auto& b : samples) {
+      // total: exactly one of <, >, ==
+      int rel = (a == b ? 1 : 0) + (LexLess(a, b) ? 1 : 0) +
+                (LexLess(b, a) ? 1 : 0);
+      EXPECT_EQ(rel, 1);
+      for (const auto& c : samples) {
+        if (LexLess(a, b) && LexLess(b, c)) {
+          EXPECT_TRUE(LexLess(a, c));  // transitive
+        }
+      }
+    }
+  }
+}
+
+// Property (Lemma 8): on multisets over {0..V-1} of size ≤ k, every
+// strictly descending chain is finite. We verify the stronger concrete
+// fact: the order embeds into a finite linear order, by generating all
+// multisets of bounded size over a small domain and checking that sorting
+// by LexLess gives a strict chain whose length matches the count.
+TEST(LexOrderPropertyTest, WellFoundedOnBoundedSize) {
+  const int kDomain = 4;
+  const int kMaxSize = 3;
+  std::vector<Multiset<int>> all;
+  // Enumerate all multisets of size ≤ kMaxSize via counters.
+  std::function<void(int, Multiset<int>*)> gen = [&](int next,
+                                                     Multiset<int>* cur) {
+    all.push_back(*cur);
+    if (cur->Size() >= kMaxSize) return;
+    for (int v = next; v < kDomain; ++v) {
+      cur->Add(v);
+      gen(v, cur);
+      cur->Remove(v);
+    }
+  };
+  Multiset<int> empty;
+  gen(0, &empty);
+  std::sort(all.begin(), all.end(),
+            [](const Multiset<int>& a, const Multiset<int>& b) {
+              return LexLess(a, b);
+            });
+  // Strictly increasing chain with no duplicates: finite descending chains.
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_TRUE(LexLess(all[i - 1], all[i]));
+  }
+  // C(kDomain + kMaxSize, kMaxSize) multisets of size ≤ 3 over 4 values:
+  // sizes 0,1,2,3 give 1 + 4 + 10 + 20 = 35.
+  EXPECT_EQ(all.size(), 35u);
+}
+
+// The descending-chain experiment behind Lemma 40's termination argument:
+// starting anywhere, repeatedly stepping to a random strictly smaller
+// multiset terminates.
+TEST(LexOrderPropertyTest, RandomDescentTerminates) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    Multiset<int> current;
+    for (int j = 0; j < 5; ++j) current.Add(static_cast<int>(rng.Below(6)));
+    int steps = 0;
+    for (;;) {
+      // Random candidate: mutate by removing the max and adding smaller
+      // elements (mimicking peak removal: peak swapped for lower
+      // timestamps).
+      auto max = current.Max();
+      if (!max.has_value() || *max == 0) break;
+      Multiset<int> next = current;
+      next.Remove(*max);
+      std::size_t extra = rng.Below(3);
+      for (std::size_t j = 0; j < extra; ++j) {
+        next.Add(static_cast<int>(rng.Below(*max)));
+      }
+      ASSERT_TRUE(LexLess(next, current));
+      current = next;
+      ++steps;
+      ASSERT_LT(steps, 10000);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bddfc
