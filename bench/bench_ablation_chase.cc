@@ -9,12 +9,13 @@
 #include <cstdio>
 
 #include "base/table_printer.h"
+#include "bench/harness.h"
 #include "chase/chase.h"
 #include "generators/workload.h"
 #include "homomorphism/homomorphism.h"
 #include "logic/parser.h"
 
-int main() {
+BDDFC_BENCH_EXPERIMENT(ablation_chase) {
   using namespace bddfc;
   std::printf("=== ablation: chase variants ===\n\n");
 
@@ -73,3 +74,5 @@ int main() {
       "pure Datalog rows coincide across variants.\n");
   return 0;
 }
+
+BDDFC_BENCH_MAIN();

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "base/table_printer.h"
+#include "bench/harness.h"
 #include "logic/parser.h"
 #include "rewriting/rewriter.h"
 
@@ -20,7 +21,7 @@ struct Workload {
 
 }  // namespace
 
-int main() {
+BDDFC_BENCH_EXPERIMENT(ablation_rewriting) {
   using namespace bddfc;
   std::printf("=== ablation: rewriting minimization ===\n\n");
 
@@ -70,3 +71,5 @@ int main() {
       "configuration (minimize+core) dominates on every workload.\n");
   return 0;
 }
+
+BDDFC_BENCH_MAIN();

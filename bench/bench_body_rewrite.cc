@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "base/table_printer.h"
+#include "bench/harness.h"
 #include "chase/chase.h"
 #include "homomorphism/homomorphism.h"
 #include "logic/parser.h"
@@ -13,7 +14,7 @@
 #include "surgery/properties.h"
 #include "surgery/streamline.h"
 
-int main() {
+BDDFC_BENCH_EXPERIMENT(body_rewrite) {
   using namespace bddfc;
   std::printf("=== EXP-6: body rewriting rew(S) and quickness ===\n\n");
 
@@ -70,3 +71,5 @@ int main() {
       all_ok ? "ALL VERIFIED" : "MISMATCH FOUND");
   return all_ok ? 0 : 1;
 }
+
+BDDFC_BENCH_MAIN();

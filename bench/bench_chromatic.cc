@@ -7,12 +7,13 @@
 
 #include "base/rng.h"
 #include "base/table_printer.h"
+#include "bench/harness.h"
 #include "chase/chase.h"
 #include "graph/digraph.h"
 #include "graph/undirected.h"
 #include "logic/parser.h"
 
-int main() {
+BDDFC_BENCH_EXPERIMENT(chromatic) {
   using namespace bddfc;
   std::printf("=== EXP-10: chromatic numbers (Conjecture 44) ===\n\n");
 
@@ -81,3 +82,5 @@ int main() {
       "growing with n — so bounding χ needs more than excluding cliques.\n");
   return 0;
 }
+
+BDDFC_BENCH_MAIN();

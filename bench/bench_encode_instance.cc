@@ -5,13 +5,14 @@
 #include <cstdio>
 
 #include "base/table_printer.h"
+#include "bench/harness.h"
 #include "chase/chase.h"
 #include "homomorphism/homomorphism.h"
 #include "logic/parser.h"
 #include "rewriting/rewriter.h"
 #include "surgery/encode_instance.h"
 
-int main() {
+BDDFC_BENCH_EXPERIMENT(encode_instance) {
   using namespace bddfc;
   std::printf("=== EXP-3: instance encoding (⊤ -> J) ===\n\n");
 
@@ -70,3 +71,5 @@ int main() {
               all_ok ? "ALL VERIFIED" : "MISMATCH FOUND");
   return all_ok ? 0 : 1;
 }
+
+BDDFC_BENCH_MAIN();

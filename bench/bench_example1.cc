@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "base/table_printer.h"
+#include "bench/harness.h"
 #include "chase/chase.h"
 #include "graph/digraph.h"
 #include "homomorphism/homomorphism.h"
@@ -14,7 +15,7 @@
 #include "rewriting/bdd_probe.h"
 #include "rewriting/rewriter.h"
 
-int main() {
+BDDFC_BENCH_EXPERIMENT(example1) {
   using namespace bddfc;
   std::printf("=== EXP-1: Example 1 — transitivity is not bdd ===\n\n");
 
@@ -53,6 +54,8 @@ int main() {
       table.AddRow({"Example 1 (transitivity)", std::to_string(depth),
                     FormatBool(r.saturated), std::to_string(r.ucq.size()),
                     std::to_string(r.candidates_generated)});
+      ctx.Metric("transitivity/" + std::to_string(depth) + "/candidates",
+                 static_cast<double>(r.candidates_generated));
     }
     for (std::size_t depth : {2, 4, 6, 8}) {
       Universe u;
@@ -108,3 +111,5 @@ int main() {
       "having bounded derivation depth.\n");
   return 0;
 }
+
+BDDFC_BENCH_MAIN();

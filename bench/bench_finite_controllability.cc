@@ -8,13 +8,14 @@
 #include <cstdio>
 
 #include "base/table_printer.h"
+#include "bench/harness.h"
 #include "chase/chase.h"
 #include "finite/model_search.h"
 #include "graph/digraph.h"
 #include "logic/parser.h"
 #include "rewriting/rewriter.h"
 
-int main() {
+BDDFC_BENCH_EXPERIMENT(finite_controllability) {
   using namespace bddfc;
   std::printf("=== EXP-12: the finite-controllability gap ===\n\n");
 
@@ -67,3 +68,5 @@ int main() {
       "(and Theorem 1's narrowing of the counterexample space) predicts.\n");
   return 0;
 }
+
+BDDFC_BENCH_MAIN();

@@ -1,6 +1,6 @@
-// Microbenchmarks: chase engine hot paths (google-benchmark).
+// Microbenchmarks: chase engine hot paths (shared harness).
 
-#include <benchmark/benchmark.h>
+#include "bench/harness.h"
 
 #include "chase/chase.h"
 #include "logic/parser.h"
@@ -8,7 +8,7 @@
 namespace bddfc {
 namespace {
 
-void BM_ChaseLinearChain(benchmark::State& state) {
+void BM_ChaseLinearChain(bench::State& state) {
   const std::size_t steps = state.range(0);
   for (auto _ : state) {
     Universe u;
@@ -16,13 +16,13 @@ void BM_ChaseLinearChain(benchmark::State& state) {
     Instance db = MustParseInstance(&u, "E(a,b).");
     ObliviousChase chase(db, rules, {.max_steps = steps});
     chase.Run();
-    benchmark::DoNotOptimize(chase.Result().size());
+    bench::DoNotOptimize(chase.Result().size());
   }
   state.SetItemsProcessed(state.iterations() * steps);
 }
 BENCHMARK(BM_ChaseLinearChain)->Arg(8)->Arg(32)->Arg(128);
 
-void BM_ChaseBinaryTree(benchmark::State& state) {
+void BM_ChaseBinaryTree(bench::State& state) {
   const std::size_t steps = state.range(0);
   for (auto _ : state) {
     Universe u;
@@ -31,12 +31,12 @@ void BM_ChaseBinaryTree(benchmark::State& state) {
     ObliviousChase chase(db, rules,
                          {.max_steps = steps, .max_atoms = 100000});
     chase.Run();
-    benchmark::DoNotOptimize(chase.Result().size());
+    bench::DoNotOptimize(chase.Result().size());
   }
 }
 BENCHMARK(BM_ChaseBinaryTree)->Arg(6)->Arg(10)->Arg(14);
 
-void BM_DatalogTransitiveClosure(benchmark::State& state) {
+void BM_DatalogTransitiveClosure(bench::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
     state.PauseTiming();
@@ -52,13 +52,13 @@ void BM_DatalogTransitiveClosure(benchmark::State& state) {
     ObliviousChase chase(db, rules,
                          {.max_steps = 64, .max_atoms = 200000});
     chase.Run();
-    benchmark::DoNotOptimize(chase.Result().size());
+    bench::DoNotOptimize(chase.Result().size());
   }
   state.SetComplexityN(n);
 }
 BENCHMARK(BM_DatalogTransitiveClosure)->Arg(8)->Arg(16)->Arg(32);
 
-void BM_RestrictedVsOblivious(benchmark::State& state) {
+void BM_RestrictedVsOblivious(bench::State& state) {
   const bool restricted = state.range(0) != 0;
   for (auto _ : state) {
     Universe u;
@@ -73,7 +73,7 @@ void BM_RestrictedVsOblivious(benchmark::State& state) {
          .variant = restricted ? ChaseVariant::kRestricted
                                : ChaseVariant::kOblivious});
     chase.Run();
-    benchmark::DoNotOptimize(chase.Result().size());
+    bench::DoNotOptimize(chase.Result().size());
   }
 }
 BENCHMARK(BM_RestrictedVsOblivious)->Arg(0)->Arg(1);

@@ -1,7 +1,7 @@
 // Microbenchmarks: tournament search, Ramsey extraction, chromatic number
-// (google-benchmark).
+// (shared harness).
 
-#include <benchmark/benchmark.h>
+#include "bench/harness.h"
 
 #include "base/rng.h"
 #include "graph/digraph.h"
@@ -23,28 +23,28 @@ Digraph RandomDigraph(int n, double p, std::uint64_t seed) {
   return g;
 }
 
-void BM_MaxTournament(benchmark::State& state) {
+void BM_MaxTournament(bench::State& state) {
   const int n = static_cast<int>(state.range(0));
   Digraph g = RandomDigraph(n, 0.35, 11);
   for (auto _ : state) {
     TournamentSearch search(&g);
-    benchmark::DoNotOptimize(search.MaximumSize());
+    bench::DoNotOptimize(search.MaximumSize());
   }
   state.SetComplexityN(n);
 }
 BENCHMARK(BM_MaxTournament)->Arg(20)->Arg(40)->Arg(80);
 
-void BM_TournamentDecision(benchmark::State& state) {
+void BM_TournamentDecision(bench::State& state) {
   const int n = static_cast<int>(state.range(0));
   Digraph g = RandomDigraph(n, 0.5, 13);
   for (auto _ : state) {
     TournamentSearch search(&g);
-    benchmark::DoNotOptimize(search.FindOfSize(4).has_value());
+    bench::DoNotOptimize(search.FindOfSize(4).has_value());
   }
 }
 BENCHMARK(BM_TournamentDecision)->Arg(20)->Arg(40)->Arg(80);
 
-void BM_RamseyExtraction(benchmark::State& state) {
+void BM_RamseyExtraction(bench::State& state) {
   const int n = static_cast<int>(state.range(0));
   Digraph t(n);
   for (int i = 0; i < n; ++i) {
@@ -52,13 +52,13 @@ void BM_RamseyExtraction(benchmark::State& state) {
   }
   auto coloring = [](int u, int v) { return (u * 7 + v * 3) % 2; };
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
+    bench::DoNotOptimize(
         Ramsey::FindMonochromatic(t, coloring, 2, {3, 3}));
   }
 }
 BENCHMARK(BM_RamseyExtraction)->Arg(6)->Arg(12)->Arg(24);
 
-void BM_ChromaticExact(benchmark::State& state) {
+void BM_ChromaticExact(bench::State& state) {
   const int n = static_cast<int>(state.range(0));
   Rng rng(5);
   UndirectedGraph g(n);
@@ -68,12 +68,12 @@ void BM_ChromaticExact(benchmark::State& state) {
     }
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ChromaticNumber::Exact(g, 16));
+    bench::DoNotOptimize(ChromaticNumber::Exact(g, 16));
   }
 }
 BENCHMARK(BM_ChromaticExact)->Arg(12)->Arg(18)->Arg(24);
 
-void BM_Girth(benchmark::State& state) {
+void BM_Girth(bench::State& state) {
   const int n = static_cast<int>(state.range(0));
   Rng rng(9);
   UndirectedGraph g(n);
@@ -83,7 +83,7 @@ void BM_Girth(benchmark::State& state) {
     }
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(g.Girth());
+    bench::DoNotOptimize(g.Girth());
   }
 }
 BENCHMARK(BM_Girth)->Arg(30)->Arg(60)->Arg(120);

@@ -1,6 +1,6 @@
-// Microbenchmarks: homomorphism solver hot paths (google-benchmark).
+// Microbenchmarks: homomorphism solver hot paths (shared harness).
 
-#include <benchmark/benchmark.h>
+#include "bench/harness.h"
 
 #include "base/rng.h"
 #include "chase/chase.h"
@@ -25,7 +25,7 @@ Instance RandomGraph(Universe* u, int n, int m, std::uint64_t seed) {
   return db;
 }
 
-void BM_PathQueryEntailment(benchmark::State& state) {
+void BM_PathQueryEntailment(bench::State& state) {
   const int path_len = static_cast<int>(state.range(0));
   Universe u;
   Instance db = RandomGraph(&u, 60, 240, 17);
@@ -37,12 +37,12 @@ void BM_PathQueryEntailment(benchmark::State& state) {
   }
   Cq q = MustParseCq(&u, text);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(Entails(db, q));
+    bench::DoNotOptimize(Entails(db, q));
   }
 }
 BENCHMARK(BM_PathQueryEntailment)->Arg(2)->Arg(4)->Arg(8);
 
-void BM_InjectivePathQuery(benchmark::State& state) {
+void BM_InjectivePathQuery(bench::State& state) {
   const int path_len = static_cast<int>(state.range(0));
   Universe u;
   Instance db = RandomGraph(&u, 60, 240, 17);
@@ -53,42 +53,42 @@ void BM_InjectivePathQuery(benchmark::State& state) {
   }
   Cq q = MustParseCq(&u, text);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(EntailsInjectively(db, q));
+    bench::DoNotOptimize(EntailsInjectively(db, q));
   }
 }
 BENCHMARK(BM_InjectivePathQuery)->Arg(2)->Arg(4)->Arg(8);
 
-void BM_TriangleQuery(benchmark::State& state) {
+void BM_TriangleQuery(bench::State& state) {
   const int edges = static_cast<int>(state.range(0));
   Universe u;
   Instance db = RandomGraph(&u, 40, edges, 23);
   Cq q = MustParseCq(&u, "? :- E(x,y), E(y,z), E(z,x)");
   for (auto _ : state) {
-    benchmark::DoNotOptimize(Entails(db, q));
+    bench::DoNotOptimize(Entails(db, q));
   }
 }
 BENCHMARK(BM_TriangleQuery)->Arg(60)->Arg(120)->Arg(240);
 
-void BM_HomEquivalenceOfChases(benchmark::State& state) {
+void BM_HomEquivalenceOfChases(bench::State& state) {
   Universe u;
   RuleSet rules = MustParseRuleSet(&u, "E(x,y) -> E(y,z)");
   Instance db = MustParseInstance(&u, "E(a,b). E(c,d).");
   Instance a = Chase(db, rules, {.max_steps = 6});
   Instance b = Chase(db, rules, {.max_steps = 7});
   for (auto _ : state) {
-    benchmark::DoNotOptimize(MapsInto(a, b));
+    bench::DoNotOptimize(MapsInto(a, b));
   }
 }
 BENCHMARK(BM_HomEquivalenceOfChases);
 
-void BM_CoreComputation(benchmark::State& state) {
+void BM_CoreComputation(bench::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     Universe u;
     Cq q = MustParseCq(&u,
                        "? :- E(x,y), E(x,z), E(x,w), E(u,y), E(v,v)");
     state.ResumeTiming();
-    benchmark::DoNotOptimize(Core(q, &u).size());
+    bench::DoNotOptimize(Core(q, &u).size());
   }
 }
 BENCHMARK(BM_CoreComputation);

@@ -1,6 +1,6 @@
-// Microbenchmarks: UCQ rewriting hot paths (google-benchmark).
+// Microbenchmarks: UCQ rewriting hot paths (shared harness).
 
-#include <benchmark/benchmark.h>
+#include "bench/harness.h"
 
 #include "logic/parser.h"
 #include "rewriting/piece_unifier.h"
@@ -9,7 +9,7 @@
 namespace bddfc {
 namespace {
 
-void BM_RewriteLinearChain(benchmark::State& state) {
+void BM_RewriteLinearChain(bench::State& state) {
   const int chain = static_cast<int>(state.range(0));
   for (auto _ : state) {
     state.PauseTiming();
@@ -24,13 +24,13 @@ void BM_RewriteLinearChain(benchmark::State& state) {
     state.ResumeTiming();
     UcqRewriter rewriter(rules, &u, {.max_depth = 64});
     RewriteResult r = rewriter.Rewrite(q);
-    benchmark::DoNotOptimize(r.ucq.size());
+    bench::DoNotOptimize(r.ucq.size());
   }
   state.SetComplexityN(chain);
 }
 BENCHMARK(BM_RewriteLinearChain)->Arg(4)->Arg(8)->Arg(16);
 
-void BM_RewriteBddifiedExample1(benchmark::State& state) {
+void BM_RewriteBddifiedExample1(bench::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     Universe u;
@@ -41,12 +41,12 @@ void BM_RewriteBddifiedExample1(benchmark::State& state) {
     Cq loop = LoopQuery(&u, e);
     state.ResumeTiming();
     UcqRewriter rewriter(rules, &u, {.max_depth = 8});
-    benchmark::DoNotOptimize(rewriter.Rewrite(loop).ucq.size());
+    bench::DoNotOptimize(rewriter.Rewrite(loop).ucq.size());
   }
 }
 BENCHMARK(BM_RewriteBddifiedExample1);
 
-void BM_PieceEnumeration(benchmark::State& state) {
+void BM_PieceEnumeration(bench::State& state) {
   const int query_atoms = static_cast<int>(state.range(0));
   Universe u;
   RuleSet rules = MustParseRuleSet(&u, "R(x) -> E(x,z), F(x,z)");
@@ -57,12 +57,12 @@ void BM_PieceEnumeration(benchmark::State& state) {
   }
   Cq q = MustParseCq(&u, text);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(EnumeratePieceRewritings(q, rules, &u).size());
+    bench::DoNotOptimize(EnumeratePieceRewritings(q, rules, &u).size());
   }
 }
 BENCHMARK(BM_PieceEnumeration)->Arg(2)->Arg(4)->Arg(6);
 
-void BM_Specializations(benchmark::State& state) {
+void BM_Specializations(bench::State& state) {
   const int vars = static_cast<int>(state.range(0));
   Universe u;
   std::string text = "? :- ";
@@ -72,7 +72,7 @@ void BM_Specializations(benchmark::State& state) {
   }
   Cq q = MustParseCq(&u, text);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(AllSpecializations(q).size());
+    bench::DoNotOptimize(AllSpecializations(q).size());
   }
 }
 BENCHMARK(BM_Specializations)->Arg(3)->Arg(5)->Arg(7);

@@ -1,7 +1,7 @@
 // Microbenchmarks: Section 5 machinery hot paths — valley classification,
-// witness enumeration, peak removal (google-benchmark).
+// witness enumeration, peak removal (shared harness).
 
-#include <benchmark/benchmark.h>
+#include "bench/harness.h"
 
 #include <memory>
 
@@ -65,56 +65,56 @@ RegalFixture& Fixture() {
   return *fixture;
 }
 
-void BM_ValleyClassification(benchmark::State& state) {
+void BM_ValleyClassification(bench::State& state) {
   RegalFixture& f = Fixture();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(AnalyzeUcqValleys(f.q_inj).valleys);
+    bench::DoNotOptimize(AnalyzeUcqValleys(f.q_inj).valleys);
   }
   state.SetItemsProcessed(state.iterations() * f.q_inj.size());
 }
 BENCHMARK(BM_ValleyClassification);
 
-void BM_WitnessSet(benchmark::State& state) {
+void BM_WitnessSet(bench::State& state) {
   RegalFixture& f = Fixture();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
+    bench::DoNotOptimize(
         Witnesses(f.chase->Result(), f.q_inj, f.s, f.t).size());
   }
 }
 BENCHMARK(BM_WitnessSet);
 
-void BM_ValleyWitnessSet(benchmark::State& state) {
+void BM_ValleyWitnessSet(bench::State& state) {
   RegalFixture& f = Fixture();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
+    bench::DoNotOptimize(
         ValleyWitnesses(f.chase->Result(), f.q_inj, f.s, f.t).size());
   }
 }
 BENCHMARK(BM_ValleyWitnessSet);
 
-void BM_PeakRemovalMinimal(benchmark::State& state) {
+void BM_PeakRemovalMinimal(bench::State& state) {
   RegalFixture& f = Fixture();
   PeakRemover remover(f.chase.get(), &f.q_inj, 32, PeakStart::kMinimal);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(remover.Run(f.s, f.t).success);
+    bench::DoNotOptimize(remover.Run(f.s, f.t).success);
   }
 }
 BENCHMARK(BM_PeakRemovalMinimal);
 
-void BM_PeakRemovalMaximal(benchmark::State& state) {
+void BM_PeakRemovalMaximal(bench::State& state) {
   RegalFixture& f = Fixture();
   PeakRemover remover(f.chase.get(), &f.q_inj, 32, PeakStart::kMaximal);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(remover.Run(f.s, f.t).success);
+    bench::DoNotOptimize(remover.Run(f.s, f.t).success);
   }
 }
 BENCHMARK(BM_PeakRemovalMaximal);
 
-void BM_InjectiveRewritingConstruction(benchmark::State& state) {
+void BM_InjectiveRewritingConstruction(bench::State& state) {
   RegalFixture& f = Fixture();
   for (auto _ : state) {
     UcqRewriter rewriter(f.rules, &f.u, {.max_depth = 10});
-    benchmark::DoNotOptimize(
+    bench::DoNotOptimize(
         rewriter.InjectiveRewriting(EdgeQuery(&f.u, f.e)).size());
   }
 }

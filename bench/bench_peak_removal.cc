@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "base/table_printer.h"
+#include "bench/harness.h"
 #include "chase/chase.h"
 #include "logic/parser.h"
 #include "logic/printer.h"
@@ -35,7 +36,7 @@ std::string TsToString(const bddfc::Multiset<int>& ts) {
 
 }  // namespace
 
-int main() {
+BDDFC_BENCH_EXPERIMENT(peak_removal) {
   using namespace bddfc;
   std::printf("=== EXP-8: peak removal (Lemma 40) ===\n\n");
 
@@ -109,3 +110,5 @@ int main() {
       all_ok ? "ALL VERIFIED" : "VIOLATION FOUND");
   return all_ok ? 0 : 1;
 }
+
+BDDFC_BENCH_MAIN();

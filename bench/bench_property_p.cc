@@ -7,10 +7,11 @@
 #include <cstdio>
 
 #include "base/table_printer.h"
+#include "bench/harness.h"
 #include "core/property_p.h"
 #include "logic/parser.h"
 
-int main() {
+BDDFC_BENCH_EXPERIMENT(property_p) {
   using namespace bddfc;
   std::printf("=== EXP-2: Property (p) — tournaments vs loops ===\n\n");
 
@@ -61,3 +62,5 @@ int main() {
       "linear set never grows tournaments beyond 2 and needs no loop.\n");
   return 0;
 }
+
+BDDFC_BENCH_MAIN();

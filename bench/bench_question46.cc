@@ -4,10 +4,11 @@
 #include <cstdio>
 
 #include "base/table_printer.h"
+#include "bench/harness.h"
 #include "core/tournament_bound.h"
 #include "logic/parser.h"
 
-int main() {
+BDDFC_BENCH_EXPERIMENT(question46) {
   using namespace bddfc;
   std::printf("=== Question 46: tournament-size bounds from |Q♦| ===\n\n");
 
@@ -50,3 +51,5 @@ int main() {
       "bound at all.\n");
   return 0;
 }
+
+BDDFC_BENCH_MAIN();

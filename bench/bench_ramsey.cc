@@ -10,9 +10,10 @@
 #include <cstdio>
 
 #include "base/table_printer.h"
+#include "bench/harness.h"
 #include "graph/ramsey.h"
 
-int main() {
+BDDFC_BENCH_EXPERIMENT(ramsey) {
   using namespace bddfc;
   std::printf("=== EXP-7: Ramsey machinery (Theorem 7, Question 46) ===\n\n");
 
@@ -84,3 +85,5 @@ int main() {
       "super-exponentially in the rewriting size.\n");
   return 0;
 }
+
+BDDFC_BENCH_MAIN();

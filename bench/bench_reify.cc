@@ -7,6 +7,7 @@
 #include <string>
 
 #include "base/table_printer.h"
+#include "bench/harness.h"
 #include "chase/chase.h"
 #include "homomorphism/homomorphism.h"
 #include "logic/parser.h"
@@ -39,7 +40,7 @@ std::string WideInstance(int arity) {
 
 }  // namespace
 
-int main() {
+BDDFC_BENCH_EXPERIMENT(reify) {
   using namespace bddfc;
   std::printf("=== EXP-4: reification to binary signatures ===\n\n");
 
@@ -82,3 +83,5 @@ int main() {
               all_ok ? "ALL VERIFIED" : "MISMATCH FOUND");
   return all_ok ? 0 : 1;
 }
+
+BDDFC_BENCH_MAIN();

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "base/table_printer.h"
+#include "bench/harness.h"
 #include "chase/chase.h"
 #include "homomorphism/homomorphism.h"
 #include "logic/parser.h"
@@ -22,7 +23,7 @@ double MsSince(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-int main() {
+BDDFC_BENCH_EXPERIMENT(scale) {
   using namespace bddfc;
   std::printf("=== scaling: chase growth and query cost ===\n\n");
 
@@ -61,6 +62,12 @@ int main() {
                       std::to_string(chase.TriggersFired()),
                       FormatDouble(chase_ms, 2),
                       FormatDouble(query_ms, 3)});
+        const std::string key =
+            std::string(f.name) + "/" + std::to_string(steps);
+        ctx.Metric(key + "/atoms",
+                   static_cast<double>(chase.Result().size()));
+        ctx.Metric(key + "/chase_ms", chase_ms);
+        ctx.Metric(key + "/query_ms", query_ms);
       }
     }
     table.Print();
@@ -87,6 +94,7 @@ int main() {
       table.AddRow({std::to_string(n),
                     std::to_string(chase.Result().AtomsWith(e).size()),
                     FormatDouble(ms, 1)});
+      ctx.Metric("tc/" + std::to_string(n) + "/ms", ms);
     }
     table.Print();
   }
@@ -98,3 +106,5 @@ int main() {
       "superlinear but manageable cost.\n");
   return 0;
 }
+
+BDDFC_BENCH_MAIN();

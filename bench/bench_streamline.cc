@@ -5,13 +5,14 @@
 #include <cstdio>
 
 #include "base/table_printer.h"
+#include "bench/harness.h"
 #include "chase/chase.h"
 #include "homomorphism/homomorphism.h"
 #include "logic/parser.h"
 #include "surgery/properties.h"
 #include "surgery/streamline.h"
 
-int main() {
+BDDFC_BENCH_EXPERIMENT(streamline) {
   using namespace bddfc;
   std::printf("=== EXP-5: streamlining ▽(S) ===\n\n");
 
@@ -69,3 +70,5 @@ int main() {
               all_ok ? "ALL VERIFIED" : "MISMATCH FOUND");
   return all_ok ? 0 : 1;
 }
+
+BDDFC_BENCH_MAIN();

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "base/table_printer.h"
+#include "bench/harness.h"
 #include "core/tournament_analyzer.h"
 #include "logic/parser.h"
 #include "logic/printer.h"
@@ -21,7 +22,7 @@ double MsSince(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-int main() {
+BDDFC_BENCH_EXPERIMENT(valley_tournament) {
   using namespace bddfc;
   std::printf("=== EXP-9: valley-query tournaments (Proposition 43) ===\n\n");
 
@@ -130,3 +131,5 @@ int main() {
       "the tournament out); both pipelines derive the loop end to end.\n");
   return all_ok ? 0 : 1;
 }
+
+BDDFC_BENCH_MAIN();

@@ -20,8 +20,8 @@ namespace bddfc {
 
 /// Options for the Property (p) probe.
 struct PropertyPOptions {
-  ChaseOptions chase;
-  TournamentSearchOptions tournament;
+  ChaseOptions chase = {};
+  TournamentSearchOptions tournament = {};
 };
 
 /// One chase step's measurements.

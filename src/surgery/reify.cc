@@ -16,7 +16,9 @@ const std::vector<PredicateId>& Reifier::ComponentsOf(PredicateId pred) {
   int arity = universe_->ArityOf(pred);
   if (arity > 2) {
     comps.reserve(arity);
-    const std::string& base = universe_->PredicateName(pred);
+    // Copy, not reference: FreshPredicate interns new names, which may
+    // reallocate the symbol table's storage and invalidate the reference.
+    const std::string base = universe_->PredicateName(pred);
     for (int i = 1; i <= arity; ++i) {
       comps.push_back(universe_->FreshPredicate(
           base + "_r" + std::to_string(i), 2));

@@ -83,6 +83,23 @@ TEST_F(SurgeryTest, ReifyAtomsOfHighArity) {
   EXPECT_TRUE(reifier.ComponentsOf(e).empty());
 }
 
+TEST_F(SurgeryTest, ComponentsOfSurvivesSymbolTableGrowth) {
+  // Regression: ComponentsOf held a reference to the predicate's name while
+  // interning the fresh component predicates; growing the symbol table
+  // reallocated its storage and left the reference dangling
+  // (heap-use-after-free under ASan). The name must survive intact.
+  const std::string base(40, 'R');  // long enough to defeat SSO
+  PredicateId r8 = u_.InternPredicate(base, 8);
+  Reifier reifier(&u_);
+  const std::vector<PredicateId>& comps = reifier.ComponentsOf(r8);
+  ASSERT_EQ(comps.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    const std::string want = base + "_r" + std::to_string(i + 1);
+    EXPECT_EQ(u_.PredicateName(comps[i]).compare(0, want.size(), want), 0)
+        << "component " << i << " named " << u_.PredicateName(comps[i]);
+  }
+}
+
 TEST_F(SurgeryTest, ReifyInstancePreservesArity2) {
   Instance j = MustParseInstance(&u_, "E(a,b). R(a,b,c).");
   Reifier reifier(&u_);
