@@ -1,4 +1,9 @@
 // Microbenchmarks: chase engine hot paths (shared harness).
+//
+// Every trigger-enumeration case runs in two modes so the JSON trajectory
+// exposes the semi-naive speedup: mode 0 is the default delta-driven
+// enumerator, mode 1 the naive_enumeration escape hatch (full re-search per
+// step). Case names end in /<size>/<mode>.
 
 #include "bench/harness.h"
 
@@ -8,19 +13,31 @@
 namespace bddfc {
 namespace {
 
+ChaseOptions WithMode(ChaseOptions options, std::int64_t mode) {
+  options.naive_enumeration = mode != 0;
+  return options;
+}
+
 void BM_ChaseLinearChain(bench::State& state) {
   const std::size_t steps = state.range(0);
   for (auto _ : state) {
     Universe u;
     RuleSet rules = MustParseRuleSet(&u, "E(x,y) -> E(y,z)");
     Instance db = MustParseInstance(&u, "E(a,b).");
-    ObliviousChase chase(db, rules, {.max_steps = steps});
+    ObliviousChase chase(db, rules,
+                         WithMode({.max_steps = steps}, state.range(1)));
     chase.Run();
     bench::DoNotOptimize(chase.Result().size());
   }
   state.SetItemsProcessed(state.iterations() * steps);
 }
-BENCHMARK(BM_ChaseLinearChain)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_ChaseLinearChain)
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({512, 0})
+    ->Args({512, 1});
 
 void BM_ChaseBinaryTree(bench::State& state) {
   const std::size_t steps = state.range(0);
@@ -28,13 +45,20 @@ void BM_ChaseBinaryTree(bench::State& state) {
     Universe u;
     RuleSet rules = MustParseRuleSet(&u, "E(x,y) -> E(y,l), E(y,r)");
     Instance db = MustParseInstance(&u, "E(a,b).");
-    ObliviousChase chase(db, rules,
-                         {.max_steps = steps, .max_atoms = 100000});
+    ObliviousChase chase(
+        db, rules,
+        WithMode({.max_steps = steps, .max_atoms = 200000}, state.range(1)));
     chase.Run();
     bench::DoNotOptimize(chase.Result().size());
   }
 }
-BENCHMARK(BM_ChaseBinaryTree)->Arg(6)->Arg(10)->Arg(14);
+BENCHMARK(BM_ChaseBinaryTree)
+    ->Args({6, 0})
+    ->Args({6, 1})
+    ->Args({10, 0})
+    ->Args({10, 1})
+    ->Args({14, 0})
+    ->Args({14, 1});
 
 void BM_DatalogTransitiveClosure(bench::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -49,14 +73,23 @@ void BM_DatalogTransitiveClosure(bench::State& state) {
                           u.InternConstant("c" + std::to_string(i + 1))}));
     }
     state.ResumeTiming();
-    ObliviousChase chase(db, rules,
-                         {.max_steps = 64, .max_atoms = 200000});
+    ObliviousChase chase(
+        db, rules,
+        WithMode({.max_steps = 64, .max_atoms = 500000}, state.range(1)));
     chase.Run();
     bench::DoNotOptimize(chase.Result().size());
   }
   state.SetComplexityN(n);
 }
-BENCHMARK(BM_DatalogTransitiveClosure)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_DatalogTransitiveClosure)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({96, 0})
+    ->Args({96, 1});
 
 void BM_RestrictedVsOblivious(bench::State& state) {
   const bool restricted = state.range(0) != 0;
@@ -68,15 +101,20 @@ void BM_RestrictedVsOblivious(bench::State& state) {
     Instance db = MustParseInstance(&u, "E(a,b).");
     ObliviousChase chase(
         db, rules,
-        {.max_steps = 3,
-         .max_atoms = 60000,
-         .variant = restricted ? ChaseVariant::kRestricted
-                               : ChaseVariant::kOblivious});
+        WithMode({.max_steps = 3,
+                  .max_atoms = 60000,
+                  .variant = restricted ? ChaseVariant::kRestricted
+                                        : ChaseVariant::kOblivious},
+                 state.range(1)));
     chase.Run();
     bench::DoNotOptimize(chase.Result().size());
   }
 }
-BENCHMARK(BM_RestrictedVsOblivious)->Arg(0)->Arg(1);
+BENCHMARK(BM_RestrictedVsOblivious)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1});
 
 }  // namespace
 }  // namespace bddfc

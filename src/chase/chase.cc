@@ -21,56 +21,100 @@ ObliviousChase::ObliviousChase(const Instance& database, RuleSet rules,
   atoms_at_step_.push_back(instance_.size());
   atom_step_.assign(instance_.size(), 0);
   atom_provenance_.assign(instance_.size(), AtomProvenance{});
+  rule_searches_.reserve(rules_.size());
+  for (const Rule& rule : rules_) {
+    rule_searches_.emplace_back(rule.body(), &instance_);
+  }
 }
 
-bool ObliviousChase::StepOnce() {
-  // Enumerate all triggers on the current instance, keep the unfired ones.
-  struct PendingTrigger {
+ObliviousChase::StepOutcome ObliviousChase::StepOnce() {
+  // Phase 1 — enumerate the triggers that became available last step and
+  // have not fired. After the first step the delta-driven (semi-naive)
+  // enumerator only searches for body images anchored in the atoms the
+  // previous step appended: a trigger is new on Ch_n precisely when at least
+  // one of its body atoms maps into the delta [count(n-1), count(n)), so
+  // nothing is missed and nothing old is re-derived. With naive_enumeration
+  // every homomorphism is re-enumerated and filtered against fired_; both
+  // paths collect the same candidate set.
+  struct Candidate {
     std::size_t rule_index;
-    Substitution hom;
+    // Images of rule.body_vars() in rule order; doubles as the canonical
+    // sort key and as the material to rebuild the trigger homomorphism.
+    std::vector<Term> body_image;
   };
-  std::vector<PendingTrigger> pending;
-  std::vector<TriggerKey> pending_keys;
+  std::vector<Candidate> candidates;
   const bool semi = options_.variant == ChaseVariant::kSemiOblivious;
-  std::unordered_set<TriggerKey, TriggerKeyHash> claimed_this_step;
+  const bool delta_mode = !options_.naive_enumeration && steps_executed_ > 0;
+  const std::uint32_t delta_begin =
+      delta_mode
+          ? static_cast<std::uint32_t>(atoms_at_step_[steps_executed_ - 1])
+          : 0;
+  const std::uint32_t delta_end =
+      static_cast<std::uint32_t>(instance_.size());
+  TriggerKey probe;  // scratch key, reused across homomorphisms
   for (std::size_t r = 0; r < rules_.size(); ++r) {
     const Rule& rule = rules_[r];
-    HomSearch search(rule.body(), &instance_);
-    search.ForEach({}, [&](const Substitution& h) {
-      // Trigger identity: full body image for the oblivious/restricted
-      // chases, frontier image only for the semi-oblivious (skolem) one.
-      TriggerKey key{r, {}};
-      const std::vector<Term>& id_vars =
-          semi ? rule.frontier() : rule.body_vars();
-      key.second.reserve(id_vars.size());
-      for (Term v : id_vars) key.second.push_back(h.Apply(v));
-      if (fired_.find(key) == fired_.end() &&
-          claimed_this_step.insert(key).second) {
-        pending.push_back({r, h});
-        pending_keys.push_back(std::move(key));
-      }
+    // Trigger identity: full body image for the oblivious/restricted
+    // chases, frontier image only for the semi-oblivious (skolem) one.
+    const std::vector<Term>& id_vars =
+        semi ? rule.frontier() : rule.body_vars();
+    const auto collect = [&](const Substitution& h) {
+      probe.first = r;
+      probe.second.clear();
+      for (Term v : id_vars) probe.second.push_back(h.Apply(v));
+      if (fired_.find(probe) != fired_.end()) return true;
+      Candidate c{r, {}};
+      c.body_image.reserve(rule.body_vars().size());
+      for (Term v : rule.body_vars()) c.body_image.push_back(h.Apply(v));
+      candidates.push_back(std::move(c));
       return true;
-    });
+    };
+    if (delta_mode) {
+      rule_searches_[r].ForEachDelta({}, delta_begin, delta_end, collect);
+    } else {
+      rule_searches_[r].ForEach({}, collect);
+    }
   }
 
-  bool any_fired = false;
-  for (std::size_t i = 0; i < pending.size(); ++i) {
+  // Phase 2 — canonical firing order. Sorting by (rule, body image) makes
+  // the step independent of enumeration order, so the naive and semi-naive
+  // engines produce bit-identical instances, null names and provenance.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.rule_index != b.rule_index) {
+                return a.rule_index < b.rule_index;
+              }
+              return a.body_image < b.body_image;
+            });
+
+  StepOutcome outcome;
+  for (const Candidate& candidate : candidates) {
     if (instance_.size() >= options_.max_atoms) {
       hit_bounds_ = true;
+      outcome.truncated = true;
       break;
     }
-    const Rule& rule = rules_[pending[i].rule_index];
-    Substitution h = pending[i].hom;
+    const Rule& rule = rules_[candidate.rule_index];
+    Substitution h;
+    for (std::size_t i = 0; i < rule.body_vars().size(); ++i) {
+      h.Bind(rule.body_vars()[i], candidate.body_image[i]);
+    }
+    TriggerKey key{candidate.rule_index, {}};
+    const std::vector<Term>& id_vars =
+        semi ? rule.frontier() : rule.body_vars();
+    key.second.reserve(id_vars.size());
+    for (Term v : id_vars) key.second.push_back(h.Apply(v));
+    // Claims the key: duplicates within the step (possible under the
+    // semi-oblivious identity) are skipped, keeping the canonically
+    // smallest trigger as the representative.
+    if (!fired_.insert(std::move(key)).second) continue;
 
     if (options_.variant == ChaseVariant::kRestricted) {
       // Fire only if no extension of h already satisfies the head.
       HomSearch head_search(rule.head(), &instance_);
       Substitution frontier_seed;
       for (Term v : rule.frontier()) frontier_seed.Bind(v, h.Apply(v));
-      if (head_search.Exists(frontier_seed)) {
-        fired_.insert(pending_keys[i]);  // never reconsider
-        continue;
-      }
+      if (head_search.Exists(frontier_seed)) continue;  // never reconsider
     }
 
     // Extend h with fresh nulls for the existential variables.
@@ -88,7 +132,7 @@ bool ObliviousChase::StepOnce() {
         AtomProvenance provenance;
         provenance.database = false;
         provenance.step = step;
-        provenance.rule_index = pending[i].rule_index;
+        provenance.rule_index = candidate.rule_index;
         provenance.trigger = h;
         atom_provenance_.push_back(std::move(provenance));
       }
@@ -96,29 +140,31 @@ bool ObliviousChase::StepOnce() {
     for (Term null : fresh) {
       ChaseTermInfo info;
       info.timestamp = step;
-      info.rule_index = pending[i].rule_index;
+      info.rule_index = candidate.rule_index;
       info.trigger = h;
       for (Term v : rule.frontier()) info.frontier.push_back(h.Apply(v));
       term_info_.emplace(null, std::move(info));
     }
-    fired_.insert(pending_keys[i]);
     ++triggers_fired_;
-    any_fired = true;
+    outcome.fired = true;
   }
-  return any_fired;
+  return outcome;
 }
 
 std::size_t ObliviousChase::Run() { return RunSteps(options_.max_steps); }
 
 std::size_t ObliviousChase::RunSteps(std::size_t k) {
   while (steps_executed_ < k && !saturated_ && !hit_bounds_) {
-    bool fired = StepOnce();
-    if (!fired && !hit_bounds_) {
+    StepOutcome outcome = StepOnce();
+    if (outcome.fired) {
+      // Only steps that actually fired count; a bound that stops the chase
+      // before any trigger of a step fires must not add a phantom step.
+      ++steps_executed_;
+      atoms_at_step_.push_back(instance_.size());
+      last_step_truncated_ = outcome.truncated;
+    } else if (!outcome.truncated) {
       saturated_ = true;
-      break;
     }
-    ++steps_executed_;
-    atoms_at_step_.push_back(instance_.size());
   }
   return steps_executed_;
 }

@@ -24,6 +24,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "homomorphism/homomorphism.h"
 #include "logic/instance.h"
 #include "logic/rule.h"
 #include "logic/substitution.h"
@@ -51,6 +52,13 @@ struct ChaseOptions {
   std::size_t max_steps = 16;
   std::size_t max_atoms = 200000;
   ChaseVariant variant = ChaseVariant::kOblivious;
+  /// Escape hatch: re-enumerate every trigger from scratch at every step by
+  /// running a full homomorphism search per rule (the pre-semi-naive
+  /// behavior). The default delta-driven enumerator only matches triggers
+  /// anchored in the atoms the previous step derived; both produce the same
+  /// instance, trigger sequence, and provenance — the differential tests
+  /// cross-check them atom for atom.
+  bool naive_enumeration = false;
 };
 
 /// Provenance of a chase-created term.
@@ -72,6 +80,10 @@ class ObliviousChase {
   ObliviousChase(const Instance& database, RuleSet rules,
                  ChaseOptions options = {});
 
+  // The cached per-rule searches point into instance_.
+  ObliviousChase(const ObliviousChase&) = delete;
+  ObliviousChase& operator=(const ObliviousChase&) = delete;
+
   /// Runs until saturation or until the step/atom bounds hit. Returns the
   /// number of steps executed in total.
   std::size_t Run();
@@ -88,9 +100,19 @@ class ObliviousChase {
   /// full (finite) chase.
   bool Saturated() const { return saturated_; }
 
-  /// True if a size bound stopped the run before saturation.
+  /// True if the atom bound stopped the run before saturation.
   bool HitBounds() const { return hit_bounds_; }
 
+  /// True if the atom bound cut the last counted step short: it fired some
+  /// but not all of its available triggers, so Result() is a strict subset
+  /// of Ch_{StepsExecuted()}. HitBounds() is also true in that case. When
+  /// HitBounds() holds but LastStepTruncated() does not, the bound was
+  /// already exhausted before any trigger of the next step could fire and no
+  /// phantom step was counted.
+  bool LastStepTruncated() const { return last_step_truncated_; }
+
+  /// Steps that actually fired at least one trigger. A step cut off by
+  /// max_atoms before firing anything is not counted.
   std::size_t StepsExecuted() const { return steps_executed_; }
 
   /// Number of atoms present after step k (k ≤ StepsExecuted()).
@@ -144,14 +166,23 @@ class ObliviousChase {
     std::size_t operator()(const TriggerKey& k) const;
   };
 
-  bool StepOnce();  // returns true if any trigger fired
+  struct StepOutcome {
+    bool fired = false;      // at least one trigger fired
+    bool truncated = false;  // max_atoms stopped the step mid-way
+  };
+  StepOutcome StepOnce();
 
   Instance instance_;
   RuleSet rules_;
   ChaseOptions options_;
+  // One cached homomorphism search per rule body; the searches reference
+  // instance_ and see every appended atom (ObliviousChase is therefore
+  // neither copyable nor movable).
+  std::vector<HomSearch> rule_searches_;
   std::size_t steps_executed_ = 0;
   bool saturated_ = false;
   bool hit_bounds_ = false;
+  bool last_step_truncated_ = false;
   std::size_t triggers_fired_ = 0;
   std::unordered_set<TriggerKey, TriggerKeyHash> fired_;
   std::vector<std::size_t> atoms_at_step_;  // atom count after each step

@@ -12,48 +12,90 @@ namespace {
 
 // Greedy connectivity-based ordering: repeatedly pick the atom that shares
 // the most terms with atoms already placed (ties: more rigid terms first,
-// then fewer fresh variables). This keeps the backtracking search anchored.
-std::vector<Atom> OrderForSearch(std::vector<Atom> atoms) {
-  std::vector<Atom> ordered;
-  ordered.reserve(atoms.size());
+// then fewer fresh variables, then lowest input position). Fully
+// deterministic; keeps the backtracking search anchored. When `first` is
+// non-negative, atoms[first] is placed up front (the delta-anchor runs of
+// ForEachDelta seed the ordering with the anchor atom). Returns the
+// positions of `atoms` in search order.
+std::vector<std::size_t> GreedyOrderIndices(const std::vector<Atom>& atoms,
+                                            int first) {
+  std::vector<std::size_t> order;
+  order.reserve(atoms.size());
   std::unordered_set<Term> seen;
   std::vector<bool> placed(atoms.size(), false);
-  for (std::size_t step = 0; step < atoms.size(); ++step) {
+  auto place = [&](std::size_t i) {
+    placed[i] = true;
+    for (Term t : atoms[i].args()) {
+      if (!t.IsRigid()) seen.insert(t);
+    }
+    order.push_back(i);
+  };
+  if (first >= 0) place(static_cast<std::size_t>(first));
+  while (order.size() < atoms.size()) {
     int best = -1;
     int best_shared = -1;
     int best_rigid = -1;
+    int best_fresh = -1;
     for (std::size_t i = 0; i < atoms.size(); ++i) {
       if (placed[i]) continue;
       int shared = 0;
       int rigid = 0;
-      for (Term t : atoms[i].args()) {
+      int fresh = 0;
+      const std::vector<Term>& args = atoms[i].args();
+      for (std::size_t p = 0; p < args.size(); ++p) {
+        Term t = args[p];
         if (t.IsRigid()) {
           ++rigid;
-        } else if (seen.find(t) != seen.end()) {
-          ++shared;
+          continue;
         }
+        if (seen.find(t) != seen.end()) {
+          ++shared;
+          continue;
+        }
+        // Fresh variables are counted once per distinct term.
+        bool repeat = false;
+        for (std::size_t q = 0; q < p; ++q) {
+          if (args[q] == t) {
+            repeat = true;
+            break;
+          }
+        }
+        if (!repeat) ++fresh;
       }
       if (shared > best_shared ||
-          (shared == best_shared && rigid > best_rigid)) {
+          (shared == best_shared &&
+           (rigid > best_rigid ||
+            (rigid == best_rigid && fresh < best_fresh)))) {
         best = static_cast<int>(i);
         best_shared = shared;
         best_rigid = rigid;
+        best_fresh = fresh;
       }
     }
-    placed[best] = true;
-    for (Term t : atoms[best].args()) {
-      if (!t.IsRigid()) seen.insert(t);
-    }
-    ordered.push_back(std::move(atoms[best]));
+    place(static_cast<std::size_t>(best));
   }
+  return order;
+}
+
+std::vector<Atom> OrderForSearch(std::vector<Atom> atoms) {
+  std::vector<std::size_t> order = GreedyOrderIndices(atoms, -1);
+  std::vector<Atom> ordered;
+  ordered.reserve(atoms.size());
+  for (std::size_t i : order) ordered.push_back(std::move(atoms[i]));
   return ordered;
 }
+
+// Allowed target-atom index range [lo, hi) for one source atom.
+using AtomRange = std::pair<std::uint32_t, std::uint32_t>;
 
 // Mutable search state shared by the recursion.
 struct SearchState {
   const std::vector<Atom>* source;
   const Instance* target;
   bool injective;
+  // When non-null: per-depth image index ranges, parallel to *source
+  // (semi-naive delta anchoring). Null means unconstrained.
+  const std::vector<AtomRange>* ranges = nullptr;
   std::unordered_map<Term, Term> assignment;
   std::unordered_set<Term> used;  // images, for injectivity
   const std::function<bool(const Substitution&)>* visit;
@@ -113,21 +155,28 @@ void Search(SearchState* st, std::size_t depth) {
     return;
   }
   const Atom& a = (*st->source)[depth];
+  std::uint32_t lo = 0;
+  std::uint32_t hi = static_cast<std::uint32_t>(st->target->size());
+  if (st->ranges != nullptr) {
+    lo = (*st->ranges)[depth].first;
+    hi = std::min(hi, (*st->ranges)[depth].second);
+  }
   if (a.IsNullary()) {
-    if (st->target->Contains(a)) Search(st, depth + 1);
+    std::size_t idx = st->target->IndexOf(a);
+    if (idx != SIZE_MAX && idx >= lo && idx < hi) Search(st, depth + 1);
     return;
   }
-  // Pick the most selective candidate list available.
-  const std::vector<std::uint32_t>* candidates =
-      &st->target->AtomsWith(a.pred());
+  // Pick the most selective candidate list available, clamped to [lo, hi).
+  IndexView candidates = st->target->AtomsWithIn(a.pred(), lo, hi);
   for (std::size_t p = 0; p < a.arity(); ++p) {
     Term resolved = Resolve(*st, a.arg(p));
     if (!resolved.IsValid()) continue;
-    const auto& narrowed =
-        st->target->AtomsWith(a.pred(), static_cast<int>(p), resolved);
-    if (narrowed.size() < candidates->size()) candidates = &narrowed;
+    IndexView narrowed =
+        st->target->AtomsWithIn(a.pred(), static_cast<int>(p), resolved, lo,
+                                hi);
+    if (narrowed.size() < candidates.size()) candidates = narrowed;
   }
-  for (std::uint32_t idx : *candidates) {
+  for (std::uint32_t idx : candidates) {
     if (st->stop) return;
     TryMatch(st, a, st->target->atoms()[idx], depth);
   }
@@ -143,6 +192,41 @@ HomSearch::HomSearch(std::vector<Atom> source, const Instance* target,
   BDDFC_CHECK(target != nullptr);
 }
 
+namespace {
+
+// Seeds `st` from `seed` (and pre-populates the injectivity set). Returns
+// false when the seed is contradictory, i.e. no extension can exist.
+bool SeedState(const std::vector<Atom>& source, const Substitution& seed,
+               SearchState* st) {
+  for (const auto& [from, to] : seed.entries()) {
+    if (from.IsRigid()) {
+      if (from != to) return false;  // seed contradicts rigidity
+      continue;
+    }
+    auto [it, inserted] = st->assignment.emplace(from, to);
+    if (!inserted && it->second != to) return false;
+  }
+  if (st->injective) {
+    // Pre-populate the used set with rigid images and seed images; a seed
+    // collision means no injective extension exists.
+    std::unordered_set<Term> rigid_seen;
+    for (const Atom& a : source) {
+      for (Term t : a.args()) {
+        if (t.IsRigid() && rigid_seen.insert(t).second) {
+          if (!st->used.insert(t).second) return false;
+        }
+      }
+    }
+    for (const auto& [from, to] : st->assignment) {
+      (void)from;
+      if (!st->used.insert(to).second) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 std::size_t HomSearch::ForEach(
     const Substitution& seed,
     const std::function<bool(const Substitution&)>& visit) const {
@@ -151,32 +235,64 @@ std::size_t HomSearch::ForEach(
   st.target = target_;
   st.injective = options_.injective;
   st.visit = &visit;
-  for (const auto& [from, to] : seed.entries()) {
-    if (from.IsRigid()) {
-      if (from != to) return 0;  // seed contradicts rigidity
-      continue;
-    }
-    auto [it, inserted] = st.assignment.emplace(from, to);
-    if (!inserted && it->second != to) return 0;
-  }
-  if (st.injective) {
-    // Pre-populate the used set with rigid images and seed images; a seed
-    // collision means no injective extension exists.
-    std::unordered_set<Term> rigid_seen;
-    for (const Atom& a : source_) {
-      for (Term t : a.args()) {
-        if (t.IsRigid() && rigid_seen.insert(t).second) {
-          if (!st.used.insert(t).second) return 0;
-        }
-      }
-    }
-    for (const auto& [from, to] : st.assignment) {
-      (void)from;
-      if (!st.used.insert(to).second) return 0;
-    }
-  }
+  if (!SeedState(source_, seed, &st)) return 0;
   Search(&st, 0);
   return st.visited;
+}
+
+void HomSearch::EnsureAnchorOrders() const {
+  if (!anchor_orders_.empty() || source_.empty()) return;
+  anchor_orders_.reserve(source_.size());
+  anchor_atoms_.reserve(source_.size());
+  for (std::size_t i = 0; i < source_.size(); ++i) {
+    anchor_orders_.push_back(
+        GreedyOrderIndices(source_, static_cast<int>(i)));
+    std::vector<Atom> atoms;
+    atoms.reserve(source_.size());
+    for (std::size_t pos : anchor_orders_.back()) {
+      atoms.push_back(source_[pos]);
+    }
+    anchor_atoms_.push_back(std::move(atoms));
+  }
+}
+
+std::size_t HomSearch::ForEachDelta(
+    const Substitution& seed, std::uint32_t delta_begin,
+    std::uint32_t delta_end,
+    const std::function<bool(const Substitution&)>& visit) const {
+  if (delta_begin >= delta_end || source_.empty()) return 0;
+  EnsureAnchorOrders();
+  // Partition the qualifying homomorphisms by their *anchor*: the first
+  // source atom (in source_ order) whose image falls inside the delta.
+  // Anchor run i constrains source_[i] to the delta, source_[j] for j < i
+  // strictly below it, and later atoms to the delta_end prefix — each
+  // qualifying homomorphism is generated by exactly one run.
+  std::size_t total = 0;
+  std::vector<AtomRange> run_ranges(source_.size());
+  for (std::size_t anchor = 0; anchor < source_.size(); ++anchor) {
+    const std::vector<std::size_t>& order = anchor_orders_[anchor];
+    for (std::size_t d = 0; d < order.size(); ++d) {
+      const std::size_t pos = order[d];
+      if (pos < anchor) {
+        run_ranges[d] = {0, delta_begin};
+      } else if (pos == anchor) {
+        run_ranges[d] = {delta_begin, delta_end};
+      } else {
+        run_ranges[d] = {0, delta_end};
+      }
+    }
+    SearchState st;
+    st.source = &anchor_atoms_[anchor];
+    st.target = target_;
+    st.injective = options_.injective;
+    st.ranges = &run_ranges;
+    st.visit = &visit;
+    if (!SeedState(anchor_atoms_[anchor], seed, &st)) return total;
+    Search(&st, 0);
+    total += st.visited;
+    if (st.stop) break;
+  }
+  return total;
 }
 
 std::optional<Substitution> HomSearch::FindOne(const Substitution& seed) const {

@@ -53,14 +53,39 @@ class HomSearch {
                       const std::function<bool(const Substitution&)>& visit)
       const;
 
+  /// Delta-anchored enumeration (semi-naive evaluation): visits exactly the
+  /// homomorphisms extending `seed` whose image uses at least one target
+  /// atom with index in [delta_begin, delta_end) and no atom with index
+  /// >= delta_end. Equivalent to ForEach over the delta_end-prefix filtered
+  /// a posteriori, but each source atom is iterated as the "delta anchor"
+  /// (anchor in the delta, earlier atoms strictly below it, later atoms
+  /// unconstrained), so every qualifying homomorphism is visited exactly
+  /// once and the search only scans index ranges that can qualify.
+  std::size_t ForEachDelta(
+      const Substitution& seed, std::uint32_t delta_begin,
+      std::uint32_t delta_end,
+      const std::function<bool(const Substitution&)>& visit) const;
+
   /// Collects up to `limit` homomorphisms extending `seed`.
   std::vector<Substitution> FindAll(const Substitution& seed = {},
                                     std::size_t limit = SIZE_MAX) const;
 
+  /// The source atoms in the (fully deterministic) search order. Exposed for
+  /// tests of the ordering heuristic.
+  const std::vector<Atom>& ordered_source() const { return source_; }
+
  private:
+  void EnsureAnchorOrders() const;
+
   std::vector<Atom> source_;
   const Instance* target_;
   HomOptions options_;
+  // anchor_orders_[i]: positions of source_ reordered for the search run
+  // whose delta anchor is source_[i] (anchor first, rest by connectivity);
+  // anchor_atoms_[i] is source_ permuted accordingly. Built lazily on the
+  // first ForEachDelta call; both depend only on source_.
+  mutable std::vector<std::vector<std::size_t>> anchor_orders_;
+  mutable std::vector<std::vector<Atom>> anchor_atoms_;
 };
 
 // --- Convenience entry points ----------------------------------------------

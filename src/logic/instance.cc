@@ -1,10 +1,35 @@
 #include "logic/instance.h"
 
+#include <algorithm>
+
 #include "base/check.h"
 
 namespace bddfc {
 
 const std::vector<std::uint32_t> Instance::kEmptyIndex;
+
+std::uint64_t Instance::PosIndexKey(PredicateId pred, int pos) {
+  BDDFC_CHECK_GE(pos, 0);
+  return (static_cast<std::uint64_t>(pred) << 32) |
+         static_cast<std::uint32_t>(pos);
+}
+
+namespace {
+
+// Clamps a sorted index vector to the atom-index range [lo, hi).
+IndexView Clamp(const std::vector<std::uint32_t>& indices, std::uint32_t lo,
+                std::uint32_t hi) {
+  if (lo >= hi) return IndexView();
+  const std::uint32_t* begin = indices.data();
+  const std::uint32_t* end = begin + indices.size();
+  if (lo > 0) begin = std::lower_bound(begin, end, lo);
+  if (indices.empty() || hi <= indices.back()) {
+    end = std::lower_bound(begin, end, hi);
+  }
+  return IndexView(begin, end);
+}
+
+}  // namespace
 
 Instance::Instance(Universe* universe) : universe_(universe) {
   BDDFC_CHECK(universe != nullptr);
@@ -19,8 +44,7 @@ bool Instance::AddAtom(const Atom& atom) {
   atoms_.push_back(atom);
   by_pred_[atom.pred()].push_back(idx);
   for (std::size_t pos = 0; pos < atom.arity(); ++pos) {
-    std::uint64_t pred_pos =
-        (static_cast<std::uint64_t>(atom.pred()) << 8) | pos;
+    std::uint64_t pred_pos = PosIndexKey(atom.pred(), static_cast<int>(pos));
     by_pos_[{pred_pos, atom.arg(pos)}].push_back(idx);
     Term t = atom.arg(pos);
     if (adom_set_.insert(t).second) adom_.push_back(t);
@@ -39,9 +63,18 @@ const std::vector<std::uint32_t>& Instance::AtomsWith(PredicateId pred) const {
 
 const std::vector<std::uint32_t>& Instance::AtomsWith(PredicateId pred,
                                                       int pos, Term t) const {
-  std::uint64_t pred_pos = (static_cast<std::uint64_t>(pred) << 8) | pos;
-  auto it = by_pos_.find({pred_pos, t});
+  auto it = by_pos_.find({PosIndexKey(pred, pos), t});
   return it == by_pos_.end() ? kEmptyIndex : it->second;
+}
+
+IndexView Instance::AtomsWithIn(PredicateId pred, std::uint32_t lo,
+                                std::uint32_t hi) const {
+  return Clamp(AtomsWith(pred), lo, hi);
+}
+
+IndexView Instance::AtomsWithIn(PredicateId pred, int pos, Term t,
+                                std::uint32_t lo, std::uint32_t hi) const {
+  return Clamp(AtomsWith(pred, pos, t), lo, hi);
 }
 
 Instance Instance::Restrict(

@@ -20,9 +20,33 @@
 
 namespace bddfc {
 
+/// A contiguous view into one of an instance's sorted index vectors. The
+/// indices point into atoms() and are strictly increasing (the instance is
+/// append-only, so every index vector is built in sorted order). Views are
+/// invalidated by AddAtom/AddAtoms — the underlying vectors may reallocate —
+/// so never hold one across an insertion.
+class IndexView {
+ public:
+  IndexView() = default;
+  IndexView(const std::uint32_t* begin, const std::uint32_t* end)
+      : begin_(begin), end_(end) {}
+
+  const std::uint32_t* begin() const { return begin_; }
+  const std::uint32_t* end() const { return end_; }
+  std::size_t size() const { return static_cast<std::size_t>(end_ - begin_); }
+  bool empty() const { return begin_ == end_; }
+
+ private:
+  const std::uint32_t* begin_ = nullptr;
+  const std::uint32_t* end_ = nullptr;
+};
+
 /// A set of atoms with per-predicate and per-(predicate, position, term)
 /// indexes. Atom order is insertion order, which the chase uses to expose
-/// creation steps.
+/// creation steps: because instances are append-only, the atoms created by
+/// chase step k form the contiguous index range [count(k-1), count(k)), and
+/// the range-filtered AtomsWithIn views below let the semi-naive trigger
+/// enumerator scan exactly such a delta.
 class Instance {
  public:
   /// Creates an instance containing only the implicit ⊤ fact.
@@ -59,6 +83,14 @@ class Instance {
   const std::vector<std::uint32_t>& AtomsWith(PredicateId pred, int pos,
                                               Term t) const;
 
+  /// View of AtomsWith(pred) restricted to atom indices in [lo, hi).
+  IndexView AtomsWithIn(PredicateId pred, std::uint32_t lo,
+                        std::uint32_t hi) const;
+
+  /// View of AtomsWith(pred, pos, t) restricted to atom indices in [lo, hi).
+  IndexView AtomsWithIn(PredicateId pred, int pos, Term t, std::uint32_t lo,
+                        std::uint32_t hi) const;
+
   /// The active domain: every term occurring in some atom, in first-seen
   /// order.
   const std::vector<Term>& ActiveDomain() const { return adom_; }
@@ -79,7 +111,11 @@ class Instance {
   static Instance DisjointUnion(const Instance& a, const Instance& b);
 
  private:
+  // (predicate, position) packed into disjoint 32-bit halves. PredicateId is
+  // 32 bits and positions are bounded by the predicate arity (an int), so
+  // neither half can truncate; PosIndexKey checks the position anyway.
   using PosKey = std::pair<std::uint64_t, Term>;
+  static std::uint64_t PosIndexKey(PredicateId pred, int pos);
   struct PosKeyHash {
     std::size_t operator()(const PosKey& k) const {
       std::size_t seed = std::hash<std::uint64_t>{}(k.first);

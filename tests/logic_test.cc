@@ -105,6 +105,54 @@ TEST(InstanceTest, IndexesWork) {
   EXPECT_EQ(inst.AtomsWith(e, 0, c).size(), 0u);
 }
 
+TEST(InstanceTest, RangeFilteredIndexViews) {
+  Universe u;
+  PredicateId e = u.InternPredicate("E", 2);
+  Term a = u.InternConstant("a");
+  Term b = u.InternConstant("b");
+  Term c = u.InternConstant("c");
+  Instance inst(&u);
+  inst.AddAtom(Atom(e, {a, b}));  // index 1 (⊤ is 0)
+  inst.AddAtom(Atom(e, {a, c}));  // index 2
+  inst.AddAtom(Atom(e, {b, c}));  // index 3
+  // Whole-instance ranges reproduce the plain indexes.
+  EXPECT_EQ(inst.AtomsWithIn(e, 0, 4).size(), 3u);
+  EXPECT_EQ(inst.AtomsWithIn(e, 0, a, 0, 4).size(), 2u);
+  // Half-open prefix/suffix windows.
+  EXPECT_EQ(inst.AtomsWithIn(e, 0, 2).size(), 1u);
+  EXPECT_EQ(inst.AtomsWithIn(e, 2, 4).size(), 2u);
+  EXPECT_EQ(*inst.AtomsWithIn(e, 2, 4).begin(), 2u);
+  EXPECT_EQ(inst.AtomsWithIn(e, 0, a, 2, 4).size(), 1u);
+  EXPECT_EQ(inst.AtomsWithIn(e, 1, c, 0, 3).size(), 1u);
+  // Empty and inverted ranges.
+  EXPECT_TRUE(inst.AtomsWithIn(e, 2, 2).empty());
+  EXPECT_TRUE(inst.AtomsWithIn(e, 3, 1).empty());
+  EXPECT_TRUE(inst.AtomsWithIn(u.top(), 1, 4).empty());
+  EXPECT_EQ(inst.AtomsWithIn(u.top(), 0, 1).size(), 1u);
+}
+
+TEST(InstanceTest, WideArityIndexingDoesNotCollide) {
+  // Regression: the by-position index key used to pack (pred << 8) | pos,
+  // so predicate p at position 257 collided with predicate p+1 at
+  // position 1. The widened 32/32 packing keeps them apart.
+  Universe u;
+  PredicateId pa = u.InternPredicate("Wide", 300);
+  PredicateId pb = u.InternPredicate("Pair", 2);
+  ASSERT_EQ(pb, pa + 1);
+  Term a = u.InternConstant("a");
+  Term c = u.InternConstant("c");
+  std::vector<Term> args(300, a);
+  args[257] = c;
+  Instance inst(&u);
+  inst.AddAtom(Atom(pa, args));
+  inst.AddAtom(Atom(pb, {u.InternConstant("d"), c}));
+  ASSERT_EQ(inst.AtomsWith(pb, 1, c).size(), 1u);
+  EXPECT_EQ(inst.AtomsWith(pb, 1, c)[0], 2u);
+  ASSERT_EQ(inst.AtomsWith(pa, 257, c).size(), 1u);
+  EXPECT_EQ(inst.AtomsWith(pa, 257, c)[0], 1u);
+  EXPECT_TRUE(inst.AtomsWith(pa, 258, c).empty());
+}
+
 TEST(InstanceTest, ActiveDomain) {
   Universe u;
   PredicateId e = u.InternPredicate("E", 2);
