@@ -8,6 +8,13 @@
 // escape hatch so the table and the JSON metrics carry the speedup. The
 // largest scale points are ≥10× the pre-semi-naive sizes and are only
 // tractable with the delta engine.
+//
+// All chase runs honor --threads (ChaseOptions::num_threads via
+// bench::Threads()); the JSON header records the thread count, so a
+// trajectory of BENCH_bench_scale.json files at different --threads values
+// carries the parallel speedup. Parallelism pays off on the wide-step
+// families (binary tree, bdd-ified ex.1, transitive closure); the linear
+// chain's one-trigger steps are the serial floor.
 
 #include <chrono>
 #include <cstdio>
@@ -61,7 +68,9 @@ BDDFC_BENCH_EXPERIMENT(scale) {
         PredicateId e = u.FindPredicate("E");
         auto start = std::chrono::steady_clock::now();
         ObliviousChase chase(db, rules,
-                             {.max_steps = steps, .max_atoms = 600000});
+                             {.max_steps = steps,
+                              .max_atoms = 600000,
+                              .num_threads = bench::Threads()});
         chase.Run();
         double delta_ms = MsSince(start);
 
@@ -78,7 +87,8 @@ BDDFC_BENCH_EXPERIMENT(scale) {
           ObliviousChase naive(db2, rules2,
                                {.max_steps = steps,
                                 .max_atoms = 600000,
-                                .naive_enumeration = true});
+                                .naive_enumeration = true,
+                                .num_threads = bench::Threads()});
           naive.Run();
           double naive_ms = MsSince(start);
           naive_cell = FormatDouble(naive_ms, 2);
@@ -125,7 +135,8 @@ BDDFC_BENCH_EXPERIMENT(scale) {
         ObliviousChase chase(db, rules,
                              {.max_steps = 64,
                               .max_atoms = 600000,
-                              .naive_enumeration = naive});
+                              .naive_enumeration = naive,
+                              .num_threads = bench::Threads()});
         chase.Run();
         *edges = chase.Result().AtomsWith(e).size();
         return MsSince(start);

@@ -1,13 +1,17 @@
 #include "bench/harness.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <thread>
 
 #include "base/check.h"
+#include "base/thread_pool.h"
 
 namespace bddfc {
 namespace bench {
@@ -28,10 +32,20 @@ struct Options {
   std::int64_t warmup = 0;
   double min_time_ms = 20.0;
   std::string filter;
+  std::size_t threads = 1;
   bool json = false;
   std::string json_path;
   bool list = false;
 };
+
+// Resolved --threads value, published to benches via bench::Threads().
+std::size_t g_threads = 1;
+
+std::string Hostname() {
+  char buf[256] = {};
+  if (gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+  return buf[0] == '\0' ? "unknown" : std::string(buf);
+}
 
 /// One finished case, ready for the summary table and the JSON report.
 struct CaseResult {
@@ -167,6 +181,11 @@ void WriteJson(const std::string& path, const std::string& bench_name,
   std::fprintf(f, "  \"bench\": \"%s\",\n", JsonEscape(bench_name).c_str());
   std::fprintf(f, "  \"repetitions\": %d,\n", opts.repetitions);
   std::fprintf(f, "  \"warmup\": %" PRId64 ",\n", opts.warmup);
+  std::fprintf(f, "  \"threads\": %zu,\n", opts.threads);
+  std::fprintf(f, "  \"hostname\": \"%s\",\n",
+               JsonEscape(Hostname()).c_str());
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(f, "  \"cases\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const CaseResult& r = results[i];
@@ -255,6 +274,19 @@ Options ParseOptions(int argc, char** argv) {
       opts.min_time_ms = std::atof(next_or_inline().c_str());
     } else if (ParseFlag(arg, "--filter", &value, &has_inline)) {
       opts.filter = next_or_inline();
+    } else if (ParseFlag(arg, "--threads", &value, &has_inline)) {
+      const std::string text = next_or_inline();
+      char* end = nullptr;
+      const long long parsed = std::strtoll(text.c_str(), &end, 10);
+      if (text.empty() || *end != '\0' || parsed < 0) {
+        std::fprintf(stderr,
+                     "bench: --threads needs a non-negative integer, got "
+                     "\"%s\"\n",
+                     text.c_str());
+        std::exit(2);
+      }
+      opts.threads = ThreadPool::ResolveThreadCount(
+          static_cast<std::size_t>(parsed));
     } else if (ParseFlag(arg, "--json", &value, &has_inline)) {
       opts.json = true;
       if (has_inline && !value.empty()) opts.json_path = std::string(value);
@@ -263,7 +295,8 @@ Options ParseOptions(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--repetitions N] [--warmup N] [--min_time_ms M]\n"
-          "          [--filter SUBSTR] [--json[=PATH]] [--list]\n",
+          "          [--filter SUBSTR] [--threads N] [--json[=PATH]]\n"
+          "          [--list]\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -315,8 +348,11 @@ int RegisterExperiment(const char* name, ExperimentFn fn) {
   return 0;
 }
 
+std::size_t Threads() { return g_threads; }
+
 int RunBenchmarks(int argc, char** argv) {
   const Options opts = ParseOptions(argc, argv);
+  g_threads = opts.threads;
   const Registry& registry = GetRegistry();
   const std::string bench_name = BinaryBaseName(argc > 0 ? argv[0] : nullptr);
 

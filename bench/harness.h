@@ -29,8 +29,14 @@
 //   --warmup N        untimed warmup iterations/repetitions (default 0)
 //   --min_time_ms M   micro-benchmark calibration target (default 20)
 //   --filter SUBSTR   only run cases whose name contains SUBSTR
+//   --threads N       execution threads for thread-aware cases (default 1;
+//                     0 = all hardware threads); read via bench::Threads()
 //   --json[=PATH]     write BENCH_<binary>.json (or PATH)
 //   --list            list registered cases and exit
+//
+// The JSON report carries the run environment (threads, hostname,
+// hardware_concurrency) so a benchmark trajectory can distinguish serial
+// from parallel runs and compare across machines.
 
 #ifndef BDDFC_BENCH_HARNESS_H_
 #define BDDFC_BENCH_HARNESS_H_
@@ -180,6 +186,12 @@ class Context {
 using ExperimentFn = int (*)(Context&);
 
 int RegisterExperiment(const char* name, ExperimentFn fn);
+
+/// The value of --threads (resolved: 0 becomes the hardware thread count).
+/// Thread-aware benchmark cases read it to size their pools / set
+/// ChaseOptions::num_threads; it defaults to 1 so every bench is serial
+/// unless asked otherwise.
+std::size_t Threads();
 
 /// Shared main: parses flags, runs every registered case (warmup +
 /// repetition loop), prints a summary table, and with --json writes

@@ -1,0 +1,134 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+
+namespace bddfc {
+
+ThreadPool::ThreadPool(std::size_t num_workers) {
+  queues_.reserve(std::max<std::size_t>(num_workers, 1));
+  for (std::size_t i = 0; i < std::max<std::size_t>(num_workers, 1); ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  WaitAll();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::size_t ThreadPool::ResolveThreadCount(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  std::size_t slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slot = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++queued_;
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[slot]->mu);
+    queues_[slot]->tasks.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  // A WaitAll() caller parked on done_cv_ can steal this task.
+  done_cv_.notify_all();
+}
+
+bool ThreadPool::PopTask(std::size_t queue_index, bool steal,
+                         std::function<void()>* task) {
+  Queue& q = *queues_[queue_index];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.tasks.empty()) return false;
+  if (steal) {
+    *task = std::move(q.tasks.back());
+    q.tasks.pop_back();
+  } else {
+    *task = std::move(q.tasks.front());
+    q.tasks.pop_front();
+  }
+  return true;
+}
+
+bool ThreadPool::RunOneTask(std::size_t home) {
+  std::function<void()> task;
+  bool found = PopTask(home % queues_.size(), /*steal=*/false, &task);
+  for (std::size_t i = 1; !found && i < queues_.size(); ++i) {
+    found = PopTask((home + i) % queues_.size(), /*steal=*/true, &task);
+  }
+  if (!found) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --queued_;
+  }
+  task();
+  bool all_done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    all_done = --pending_ == 0;
+  }
+  if (all_done) done_cv_.notify_all();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(std::size_t index) {
+  for (;;) {
+    if (RunOneTask(index)) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    if (stop_ && queued_ == 0) return;
+  }
+}
+
+void ThreadPool::WaitAll() {
+  const std::size_t home = workers_.size();  // steal round-robin from all
+  for (;;) {
+    if (RunOneTask(home)) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    // Wake when everything finished or when a new task appears (a running
+    // task may Submit more work for this thread to steal).
+    done_cv_.wait(lock, [this] { return pending_ == 0 || queued_ > 0; });
+    if (pending_ == 0) return;
+  }
+}
+
+void ParallelFor(
+    ThreadPool* pool, std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& chunk_fn) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t range = end - begin;
+  if (pool == nullptr || pool->num_workers() == 0 || range <= grain) {
+    chunk_fn(begin, end);
+    return;
+  }
+  // At most ~4 chunks per participant (workers + the waiting caller) keeps
+  // scheduling overhead low while still smoothing imbalance.
+  const std::size_t max_chunks = 4 * (pool->num_workers() + 1);
+  const std::size_t chunks =
+      std::min(max_chunks, (range + grain - 1) / grain);
+  const std::size_t size = (range + chunks - 1) / chunks;
+  for (std::size_t k = 0; k < chunks; ++k) {
+    const std::size_t lo = begin + k * size;
+    const std::size_t hi = std::min(end, lo + size);
+    if (lo >= hi) break;
+    pool->Submit([&chunk_fn, lo, hi] { chunk_fn(lo, hi); });
+  }
+  pool->WaitAll();
+}
+
+}  // namespace bddfc

@@ -4,6 +4,8 @@
 
 #include "base/check.h"
 #include "base/hash.h"
+#include "base/thread_pool.h"
+#include "exec/parallel_chase.h"
 #include "homomorphism/homomorphism.h"
 
 namespace bddfc {
@@ -25,6 +27,43 @@ ObliviousChase::ObliviousChase(const Instance& database, RuleSet rules,
   for (const Rule& rule : rules_) {
     rule_searches_.emplace_back(rule.body(), &instance_);
   }
+  if (options_.variant == ChaseVariant::kRestricted) {
+    // Cached head searches (they see every atom appended to instance_)
+    // and frontier-variable positions, shared by the serial check and the
+    // concurrent precheck.
+    head_searches_.reserve(rules_.size());
+    frontier_positions_.reserve(rules_.size());
+    for (const Rule& rule : rules_) {
+      head_searches_.emplace_back(rule.head(), &instance_);
+      std::vector<std::size_t> positions;
+      positions.reserve(rule.frontier().size());
+      for (Term v : rule.frontier()) {
+        const auto& vars = rule.body_vars();
+        positions.push_back(static_cast<std::size_t>(
+            std::find(vars.begin(), vars.end(), v) - vars.begin()));
+      }
+      frontier_positions_.push_back(std::move(positions));
+    }
+  }
+  num_threads_ = ThreadPool::ResolveThreadCount(options_.num_threads);
+  if (num_threads_ > 1) {
+    parallel_ = std::make_unique<exec::ParallelChase>(num_threads_);
+  }
+}
+
+ObliviousChase::~ObliviousChase() = default;
+
+bool ObliviousChase::HeadSatisfied(
+    const exec::TriggerCandidate& candidate) const {
+  const Rule& rule = rules_[candidate.rule_index];
+  Substitution frontier_seed;
+  const std::vector<std::size_t>& positions =
+      frontier_positions_[candidate.rule_index];
+  for (std::size_t i = 0; i < rule.frontier().size(); ++i) {
+    frontier_seed.Bind(rule.frontier()[i],
+                       candidate.body_image[positions[i]]);
+  }
+  return head_searches_[candidate.rule_index].Exists(frontier_seed);
 }
 
 ObliviousChase::StepOutcome ObliviousChase::StepOnce() {
@@ -35,14 +74,12 @@ ObliviousChase::StepOutcome ObliviousChase::StepOnce() {
   // one of its body atoms maps into the delta [count(n-1), count(n)), so
   // nothing is missed and nothing old is re-derived. With naive_enumeration
   // every homomorphism is re-enumerated and filtered against fired_; both
-  // paths collect the same candidate set.
-  struct Candidate {
-    std::size_t rule_index;
-    // Images of rule.body_vars() in rule order; doubles as the canonical
-    // sort key and as the material to rebuild the trigger homomorphism.
-    std::vector<Term> body_image;
-  };
-  std::vector<Candidate> candidates;
+  // paths collect the same candidate set. With num_threads > 1 the same
+  // enumeration fans out over the executor's pool — the instance and the
+  // fired_ set are read-only until the firing phase, and the canonical sort
+  // below erases the nondeterministic batch order.
+  using exec::TriggerCandidate;
+  std::vector<TriggerCandidate> candidates;
   const bool semi = options_.variant == ChaseVariant::kSemiOblivious;
   const bool delta_mode = !options_.naive_enumeration && steps_executed_ > 0;
   const std::uint32_t delta_begin =
@@ -51,44 +88,68 @@ ObliviousChase::StepOutcome ObliviousChase::StepOnce() {
           : 0;
   const std::uint32_t delta_end =
       static_cast<std::uint32_t>(instance_.size());
-  TriggerKey probe;  // scratch key, reused across homomorphisms
-  for (std::size_t r = 0; r < rules_.size(); ++r) {
+  // Trigger identity: full body image for the oblivious/restricted
+  // chases, frontier image only for the semi-oblivious (skolem) one.
+  const auto collect = [&](std::size_t r, const Substitution& h,
+                           std::vector<TriggerCandidate>* batch) {
     const Rule& rule = rules_[r];
-    // Trigger identity: full body image for the oblivious/restricted
-    // chases, frontier image only for the semi-oblivious (skolem) one.
     const std::vector<Term>& id_vars =
         semi ? rule.frontier() : rule.body_vars();
-    const auto collect = [&](const Substitution& h) {
-      probe.first = r;
-      probe.second.clear();
-      for (Term v : id_vars) probe.second.push_back(h.Apply(v));
-      if (fired_.find(probe) != fired_.end()) return true;
-      Candidate c{r, {}};
-      c.body_image.reserve(rule.body_vars().size());
-      for (Term v : rule.body_vars()) c.body_image.push_back(h.Apply(v));
-      candidates.push_back(std::move(c));
-      return true;
-    };
+    TriggerKey probe{r, {}};
+    probe.second.reserve(id_vars.size());
+    for (Term v : id_vars) probe.second.push_back(h.Apply(v));
+    if (fired_.find(probe) != fired_.end()) return;
+    TriggerCandidate c{r, {}};
+    c.body_image.reserve(rule.body_vars().size());
+    for (Term v : rule.body_vars()) c.body_image.push_back(h.Apply(v));
+    batch->push_back(std::move(c));
+  };
+  if (parallel_ != nullptr) {
     if (delta_mode) {
-      rule_searches_[r].ForEachDelta({}, delta_begin, delta_end, collect);
+      parallel_->CollectDelta(&rule_searches_, delta_begin, delta_end,
+                              collect, &candidates);
     } else {
-      rule_searches_[r].ForEach({}, collect);
+      parallel_->CollectFull(&rule_searches_, delta_end, collect,
+                             &candidates);
+    }
+  } else {
+    for (std::size_t r = 0; r < rules_.size(); ++r) {
+      const auto visit = [&](const Substitution& h) {
+        collect(r, h, &candidates);
+        return true;
+      };
+      if (delta_mode) {
+        rule_searches_[r].ForEachDelta({}, delta_begin, delta_end, visit);
+      } else {
+        rule_searches_[r].ForEach({}, visit);
+      }
     }
   }
 
   // Phase 2 — canonical firing order. Sorting by (rule, body image) makes
-  // the step independent of enumeration order, so the naive and semi-naive
-  // engines produce bit-identical instances, null names and provenance.
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) {
-              if (a.rule_index != b.rule_index) {
-                return a.rule_index < b.rule_index;
-              }
-              return a.body_image < b.body_image;
-            });
+  // the step independent of enumeration order, so the naive, semi-naive
+  // and parallel engines produce bit-identical instances, null names and
+  // provenance.
+  exec::SortCanonical(&candidates);
+
+  // Restricted precheck: satisfaction is monotone (the instance only
+  // grows), so any candidate whose head is satisfied *now* — before this
+  // step fires anything — would also be skipped by the serial check. The
+  // firing loop trusts positive prechecks and re-checks negatives only
+  // once the step has added atoms.
+  std::vector<char> satisfied_at_start;
+  if (parallel_ != nullptr &&
+      options_.variant == ChaseVariant::kRestricted && !candidates.empty()) {
+    parallel_->ParallelCheck(
+        candidates,
+        [this](const TriggerCandidate& c) { return HeadSatisfied(c); },
+        &satisfied_at_start);
+  }
+  const std::size_t step_start_size = instance_.size();
 
   StepOutcome outcome;
-  for (const Candidate& candidate : candidates) {
+  for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+    const TriggerCandidate& candidate = candidates[ci];
     if (instance_.size() >= options_.max_atoms) {
       hit_bounds_ = true;
       outcome.truncated = true;
@@ -110,11 +171,19 @@ ObliviousChase::StepOutcome ObliviousChase::StepOnce() {
     if (!fired_.insert(std::move(key)).second) continue;
 
     if (options_.variant == ChaseVariant::kRestricted) {
-      // Fire only if no extension of h already satisfies the head.
-      HomSearch head_search(rule.head(), &instance_);
-      Substitution frontier_seed;
-      for (Term v : rule.frontier()) frontier_seed.Bind(v, h.Apply(v));
-      if (head_search.Exists(frontier_seed)) continue;  // never reconsider
+      // Fire only if no extension of h already satisfies the head. The
+      // parallel precheck answers this against the step-start instance;
+      // that answer stands unless atoms were fired in between (a satisfied
+      // head stays satisfied, an unsatisfied one must be re-checked).
+      bool satisfied;
+      if (!satisfied_at_start.empty()) {
+        satisfied = satisfied_at_start[ci] != 0 ||
+                    (instance_.size() != step_start_size &&
+                     HeadSatisfied(candidate));
+      } else {
+        satisfied = HeadSatisfied(candidate);
+      }
+      if (satisfied) continue;  // never reconsider
     }
 
     // Extend h with fresh nulls for the existential variables.

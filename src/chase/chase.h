@@ -19,6 +19,7 @@
 #define BDDFC_CHASE_CHASE_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -30,6 +31,11 @@
 #include "logic/substitution.h"
 
 namespace bddfc {
+
+namespace exec {
+class ParallelChase;
+struct TriggerCandidate;
+}  // namespace exec
 
 /// Which trigger-firing discipline to use.
 enum class ChaseVariant {
@@ -59,6 +65,14 @@ struct ChaseOptions {
   /// instance, trigger sequence, and provenance — the differential tests
   /// cross-check them atom for atom.
   bool naive_enumeration = false;
+  /// Execution threads for trigger enumeration (and, in the restricted
+  /// variant, the satisfaction precheck). 1 (the default) runs the
+  /// unchanged serial path; 0 means "all hardware threads". Every thread
+  /// count produces a bit-identical chase (atoms, trigger order,
+  /// provenance, fresh-null numbering): workers only search the read-only
+  /// instance, and their trigger batches are merged into the canonical
+  /// (rule, body-image) order before the serial firing phase.
+  std::size_t num_threads = 1;
 };
 
 /// Provenance of a chase-created term.
@@ -83,6 +97,8 @@ class ObliviousChase {
   // The cached per-rule searches point into instance_.
   ObliviousChase(const ObliviousChase&) = delete;
   ObliviousChase& operator=(const ObliviousChase&) = delete;
+
+  ~ObliviousChase();
 
   /// Runs until saturation or until the step/atom bounds hit. Returns the
   /// number of steps executed in total.
@@ -133,6 +149,9 @@ class ObliviousChase {
   /// Number of triggers fired in total.
   std::size_t TriggersFired() const { return triggers_fired_; }
 
+  /// Resolved execution thread count (1 = serial).
+  std::size_t num_threads() const { return num_threads_; }
+
   /// Provenance of one atom of Result(): the trigger that first derived
   /// it (database atoms have `database == true`).
   struct AtomProvenance {
@@ -172,6 +191,11 @@ class ObliviousChase {
   };
   StepOutcome StepOnce();
 
+  // Restricted variant: true iff the head of `candidate`'s rule is already
+  // satisfied by an extension of the trigger's frontier image. Read-only
+  // and thread-safe (runs concurrently from the parallel precheck).
+  bool HeadSatisfied(const exec::TriggerCandidate& candidate) const;
+
   Instance instance_;
   RuleSet rules_;
   ChaseOptions options_;
@@ -179,6 +203,14 @@ class ObliviousChase {
   // instance_ and see every appended atom (ObliviousChase is therefore
   // neither copyable nor movable).
   std::vector<HomSearch> rule_searches_;
+  // Restricted variant only: one cached head search per rule, plus the
+  // positions of each rule's frontier variables within body_vars() (to
+  // seed the head search straight from a candidate's body image).
+  std::vector<HomSearch> head_searches_;
+  std::vector<std::vector<std::size_t>> frontier_positions_;
+  // Parallel executor (null when num_threads_ == 1: the serial path).
+  std::size_t num_threads_ = 1;
+  std::unique_ptr<exec::ParallelChase> parallel_;
   std::size_t steps_executed_ = 0;
   bool saturated_ = false;
   bool hit_bounds_ = false;

@@ -1,0 +1,140 @@
+#include "exec/parallel_chase.h"
+
+#include <algorithm>
+
+namespace bddfc {
+namespace exec {
+
+namespace {
+
+// Minimum delta atoms per (rule, anchor) chunk; below this the scheduling
+// overhead outweighs the search work.
+constexpr std::uint32_t kDeltaGrain = 128;
+
+// One unit of enumeration work.
+struct Unit {
+  std::size_t rule = 0;
+  std::size_t anchor = 0;  // unused by CollectFull
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+};
+
+// Chunk width that splits [0, range) into at most 2*threads pieces of at
+// least kDeltaGrain atoms each.
+std::uint32_t ChunkSize(std::uint32_t range, std::size_t threads) {
+  if (range == 0) return 1;  // never 0: chunk loops advance by ChunkSize
+  const std::size_t chunks = std::max<std::size_t>(
+      1, std::min<std::size_t>(2 * threads,
+                               (range + kDeltaGrain - 1) / kDeltaGrain));
+  return (range + static_cast<std::uint32_t>(chunks) - 1) /
+         static_cast<std::uint32_t>(chunks);
+}
+
+// Shared fan-out scaffolding: runs `run_unit(unit, batch)` for every unit,
+// each into a private batch, and appends the batches to `out` in unit
+// order (the caller's canonical sort erases even this order; keeping it
+// deterministic is belt and braces). A single unit skips the pool — that
+// is the narrow-step fast path that keeps e.g. one-trigger linear-chain
+// steps at serial cost.
+void RunUnits(ThreadPool* pool, const std::vector<Unit>& units,
+              const std::function<void(const Unit&,
+                                       std::vector<TriggerCandidate>*)>&
+                  run_unit,
+              std::vector<TriggerCandidate>* out) {
+  if (units.size() <= 1) {
+    for (const Unit& unit : units) run_unit(unit, out);
+    return;
+  }
+  std::vector<std::vector<TriggerCandidate>> batches(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    pool->Submit([&, i] { run_unit(units[i], &batches[i]); });
+  }
+  pool->WaitAll();
+  for (std::vector<TriggerCandidate>& batch : batches) {
+    for (TriggerCandidate& c : batch) out->push_back(std::move(c));
+  }
+}
+
+}  // namespace
+
+void SortCanonical(std::vector<TriggerCandidate>* candidates) {
+  std::sort(candidates->begin(), candidates->end(), CanonicalTriggerLess);
+}
+
+ParallelChase::ParallelChase(std::size_t num_threads)
+    : pool_(ThreadPool::ResolveThreadCount(num_threads) - 1) {}
+
+void ParallelChase::CollectDelta(std::vector<HomSearch>* searches,
+                                 std::uint32_t delta_begin,
+                                 std::uint32_t delta_end,
+                                 const CollectFn& collect,
+                                 std::vector<TriggerCandidate>* out) {
+  if (delta_begin >= delta_end) return;
+  // Chunk the anchor's delta range: a qualifying homomorphism has exactly
+  // one anchor atom and one anchor image index, so (rule, anchor, chunk)
+  // units partition the enumeration.
+  const std::uint32_t chunk_size =
+      ChunkSize(delta_end - delta_begin, num_threads());
+  std::vector<Unit> units;
+  for (std::size_t r = 0; r < searches->size(); ++r) {
+    HomSearch& search = (*searches)[r];
+    search.PrepareDelta();  // build anchor orders before going concurrent
+    for (std::size_t anchor = 0; anchor < search.source_size(); ++anchor) {
+      for (std::uint32_t lo = delta_begin; lo < delta_end; lo += chunk_size) {
+        units.push_back(
+            {r, anchor, lo, std::min(delta_end, lo + chunk_size)});
+      }
+    }
+  }
+  RunUnits(
+      &pool_, units,
+      [&](const Unit& unit, std::vector<TriggerCandidate>* batch) {
+        (*searches)[unit.rule].ForEachDeltaAnchor(
+            unit.anchor, delta_begin, delta_end, unit.lo, unit.hi, {},
+            [&](const Substitution& h) {
+              collect(unit.rule, h, batch);
+              return true;
+            });
+      },
+      out);
+}
+
+void ParallelChase::CollectFull(std::vector<HomSearch>* searches,
+                                std::uint32_t target_size,
+                                const CollectFn& collect,
+                                std::vector<TriggerCandidate>* out) {
+  const std::uint32_t chunk_size = ChunkSize(target_size, num_threads());
+  std::vector<Unit> units;
+  for (std::size_t r = 0; r < searches->size(); ++r) {
+    if ((*searches)[r].source_size() == 0) continue;
+    for (std::uint32_t lo = 0; lo < target_size; lo += chunk_size) {
+      units.push_back({r, 0, lo, std::min(target_size, lo + chunk_size)});
+    }
+  }
+  RunUnits(
+      &pool_, units,
+      [&](const Unit& unit, std::vector<TriggerCandidate>* batch) {
+        (*searches)[unit.rule].ForEachFirstIn(
+            unit.lo, unit.hi, {}, [&](const Substitution& h) {
+              collect(unit.rule, h, batch);
+              return true;
+            });
+      },
+      out);
+}
+
+void ParallelChase::ParallelCheck(
+    const std::vector<TriggerCandidate>& candidates,
+    const std::function<bool(const TriggerCandidate&)>& check,
+    std::vector<char>* out) {
+  out->assign(candidates.size(), 0);
+  ParallelFor(&pool_, 0, candidates.size(), /*grain=*/8,
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i) {
+                  (*out)[i] = check(candidates[i]) ? 1 : 0;
+                }
+              });
+}
+
+}  // namespace exec
+}  // namespace bddfc

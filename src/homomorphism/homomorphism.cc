@@ -1,6 +1,7 @@
 #include "homomorphism/homomorphism.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -268,30 +269,175 @@ std::size_t HomSearch::ForEachDelta(
   // strictly below it, and later atoms to the delta_end prefix — each
   // qualifying homomorphism is generated by exactly one run.
   std::size_t total = 0;
-  std::vector<AtomRange> run_ranges(source_.size());
-  for (std::size_t anchor = 0; anchor < source_.size(); ++anchor) {
-    const std::vector<std::size_t>& order = anchor_orders_[anchor];
-    for (std::size_t d = 0; d < order.size(); ++d) {
-      const std::size_t pos = order[d];
-      if (pos < anchor) {
-        run_ranges[d] = {0, delta_begin};
-      } else if (pos == anchor) {
-        run_ranges[d] = {delta_begin, delta_end};
-      } else {
-        run_ranges[d] = {0, delta_end};
-      }
+  bool stopped = false;
+  const auto wrapped = [&](const Substitution& h) {
+    if (!visit(h)) {
+      stopped = true;
+      return false;
     }
-    SearchState st;
-    st.source = &anchor_atoms_[anchor];
-    st.target = target_;
-    st.injective = options_.injective;
-    st.ranges = &run_ranges;
-    st.visit = &visit;
-    if (!SeedState(anchor_atoms_[anchor], seed, &st)) return total;
-    Search(&st, 0);
-    total += st.visited;
-    if (st.stop) break;
+    return true;
+  };
+  for (std::size_t anchor = 0; anchor < source_.size(); ++anchor) {
+    total += ForEachDeltaAnchor(anchor, delta_begin, delta_end, delta_begin,
+                                delta_end, seed, wrapped);
+    if (stopped) break;
   }
+  return total;
+}
+
+std::size_t HomSearch::ForEachDeltaAnchor(
+    std::size_t anchor, std::uint32_t delta_begin, std::uint32_t delta_end,
+    std::uint32_t anchor_begin, std::uint32_t anchor_end,
+    const Substitution& seed,
+    const std::function<bool(const Substitution&)>& visit) const {
+  if (anchor_begin >= anchor_end || source_.empty()) return 0;
+  EnsureAnchorOrders();
+  BDDFC_CHECK_LT(anchor, source_.size());
+  std::vector<AtomRange> run_ranges(source_.size());
+  const std::vector<std::size_t>& order = anchor_orders_[anchor];
+  for (std::size_t d = 0; d < order.size(); ++d) {
+    const std::size_t pos = order[d];
+    if (pos < anchor) {
+      run_ranges[d] = {0, delta_begin};
+    } else if (pos == anchor) {
+      run_ranges[d] = {anchor_begin, anchor_end};
+    } else {
+      run_ranges[d] = {0, delta_end};
+    }
+  }
+  SearchState st;
+  st.source = &anchor_atoms_[anchor];
+  st.target = target_;
+  st.injective = options_.injective;
+  st.ranges = &run_ranges;
+  st.visit = &visit;
+  if (!SeedState(anchor_atoms_[anchor], seed, &st)) return 0;
+  Search(&st, 0);
+  return st.visited;
+}
+
+std::size_t HomSearch::ForEachFirstIn(
+    std::uint32_t first_begin, std::uint32_t first_end,
+    const Substitution& seed,
+    const std::function<bool(const Substitution&)>& visit) const {
+  BDDFC_CHECK(!source_.empty());
+  const std::uint32_t n = static_cast<std::uint32_t>(target_->size());
+  std::vector<AtomRange> run_ranges(source_.size(), {0, n});
+  run_ranges[0] = {first_begin, first_end};
+  SearchState st;
+  st.source = &source_;
+  st.target = target_;
+  st.injective = options_.injective;
+  st.ranges = &run_ranges;
+  st.visit = &visit;
+  if (!SeedState(source_, seed, &st)) return 0;
+  Search(&st, 0);
+  return st.visited;
+}
+
+namespace {
+
+// Deterministic first-atom chunking shared by the pool-parallel queries:
+// chunk k of `chunks` covers [k*size, min(n, (k+1)*size)).
+struct FirstAtomChunks {
+  std::uint32_t size = 0;
+  std::size_t count = 0;
+};
+
+FirstAtomChunks PlanFirstAtomChunks(std::uint32_t n, std::size_t workers) {
+  // At least 64 target atoms per chunk, at most ~4 chunks per participant.
+  constexpr std::uint32_t kGrain = 64;
+  FirstAtomChunks plan;
+  plan.count = std::min<std::size_t>(4 * (workers + 1),
+                                     (n + kGrain - 1) / kGrain);
+  if (plan.count == 0) plan.count = 1;
+  plan.size = (n + static_cast<std::uint32_t>(plan.count) - 1) /
+              static_cast<std::uint32_t>(plan.count);
+  return plan;
+}
+
+}  // namespace
+
+std::vector<Substitution> HomSearch::FindAllParallel(
+    ThreadPool* pool, const Substitution& seed, std::size_t limit) const {
+  const std::uint32_t n = static_cast<std::uint32_t>(target_->size());
+  const FirstAtomChunks plan =
+      PlanFirstAtomChunks(n, pool == nullptr ? 0 : pool->num_workers());
+  if (pool == nullptr || pool->num_workers() == 0 || source_.empty() ||
+      plan.count < 2) {
+    return FindAll(seed, limit);
+  }
+  std::vector<std::vector<Substitution>> batches(plan.count);
+  for (std::size_t k = 0; k < plan.count; ++k) {
+    const std::uint32_t lo = static_cast<std::uint32_t>(k) * plan.size;
+    const std::uint32_t hi = std::min(n, lo + plan.size);
+    if (lo >= hi) break;
+    pool->Submit([this, &seed, &batches, k, lo, hi, limit] {
+      ForEachFirstIn(lo, hi, seed, [&](const Substitution& h) {
+        batches[k].push_back(h);
+        return batches[k].size() < limit;
+      });
+    });
+  }
+  pool->WaitAll();
+  std::vector<Substitution> out;
+  for (std::vector<Substitution>& batch : batches) {
+    for (Substitution& h : batch) {
+      if (out.size() >= limit) return out;
+      out.push_back(std::move(h));
+    }
+  }
+  return out;
+}
+
+bool HomSearch::ExistsParallel(ThreadPool* pool,
+                               const Substitution& seed) const {
+  const std::uint32_t n = static_cast<std::uint32_t>(target_->size());
+  const FirstAtomChunks plan =
+      PlanFirstAtomChunks(n, pool == nullptr ? 0 : pool->num_workers());
+  if (pool == nullptr || pool->num_workers() == 0 || source_.empty() ||
+      plan.count < 2) {
+    return Exists(seed);
+  }
+  std::atomic<bool> found{false};
+  for (std::size_t k = 0; k < plan.count; ++k) {
+    const std::uint32_t lo = static_cast<std::uint32_t>(k) * plan.size;
+    const std::uint32_t hi = std::min(n, lo + plan.size);
+    if (lo >= hi) break;
+    pool->Submit([this, &seed, &found, lo, hi] {
+      if (found.load(std::memory_order_relaxed)) return;
+      ForEachFirstIn(lo, hi, seed, [&](const Substitution&) {
+        found.store(true, std::memory_order_relaxed);
+        return false;
+      });
+    });
+  }
+  pool->WaitAll();
+  return found.load(std::memory_order_relaxed);
+}
+
+std::size_t HomSearch::CountParallel(ThreadPool* pool,
+                                     const Substitution& seed) const {
+  const std::uint32_t n = static_cast<std::uint32_t>(target_->size());
+  const FirstAtomChunks plan =
+      PlanFirstAtomChunks(n, pool == nullptr ? 0 : pool->num_workers());
+  if (pool == nullptr || pool->num_workers() == 0 || source_.empty() ||
+      plan.count < 2) {
+    return ForEach(seed, [](const Substitution&) { return true; });
+  }
+  std::vector<std::size_t> counts(plan.count, 0);
+  for (std::size_t k = 0; k < plan.count; ++k) {
+    const std::uint32_t lo = static_cast<std::uint32_t>(k) * plan.size;
+    const std::uint32_t hi = std::min(n, lo + plan.size);
+    if (lo >= hi) break;
+    pool->Submit([this, &seed, &counts, k, lo, hi] {
+      counts[k] = ForEachFirstIn(
+          lo, hi, seed, [](const Substitution&) { return true; });
+    });
+  }
+  pool->WaitAll();
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
   return total;
 }
 

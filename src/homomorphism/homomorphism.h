@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/thread_pool.h"
 #include "logic/cq.h"
 #include "logic/instance.h"
 #include "logic/rule.h"
@@ -66,9 +67,65 @@ class HomSearch {
       std::uint32_t delta_end,
       const std::function<bool(const Substitution&)>& visit) const;
 
+  /// One anchor run of ForEachDelta, exposed so the parallel executor can
+  /// schedule (anchor × delta-chunk) units independently: visits exactly
+  /// the homomorphisms extending `seed` whose anchor (the first source
+  /// atom, in ordered_source() order, with image in the delta) is
+  /// ordered_source()[anchor] and whose anchor image index lies in
+  /// [anchor_begin, anchor_end) ⊆ [delta_begin, delta_end). Summing over
+  /// all anchors with [anchor_begin, anchor_end) = [delta_begin, delta_end)
+  /// — or over any partition of that range — reproduces ForEachDelta
+  /// exactly. Call PrepareDelta() first when invoking from several threads.
+  std::size_t ForEachDeltaAnchor(
+      std::size_t anchor, std::uint32_t delta_begin, std::uint32_t delta_end,
+      std::uint32_t anchor_begin, std::uint32_t anchor_end,
+      const Substitution& seed,
+      const std::function<bool(const Substitution&)>& visit) const;
+
+  /// Like ForEach, but the image of ordered_source()[0] is restricted to
+  /// target atom indices in [first_begin, first_end); later atoms are
+  /// unconstrained. Partitioning [0, target size) across such calls
+  /// partitions the full enumeration, each chunk visiting its
+  /// homomorphisms in the same relative order ForEach would. The source
+  /// must be non-empty.
+  std::size_t ForEachFirstIn(
+      std::uint32_t first_begin, std::uint32_t first_end,
+      const Substitution& seed,
+      const std::function<bool(const Substitution&)>& visit) const;
+
+  /// Precomputes the per-anchor orderings so concurrent ForEachDeltaAnchor
+  /// calls are read-only. Idempotent; must run before sharing this search
+  /// across threads.
+  void PrepareDelta() const { EnsureAnchorOrders(); }
+
+  /// Number of source atoms — the delta-anchor index space.
+  std::size_t source_size() const { return source_.size(); }
+
   /// Collects up to `limit` homomorphisms extending `seed`.
   std::vector<Substitution> FindAll(const Substitution& seed = {},
                                     std::size_t limit = SIZE_MAX) const;
+
+  // --- Pool-parallel queries ------------------------------------------------
+  // All three partition the image candidates of the first source atom into
+  // index chunks fanned out over `pool`; results are bit-identical to the
+  // serial counterparts (FindAllParallel preserves enumeration order by
+  // concatenating chunks in index order). A null/empty pool falls back to
+  // the serial path.
+
+  /// Parallel FindAll. `limit` is applied after the merge, so the result
+  /// equals FindAll(seed, limit); the parallel win is realized for
+  /// unlimited enumeration.
+  std::vector<Substitution> FindAllParallel(
+      ThreadPool* pool, const Substitution& seed = {},
+      std::size_t limit = SIZE_MAX) const;
+
+  /// Parallel existence check; sibling chunks are cancelled as soon as one
+  /// finds a witness.
+  bool ExistsParallel(ThreadPool* pool, const Substitution& seed = {}) const;
+
+  /// Parallel count of all homomorphisms extending `seed`.
+  std::size_t CountParallel(ThreadPool* pool,
+                            const Substitution& seed = {}) const;
 
   /// The source atoms in the (fully deterministic) search order. Exposed for
   /// tests of the ordering heuristic.

@@ -1,9 +1,10 @@
 // Differential tests for the chase's trigger enumerators: the delta-driven
-// (semi-naive) engine and the naive full re-enumeration escape hatch must
-// produce bit-identical results — same atoms in the same order, same labeled
+// (semi-naive) engine, the naive full re-enumeration escape hatch, and the
+// parallel executor (ChaseOptions::num_threads > 1) must produce
+// bit-identical results — same atoms in the same order, same labeled
 // nulls, same trigger counts, same per-step accounting, same provenance —
-// across all three chase variants, on deterministic and randomized
-// generator workloads.
+// across all three chase variants and every tested thread count, on
+// deterministic and randomized generator workloads.
 //
 // Each engine runs in its own Universe built by an identical interning
 // sequence, so predicate/constant ids and invented nulls line up exactly
@@ -215,6 +216,126 @@ TEST(ChaseDifferentialTest, RandomizedForwardExistentialWorkloads) {
       RunOnRandomWorkload(seed, spec, options, /*naive=*/false, &semi);
       RunOnRandomWorkload(seed, spec, options, /*naive=*/true, &naive);
       ExpectIdentical(semi, naive);
+    }
+  }
+}
+
+// --- Parallel-vs-serial axis ------------------------------------------------
+// The parallel executor must be bit-identical to the serial engine at every
+// thread count (thread 1 short-circuits to the serial path and doubles as a
+// baseline sanity check).
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
+
+TEST(ChaseDifferentialTest, ParallelMatchesSerialOnExample1) {
+  const std::string rules =
+      "E(x,y) -> E(y,z)\n"
+      "E(x,y), E(y,z) -> E(x,z)\n";
+  for (ChaseVariant variant : kVariants) {
+    for (std::size_t threads : kThreadCounts) {
+      SCOPED_TRACE(std::string(VariantName(variant)) + " threads " +
+                   std::to_string(threads));
+      ChaseOptions options{.max_steps = 4, .max_atoms = 20000,
+                           .variant = variant};
+      EngineRun serial, parallel;
+      RunOnText(rules, "E(a,b).", options, /*naive=*/false, &serial);
+      options.num_threads = threads;
+      RunOnText(rules, "E(a,b).", options, /*naive=*/false, &parallel);
+      ExpectIdentical(serial, parallel);
+    }
+  }
+}
+
+TEST(ChaseDifferentialTest, ParallelAgreesOnTruncation) {
+  // The atom bound cuts a step short; the canonical merge must make the
+  // parallel engine truncate at exactly the same trigger.
+  const std::string rules = "E(x,y) -> E(y,z), E(x,z)";
+  for (ChaseVariant variant : kVariants) {
+    for (std::size_t threads : kThreadCounts) {
+      SCOPED_TRACE(std::string(VariantName(variant)) + " threads " +
+                   std::to_string(threads));
+      ChaseOptions options{.max_steps = 100, .max_atoms = 40,
+                           .variant = variant};
+      EngineRun serial, parallel;
+      RunOnText(rules, "E(a,b).", options, /*naive=*/false, &serial);
+      options.num_threads = threads;
+      RunOnText(rules, "E(a,b).", options, /*naive=*/false, &parallel);
+      ExpectIdentical(serial, parallel);
+    }
+  }
+}
+
+TEST(ChaseDifferentialTest, ParallelSaturatesWithSerialOnDatalog) {
+  // Saturation (and the restricted variant's satisfaction skipping) must
+  // agree: this workload exercises the parallel precheck, whose negative
+  // answers get re-checked serially once the step has fired atoms.
+  const std::string rules = "E(x,y), E(y,z) -> E(x,z)";
+  for (ChaseVariant variant : kVariants) {
+    for (std::size_t threads : kThreadCounts) {
+      SCOPED_TRACE(std::string(VariantName(variant)) + " threads " +
+                   std::to_string(threads));
+      ChaseOptions options{.max_steps = 64, .variant = variant};
+      EngineRun serial, parallel;
+      RunOnText(rules, "E(a,b). E(b,c). E(c,d). E(d,e). E(e,f).", options,
+                /*naive=*/false, &serial);
+      options.num_threads = threads;
+      RunOnText(rules, "E(a,b). E(b,c). E(c,d). E(d,e). E(e,f).", options,
+                /*naive=*/false, &parallel);
+      EXPECT_TRUE(parallel.chase->Saturated());
+      ExpectIdentical(serial, parallel);
+    }
+  }
+}
+
+TEST(ChaseDifferentialTest, ParallelMatchesSerialOnRandomizedWorkloads) {
+  generators::RuleSetSpec spec;
+  spec.num_predicates = 3;
+  spec.num_rules = 4;
+  spec.max_body_atoms = 3;
+  spec.max_head_atoms = 2;
+  spec.datalog_fraction = 0.5;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    for (ChaseVariant variant : kVariants) {
+      ChaseOptions options{.max_steps = 4, .max_atoms = 4000,
+                           .variant = variant};
+      EngineRun serial;
+      RunOnRandomWorkload(seed, spec, options, /*naive=*/false, &serial);
+      for (std::size_t threads : kThreadCounts) {
+        SCOPED_TRACE(std::string(VariantName(variant)) + " seed " +
+                     std::to_string(seed) + " threads " +
+                     std::to_string(threads));
+        ChaseOptions parallel_options = options;
+        parallel_options.num_threads = threads;
+        EngineRun parallel;
+        RunOnRandomWorkload(seed, spec, parallel_options, /*naive=*/false,
+                            &parallel);
+        ExpectIdentical(serial, parallel);
+      }
+    }
+  }
+}
+
+TEST(ChaseDifferentialTest, ParallelNaiveEnumerationMatchesSerialNaive) {
+  // The parallel executor also backs the naive escape hatch (full
+  // re-enumeration chunked over the first body atom's image range).
+  generators::RuleSetSpec spec;
+  spec.num_predicates = 2;
+  spec.num_rules = 3;
+  spec.max_body_atoms = 2;
+  spec.max_head_atoms = 2;
+  spec.datalog_fraction = 0.25;
+  spec.forward_existential_only = true;
+  for (std::uint64_t seed = 100; seed < 104; ++seed) {
+    for (ChaseVariant variant : kVariants) {
+      SCOPED_TRACE(std::string(VariantName(variant)) + " seed " +
+                   std::to_string(seed));
+      ChaseOptions options{.max_steps = 4, .max_atoms = 3000,
+                           .variant = variant};
+      EngineRun serial, parallel;
+      RunOnRandomWorkload(seed, spec, options, /*naive=*/true, &serial);
+      options.num_threads = 4;
+      RunOnRandomWorkload(seed, spec, options, /*naive=*/true, &parallel);
+      ExpectIdentical(serial, parallel);
     }
   }
 }

@@ -1,0 +1,252 @@
+// Tests for the execution subsystem: the work-stealing ThreadPool and
+// ParallelFor in src/base, the exec::ParallelChase building blocks, and
+// the pool-parallel HomSearch queries (which must be bit-identical to
+// their serial counterparts).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/thread_pool.h"
+#include "exec/parallel_chase.h"
+#include "generators/workload.h"
+#include "homomorphism/homomorphism.h"
+#include "logic/parser.h"
+
+namespace bddfc {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.WaitAll();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInlineInWaitAll) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  int count = 0;  // no synchronization needed: everything runs inline
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.WaitAll();
+  EXPECT_EQ(count, 50);
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitMoreTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&pool, &count] {
+      count.fetch_add(1);
+      for (int j = 0; j < 4; ++j) {
+        pool.Submit([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  pool.WaitAll();
+  EXPECT_EQ(count.load(), 8 + 8 * 4);
+}
+
+TEST(ThreadPoolTest, WaitAllIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.WaitAll();
+    EXPECT_EQ(count.load(), 20 * (round + 1));
+  }
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(7), 7u);
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1u);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(997);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(&pool, 0, hits.size(), /*grain=*/10,
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+              });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, NullPoolAndEmptyRangeAreFine) {
+  int calls = 0;
+  ParallelFor(nullptr, 5, 5, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::size_t sum = 0;
+  ParallelFor(nullptr, 0, 100, 8, [&](std::size_t lo, std::size_t hi) {
+    ++calls;
+    for (std::size_t i = lo; i < hi; ++i) sum += i;
+  });
+  EXPECT_EQ(calls, 1);  // inline: the whole range in one chunk
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(SortCanonicalTest, OrdersByRuleThenBodyImage) {
+  Universe u;
+  Term a = u.InternConstant("a");
+  Term b = u.InternConstant("b");
+  std::vector<exec::TriggerCandidate> candidates;
+  candidates.push_back({1, {a}});
+  candidates.push_back({0, {b, a}});
+  candidates.push_back({0, {a, b}});
+  exec::SortCanonical(&candidates);
+  EXPECT_EQ(candidates[0].rule_index, 0u);
+  EXPECT_EQ(candidates[0].body_image, (std::vector<Term>{a, b}));
+  EXPECT_EQ(candidates[1].body_image, (std::vector<Term>{b, a}));
+  EXPECT_EQ(candidates[2].rule_index, 1u);
+}
+
+// Builds a mid-sized random instance and a connected CQ, then checks every
+// pool-parallel HomSearch query against its serial counterpart.
+class ParallelHomTest : public ::testing::Test {
+ protected:
+  void Build(std::uint64_t seed, int num_atoms) {
+    Rng rng(seed);
+    generators::RuleSetSpec spec;
+    spec.num_predicates = 3;
+    rules_ = generators::RandomBinaryRuleSet(&universe_, spec, &rng);
+    instance_.emplace(
+        generators::RandomInstance(&universe_, rules_, /*num_constants=*/12,
+                                   num_atoms, &rng));
+    query_ = generators::RandomBooleanCq(&universe_, rules_, /*num_atoms=*/3,
+                                         /*num_vars=*/4, &rng);
+  }
+
+  Universe universe_;
+  RuleSet rules_;
+  std::optional<Instance> instance_;
+  std::optional<Cq> query_;
+};
+
+TEST_F(ParallelHomTest, FindAllParallelMatchesSerialOrder) {
+  for (std::uint64_t seed : {7u, 21u, 33u}) {
+    Build(seed, /*num_atoms=*/300);
+    HomSearch search(query_->atoms(), &*instance_);
+    const std::vector<Substitution> serial = search.FindAll();
+    for (std::size_t workers : {1u, 3u, 7u}) {
+      ThreadPool pool(workers);
+      const std::vector<Substitution> parallel =
+          search.FindAllParallel(&pool);
+      ASSERT_EQ(serial.size(), parallel.size()) << "seed " << seed;
+      for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].entries(), parallel[i].entries())
+            << "seed " << seed << " hom " << i;
+      }
+    }
+  }
+}
+
+TEST_F(ParallelHomTest, CountAndExistsMatchSerial) {
+  for (std::uint64_t seed : {5u, 11u}) {
+    Build(seed, /*num_atoms=*/250);
+    HomSearch search(query_->atoms(), &*instance_);
+    const std::size_t serial_count = search.FindAll().size();
+    ThreadPool pool(4);
+    EXPECT_EQ(search.CountParallel(&pool), serial_count);
+    EXPECT_EQ(search.ExistsParallel(&pool), serial_count > 0);
+  }
+}
+
+TEST_F(ParallelHomTest, FindAllParallelRespectsLimit) {
+  Build(/*seed=*/7, /*num_atoms=*/300);
+  HomSearch search(query_->atoms(), &*instance_);
+  const std::vector<Substitution> serial = search.FindAll({}, 10);
+  ThreadPool pool(4);
+  const std::vector<Substitution> parallel =
+      search.FindAllParallel(&pool, {}, 10);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].entries(), parallel[i].entries());
+  }
+}
+
+TEST(ForEachFirstInTest, PartitionReproducesForEach) {
+  Universe u;
+  Instance instance = MustParseInstance(
+      &u, "E(a,b). E(b,c). E(c,d). E(d,a). E(a,c). E(b,d).");
+  Cq q = MustParseCq(&u, "? :- E(x,y), E(y,z)");
+  HomSearch search(q.atoms(), &instance);
+  std::vector<Substitution> serial;
+  search.ForEach({}, [&](const Substitution& h) {
+    serial.push_back(h);
+    return true;
+  });
+  // Any partition of [0, size) must reproduce the serial enumeration when
+  // chunks are visited in index order.
+  const std::uint32_t n = static_cast<std::uint32_t>(instance.size());
+  for (std::uint32_t split = 0; split <= n; ++split) {
+    std::vector<Substitution> chunked;
+    const auto visit = [&](const Substitution& h) {
+      chunked.push_back(h);
+      return true;
+    };
+    search.ForEachFirstIn(0, split, {}, visit);
+    search.ForEachFirstIn(split, n, {}, visit);
+    ASSERT_EQ(serial.size(), chunked.size()) << "split " << split;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].entries(), chunked[i].entries())
+          << "split " << split << " hom " << i;
+    }
+  }
+}
+
+TEST(ForEachDeltaAnchorTest, ChunkedAnchorsReproduceForEachDelta) {
+  Universe u;
+  // Two chase-like "generations": treat the last four atoms as the delta.
+  Instance instance = MustParseInstance(
+      &u,
+      "E(a,b). E(b,c). E(c,d). E(d,e). "
+      "E(e,f). E(f,g). E(g,a). E(e,a).");
+  Cq q = MustParseCq(&u, "? :- E(x,y), E(y,z)");
+  HomSearch search(q.atoms(), &instance);
+  const std::uint32_t delta_begin = 5;  // ⊤ + first four atoms before it
+  const std::uint32_t delta_end = static_cast<std::uint32_t>(instance.size());
+  std::multiset<std::vector<std::pair<Term, Term>>> expected, chunked;
+  const auto keyed = [](const Substitution& h) {
+    std::vector<std::pair<Term, Term>> key(h.entries().begin(),
+                                           h.entries().end());
+    std::sort(key.begin(), key.end());
+    return key;
+  };
+  search.ForEachDelta({}, delta_begin, delta_end, [&](const Substitution& h) {
+    expected.insert(keyed(h));
+    return true;
+  });
+  EXPECT_FALSE(expected.empty());
+  search.PrepareDelta();
+  for (std::size_t anchor = 0; anchor < search.source_size(); ++anchor) {
+    for (std::uint32_t lo = delta_begin; lo < delta_end; ++lo) {
+      search.ForEachDeltaAnchor(anchor, delta_begin, delta_end, lo, lo + 1,
+                                {}, [&](const Substitution& h) {
+                                  chunked.insert(keyed(h));
+                                  return true;
+                                });
+    }
+  }
+  EXPECT_EQ(expected, chunked);
+}
+
+}  // namespace
+}  // namespace bddfc
