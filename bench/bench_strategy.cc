@@ -1,0 +1,177 @@
+// bench_strategy: the Reasoner's three answer strategies head to head.
+//
+// Three workloads span the paper's dichotomy:
+//   * chain     — unary Datalog chain: both pipelines terminate, so all
+//                 three strategies are complete and must agree (asserted).
+//   * tc        — transitive closure over a path: the rewriting diverges
+//                 (transitivity is not bdd), kAuto must fall back to the
+//                 chase; kRewrite is timed with a tight budget and is
+//                 incomplete by design.
+//   * bddified  — the introduction's bdd-ified Example 1: the chase
+//                 diverges (bounded here), the rewriting saturates, kAuto
+//                 must answer completely without materializing.
+//
+// Per (workload, strategy) the JSON metrics record prepare/answer wall
+// time, the answer count, completeness, the disjunct count of the
+// evaluated UCQ, and the materialization size — the data behind the
+// strategy-selection table in README "Answering queries".
+//
+//   ./bench_strategy --repetitions 1 --json=BENCH_strategy.json
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/reasoner.h"
+#include "base/check.h"
+#include "bench/harness.h"
+#include "generators/workload.h"
+#include "logic/parser.h"
+
+namespace {
+
+using bddfc::AnswerStrategy;
+using bddfc::AnswerTuple;
+using bddfc::ChaseOptions;
+using bddfc::Cq;
+using bddfc::Instance;
+using bddfc::PreparedQuery;
+using bddfc::Reasoner;
+using bddfc::ReasonerOptions;
+using bddfc::RuleSet;
+using bddfc::Universe;
+
+struct Workload {
+  const char* name;
+  RuleSet rules;
+  Instance database;
+  Cq query;
+  bool all_strategies_complete;  // assert agreement when true
+  std::size_t max_atoms;         // chase budget (bounds divergent chases)
+
+  Workload(const char* name, RuleSet rules, Instance database, Cq query,
+           bool complete, std::size_t max_atoms)
+      : name(name),
+        rules(std::move(rules)),
+        database(std::move(database)),
+        query(std::move(query)),
+        all_strategies_complete(complete),
+        max_atoms(max_atoms) {}
+};
+
+Workload MakeChain(Universe* u) {
+  RuleSet rules = bddfc::generators::UnaryChain(u, 8);
+  Instance db(u);
+  bddfc::PredicateId u0 = u->FindPredicate("U0");
+  for (int i = 0; i < 64; ++i) {
+    db.AddAtom(bddfc::Atom(
+        u0, {u->InternConstant("c" + std::to_string(i))}));
+  }
+  return Workload("chain", std::move(rules), std::move(db),
+                  bddfc::MustParseCq(u, "?(x) :- U8(x)"),
+                  /*complete=*/true, /*max_atoms=*/20000);
+}
+
+Workload MakeTc(Universe* u) {
+  RuleSet rules = bddfc::MustParseRuleSet(u, "E(x,y), E(y,z) -> E(x,z)");
+  Instance db(u);
+  bddfc::PredicateId e = u->FindPredicate("E");
+  for (int i = 0; i < 48; ++i) {
+    db.AddAtom(bddfc::Atom(e, {u->InternConstant("v" + std::to_string(i)),
+                               u->InternConstant("v" + std::to_string(i + 1))}));
+  }
+  return Workload("tc", std::move(rules), std::move(db),
+                  bddfc::MustParseCq(u, "?(x,y) :- E(x,y)"),
+                  /*complete=*/false, /*max_atoms=*/20000);
+}
+
+Workload MakeBddified(Universe* u) {
+  RuleSet rules = bddfc::generators::BddifiedExample1(u);
+  Instance db(u);
+  bddfc::PredicateId e = u->FindPredicate("E");
+  for (int i = 0; i < 12; ++i) {
+    db.AddAtom(bddfc::Atom(e, {u->InternConstant("w" + std::to_string(i)),
+                               u->InternConstant("w" + std::to_string(i + 1))}));
+  }
+  // The splice rule's body is disconnected (E(x,x1), E(y,y1) share no
+  // variable), so trigger enumeration is quadratic in the edge count:
+  // keep the atom budget tight — this workload exists to show kAuto
+  // sidestepping the divergent chase, not to blow it up.
+  return Workload("bddified", std::move(rules), std::move(db),
+                  bddfc::MustParseCq(u, "?(x,y) :- E(x,y)"),
+                  /*complete=*/false, /*max_atoms=*/800);
+}
+
+}  // namespace
+
+BDDFC_BENCH_EXPERIMENT(strategy) {
+  const AnswerStrategy kStrategies[] = {AnswerStrategy::kMaterialize,
+                                        AnswerStrategy::kRewrite,
+                                        AnswerStrategy::kAuto};
+  std::printf("  %-10s %-12s %10s %10s %8s %9s %9s\n", "workload", "strategy",
+              "prepare", "answer", "answers", "complete", "disjuncts");
+  for (int w = 0; w < 3; ++w) {
+    std::size_t complete_answer_counts[3] = {0, 0, 0};
+    bool asserted = false;
+    for (int s = 0; s < 3; ++s) {
+      // A fresh Universe per run keeps interning (and so timing) identical
+      // across strategies and repetitions.
+      Universe u;
+      Workload workload = w == 0   ? MakeChain(&u)
+                          : w == 1 ? MakeTc(&u)
+                                   : MakeBddified(&u);
+      asserted = workload.all_strategies_complete;
+      ReasonerOptions options;
+      options.strategy = kStrategies[s];
+      options.num_threads = bddfc::bench::Threads();
+      options.chase.variant = bddfc::ChaseVariant::kRestricted;
+      options.chase.max_steps = 64;
+      options.chase.max_atoms = workload.max_atoms;
+      // Keep the explicit-rewrite budget small enough that the divergent
+      // rewritings fail fast instead of grinding through subsumption.
+      options.rewriter.max_depth = 10;
+      options.rewriter.max_disjuncts = 256;
+      Reasoner reasoner(workload.database, workload.rules, options);
+
+      const auto prepare_start = std::chrono::steady_clock::now();
+      PreparedQuery prepared = reasoner.Prepare(workload.query);
+      const double prepare_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - prepare_start)
+              .count();
+      const auto answer_start = std::chrono::steady_clock::now();
+      const std::vector<AnswerTuple> answers = prepared.All();
+      const double answer_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - answer_start)
+              .count();
+      complete_answer_counts[s] = answers.size();
+
+      const std::string prefix =
+          std::string(workload.name) + "/" + bddfc::ToString(kStrategies[s]);
+      ctx.Metric(prefix + "/prepare_ms", prepare_ms);
+      ctx.Metric(prefix + "/answer_ms", answer_ms);
+      ctx.Metric(prefix + "/answers", static_cast<double>(answers.size()));
+      ctx.Metric(prefix + "/complete", prepared.complete() ? 1 : 0);
+      ctx.Metric(prefix + "/disjuncts",
+                 static_cast<double>(prepared.evaluated().size()));
+      ctx.Metric(prefix + "/chase_atoms",
+                 static_cast<double>(reasoner.stats().chase_atoms));
+      std::printf("  %-10s %-12s %8.2fms %8.2fms %8zu %9s %9zu\n",
+                  workload.name, bddfc::ToString(kStrategies[s]), prepare_ms,
+                  answer_ms, answers.size(),
+                  prepared.complete() ? "yes" : "no",
+                  prepared.evaluated().size());
+    }
+    if (asserted) {
+      // Every strategy is complete on this workload: the certain answer
+      // set is unique, so the counts must line up.
+      BDDFC_CHECK_EQ(complete_answer_counts[0], complete_answer_counts[1]);
+      BDDFC_CHECK_EQ(complete_answer_counts[0], complete_answer_counts[2]);
+    }
+  }
+  return 0;
+}
+
+BDDFC_BENCH_MAIN();

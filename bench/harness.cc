@@ -1,5 +1,7 @@
 #include "bench/harness.h"
 
+#include "base/json.h"
+
 #include <unistd.h>
 
 #include <algorithm>
@@ -146,28 +148,6 @@ CaseResult RunExperimentCase(const std::string& name, ExperimentFn fn,
     result.metrics = ctx.metrics();
   }
   return result;
-}
-
-std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
 }
 
 void WriteJson(const std::string& path, const std::string& bench_name,

@@ -1,10 +1,12 @@
 // Quickstart: parse a rule set and a database, run the chase, answer
-// queries directly and via UCQ rewriting.
+// queries directly, via UCQ rewriting, and through the Reasoner facade
+// that picks between the two.
 //
 //   $ ./quickstart
 
 #include <cstdio>
 
+#include "api/reasoner.h"
 #include "chase/chase.h"
 #include "homomorphism/homomorphism.h"
 #include "logic/parser.h"
@@ -60,6 +62,23 @@ int main() {
       break;
     }
   }
+
+  // 5. Steps 1–3 in one object: the Reasoner facade picks the strategy
+  //    (here: the rewriting saturates, so it answers off the database and
+  //    never materializes), and prepared queries survive fact insertion.
+  Reasoner reasoner(db, rules);
+  PreparedQuery prepared = reasoner.Prepare(query);
+  std::printf("\nReasoner: strategy=%s, complete=%s, entailed=%s\n",
+              ToString(prepared.strategy()),
+              prepared.complete() ? "yes" : "no",
+              prepared.Ask() ? "yes" : "no");
+  Cq who = MustParseCq(&universe, "?(e) :- Employee(e)");
+  PreparedQuery employees = reasoner.Prepare(who);
+  std::printf("employees before insert: %zu\n", employees.Count());
+  reasoner.AddFacts({Atom(universe.FindPredicate("Employee"),
+                          {universe.InternConstant("bob")})});
+  std::printf("employees after AddFacts(Employee(bob)): %zu\n",
+              employees.Count());
 
   return 0;
 }

@@ -1,0 +1,249 @@
+#include "api/reasoner.h"
+
+#include <chrono>
+#include <utility>
+
+#include "base/check.h"
+
+namespace bddfc {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+const char* ToString(AnswerStrategy strategy) {
+  switch (strategy) {
+    case AnswerStrategy::kMaterialize:
+      return "materialize";
+    case AnswerStrategy::kRewrite:
+      return "rewrite";
+    case AnswerStrategy::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+// --- AnswerCursor ------------------------------------------------------------
+
+std::optional<AnswerTuple> AnswerCursor::Next() {
+  for (;;) {
+    while (buffer_pos_ < buffer_.size()) {
+      AnswerTuple& tuple = buffer_[buffer_pos_++];
+      if (seen_.insert(tuple).second) return std::move(tuple);
+    }
+    if (disjunct_ >= query_->searches_.size()) return std::nullopt;
+    buffer_ = query_->EvaluateDisjunct(disjunct_++);
+    buffer_pos_ = 0;
+  }
+}
+
+// --- PreparedQuery -----------------------------------------------------------
+
+std::vector<AnswerTuple> PreparedQuery::EvaluateDisjunct(
+    std::size_t index) const {
+  const Cq& disjunct = evaluated_.disjuncts()[index];
+  // A Boolean disjunct contributes at most the empty tuple: an existence
+  // check (with short-circuiting) replaces materializing every
+  // homomorphism just to project it away.
+  if (disjunct.answers().empty()) {
+    if (searches_[index].ExistsParallel(pool_)) return {AnswerTuple{}};
+    return {};
+  }
+  std::vector<AnswerTuple> out;
+  for (const Substitution& h : searches_[index].FindAllParallel(pool_)) {
+    AnswerTuple tuple = h.ApplyTuple(disjunct.answers());
+    bool certain = true;
+    for (Term t : tuple) {
+      if (t.IsNull()) {
+        certain = false;
+        break;
+      }
+    }
+    if (certain) out.push_back(std::move(tuple));
+  }
+  return out;
+}
+
+bool PreparedQuery::complete() const {
+  if (strategy_ == AnswerStrategy::kRewrite) return rewrite_saturated_;
+  const ObliviousChase* chase = reasoner_->materialization();
+  return chase != nullptr && chase->Saturated();
+}
+
+bool PreparedQuery::Ask() const {
+  for (std::size_t i = 0; i < searches_.size(); ++i) {
+    const Cq& disjunct = evaluated_.disjuncts()[i];
+    if (disjunct.answers().empty()) {
+      if (searches_[i].ExistsParallel(pool_)) return true;
+      continue;
+    }
+    bool found = false;
+    searches_[i].ForEach({}, [&](const Substitution& h) {
+      for (Term v : disjunct.answers()) {
+        if (h.Apply(v).IsNull()) return true;  // not certain; keep searching
+      }
+      found = true;
+      return false;
+    });
+    if (found) return true;
+  }
+  return false;
+}
+
+std::size_t PreparedQuery::Count() const {
+  std::size_t n = 0;
+  AnswerCursor cursor = Open();
+  while (cursor.Next().has_value()) ++n;
+  return n;
+}
+
+std::vector<AnswerTuple> PreparedQuery::All() const {
+  std::vector<AnswerTuple> out;
+  AnswerCursor cursor = Open();
+  while (auto tuple = cursor.Next()) out.push_back(std::move(*tuple));
+  return out;
+}
+
+// --- Reasoner ----------------------------------------------------------------
+
+Reasoner::Reasoner(const Instance& database, RuleSet rules,
+                   ReasonerOptions options)
+    : options_(options),
+      database_(database),
+      rules_(std::move(rules)),
+      rewriter_(rules_, database_.universe(), options.rewriter),
+      probe_rewriter_(rules_, database_.universe(), options.auto_probe),
+      num_threads_(ThreadPool::ResolveThreadCount(options.num_threads)) {
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_ - 1);
+  }
+  // One pool per session: the chase borrows it (ChaseOptions::pool
+  // overrides num_threads) and prepared-query evaluation fans out over it.
+  options_.chase.num_threads = num_threads_;
+  options_.chase.pool = pool_.get();
+}
+
+Reasoner::~Reasoner() = default;
+
+void Reasoner::DriveChase(std::size_t target_steps, bool incremental) {
+  const auto total_start = std::chrono::steady_clock::now();
+  while (chase_->StepsExecuted() < target_steps && !chase_->Saturated() &&
+         !chase_->HitBounds()) {
+    const std::size_t atoms_before = chase_->Result().size();
+    const std::size_t steps_before = chase_->StepsExecuted();
+    const auto step_start = std::chrono::steady_clock::now();
+    chase_->RunSteps(steps_before + 1);
+    if (chase_->StepsExecuted() == steps_before) break;  // nothing fired
+    stats_.chase_steps.push_back(
+        {chase_->StepsExecuted(), chase_->Result().size() - atoms_before,
+         chase_->Result().size(), MsSince(step_start), incremental});
+  }
+  stats_.materialize_ms += MsSince(total_start);
+  stats_.materialized = true;
+  stats_.chase_saturated = chase_->Saturated();
+  stats_.chase_hit_bounds = chase_->HitBounds();
+  stats_.chase_atoms = chase_->Result().size();
+  stats_.triggers_fired = chase_->TriggersFired();
+}
+
+void Reasoner::EnsureMaterialized() {
+  if (chase_ != nullptr) return;
+  chase_ = std::make_unique<ObliviousChase>(database_, rules_, options_.chase);
+  DriveChase(options_.chase.max_steps, /*incremental=*/false);
+}
+
+const Instance& Reasoner::Materialize() {
+  EnsureMaterialized();
+  return chase_->Result();
+}
+
+PreparedQuery Reasoner::Prepare(const Cq& q) { return Prepare(Ucq({q})); }
+
+PreparedQuery Reasoner::Prepare(const Ucq& q) {
+  ++stats_.queries_prepared;
+  AnswerStrategy resolved = options_.strategy;
+  RewriteResult rewrite;
+  if (resolved != AnswerStrategy::kMaterialize) {
+    rewrite = resolved == AnswerStrategy::kAuto ? probe_rewriter_.Rewrite(q)
+                                                : rewriter_.Rewrite(q);
+    ++stats_.rewrites_run;
+    if (resolved == AnswerStrategy::kAuto) {
+      // The paper's dichotomy as a planner: a saturated rewriting certifies
+      // the query is UCQ-rewritable against these rules, so evaluating it
+      // over the raw database is complete and no materialization is needed;
+      // otherwise fall back to the chase.
+      if (rewrite.saturated) {
+        resolved = AnswerStrategy::kRewrite;
+        ++stats_.auto_picked_rewrite;
+      } else {
+        resolved = AnswerStrategy::kMaterialize;
+        ++stats_.auto_picked_materialize;
+      }
+    }
+  }
+
+  PreparedQuery out;
+  out.strategy_ = resolved;
+  out.reasoner_ = this;
+  out.pool_ = pool_.get();
+  out.answer_arity_ =
+      q.empty() ? 0 : q.disjuncts().front().answers().size();
+  const Instance* target = nullptr;
+  if (resolved == AnswerStrategy::kRewrite) {
+    out.evaluated_ = std::move(rewrite.ucq);
+    out.rewrite_saturated_ = rewrite.saturated;
+    target = &database_;
+  } else {
+    EnsureMaterialized();
+    out.evaluated_ = q;
+    target = &chase_->Result();
+  }
+  out.searches_.reserve(out.evaluated_.size());
+  for (const Cq& disjunct : out.evaluated_.disjuncts()) {
+    out.searches_.emplace_back(disjunct.atoms(), target);
+  }
+  return out;
+}
+
+std::vector<AnswerTuple> Reasoner::Answer(const Cq& q) {
+  return Prepare(q).All();
+}
+
+std::vector<AnswerTuple> Reasoner::Answer(const Ucq& q) {
+  return Prepare(q).All();
+}
+
+bool Reasoner::Ask(const Cq& q) { return Prepare(q).Ask(); }
+
+std::size_t Reasoner::AddFacts(const std::vector<Atom>& facts) {
+  std::size_t added = 0;
+  std::vector<Atom> fresh;
+  fresh.reserve(facts.size());
+  for (const Atom& fact : facts) {
+    for (Term t : fact.args()) BDDFC_CHECK(t.IsConstant());
+    if (!database_.AddAtom(fact)) continue;
+    fresh.push_back(fact);
+    ++added;
+  }
+  stats_.facts_added += added;
+  if (added == 0 || chase_ == nullptr) return added;
+  // Incremental maintenance: resume the existing chase from the new delta
+  // with a fresh step budget, instead of re-chasing the extended instance.
+  // A fact the chase had already derived adds nothing to the delta.
+  if (chase_->AddBaseFacts(fresh) > 0) {
+    ++stats_.incremental_runs;
+    DriveChase(chase_->StepsExecuted() + options_.chase.max_steps,
+               /*incremental=*/true);
+  } else {
+    stats_.chase_atoms = chase_->Result().size();
+  }
+  return added;
+}
+
+}  // namespace bddfc

@@ -1,0 +1,293 @@
+// Unified query-answering facade over the two pipelines the paper studies:
+// materialize-with-the-chase-then-evaluate (src/chase + src/exec +
+// src/homomorphism) and rewrite-into-a-UCQ-then-evaluate (src/rewriting).
+//
+// A Reasoner is a session over one rule set and one growing base instance.
+// Queries are answered under certain-answer semantics — ans(q, I, R) is the
+// set of all-constant tuples t̄ with Ch(I,R) |= q(t̄) — through a pluggable
+// AnswerStrategy:
+//
+//   * kMaterialize — chase the base instance to saturation (or the
+//     configured bounds), evaluate the query over the materialization, and
+//     drop tuples that touch labeled nulls. Complete iff the chase
+//     saturated. The materialization is built once, maintained
+//     incrementally by AddFacts(), and shared by every query.
+//   * kRewrite — compute the UCQ rewriting rew(q, R) and evaluate it over
+//     the raw base instance (Definition 2 / the bdd way). Complete iff the
+//     rewriting saturated within the configured bounds. Nothing is ever
+//     materialized.
+//   * kAuto — probe the rewriting within the configured bounds; if it
+//     saturates, answer by kRewrite (reusing the probe's result), else
+//     fall back to kMaterialize. This picks the strategy the paper's
+//     dichotomy suggests: rewriting for bdd(-up-to-budget) rule sets,
+//     materialization otherwise.
+//
+// Prepare() turns a query into a PreparedQuery — strategy resolved,
+// rewriting computed, per-disjunct homomorphism searches built — which can
+// then be executed many times (Ask/Count/All/Open), including after
+// AddFacts(): prepared queries always see the current state of the session.
+// Enumeration order is deterministic at every thread count (first-derivation
+// order: disjuncts in order, homomorphisms in the solver's canonical order,
+// duplicates keep their first occurrence).
+
+#ifndef BDDFC_API_REASONER_H_
+#define BDDFC_API_REASONER_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/thread_pool.h"
+#include "chase/chase.h"
+#include "homomorphism/homomorphism.h"
+#include "logic/cq.h"
+#include "logic/instance.h"
+#include "logic/rule.h"
+#include "rewriting/rewriter.h"
+
+namespace bddfc {
+
+/// How a Reasoner answers queries. See the file comment.
+enum class AnswerStrategy {
+  kMaterialize,
+  kRewrite,
+  kAuto,
+};
+
+/// Human-readable strategy name ("materialize" / "rewrite" / "auto").
+const char* ToString(AnswerStrategy strategy);
+
+/// Session-wide configuration.
+struct ReasonerOptions {
+  AnswerStrategy strategy = AnswerStrategy::kAuto;
+  /// Chase variant and bounds for the kMaterialize path. `num_threads`
+  /// below overrides `chase.num_threads`.
+  ChaseOptions chase;
+  /// Rewriting bounds for the explicit kRewrite strategy. The facade trims
+  /// the library-wide caps (depth 12 → 10, 4096 → 1024 disjuncts, 24 → 16
+  /// atoms per query): non-saturating rewritings grow the frontier by
+  /// ~2.5× per generation (and subsumption/coring costs compound on top),
+  /// so a session-facing rewriting should give up within seconds, not
+  /// minutes — measured on a transitive rule set, depth 12 burns ~80 s
+  /// where depth 10 fails in ~3 s. Raise the caps for genuinely deep (but
+  /// saturating) rewritings.
+  RewriterOptions rewriter{
+      .max_depth = 10, .max_disjuncts = 1024, .max_atoms_per_query = 16};
+  /// Bounds for the kAuto rewriting probe — intentionally much tighter
+  /// than `rewriter`, because a non-saturating probe is pure loss (the
+  /// query then materializes anyway) and subsumption pruning is quadratic
+  /// in the disjunct count. A rule set that is bdd but only saturates
+  /// beyond these bounds falls back to materialization under kAuto; ask
+  /// for kRewrite explicitly to spend the full budget.
+  RewriterOptions auto_probe{
+      .max_depth = 6, .max_disjuncts = 128, .max_atoms_per_query = 16};
+  /// Execution threads, plumbed both into the chase
+  /// (ChaseOptions::num_threads) and into prepared-query evaluation
+  /// (HomSearch::FindAllParallel over the session pool). 1 = serial,
+  /// 0 = all hardware threads. Answers are identical at any thread count.
+  std::size_t num_threads = 1;
+};
+
+/// One answer: the images of the query's answer tuple, all constants. A
+/// Boolean query that holds yields a single empty tuple.
+using AnswerTuple = std::vector<Term>;
+
+/// Hash for AnswerTuple (dedup sets, user-side caches).
+struct AnswerTupleHash {
+  std::size_t operator()(const AnswerTuple& tuple) const {
+    std::size_t seed = tuple.size();
+    for (Term t : tuple) HashCombine(&seed, std::hash<Term>{}(t));
+    return seed;
+  }
+};
+
+/// Wall-clock and size accounting of one executed chase step, as recorded
+/// by the facade's chase driver (chase_cli prints these; --json emits them).
+struct ChaseStepStats {
+  std::size_t step = 0;         // 1-based chase step number
+  std::size_t atoms_added = 0;  // atoms this step derived
+  std::size_t atoms_total = 0;  // cumulative atom count after the step
+  double wall_ms = 0;
+  bool incremental = false;  // ran during AddFacts() maintenance
+};
+
+/// Session counters. Monotone; read via Reasoner::stats().
+struct ReasonerStats {
+  bool materialized = false;
+  bool chase_saturated = false;
+  bool chase_hit_bounds = false;
+  std::size_t chase_atoms = 0;
+  std::size_t triggers_fired = 0;
+  double materialize_ms = 0;
+  std::vector<ChaseStepStats> chase_steps;
+  std::size_t queries_prepared = 0;
+  std::size_t rewrites_run = 0;
+  std::size_t auto_picked_rewrite = 0;
+  std::size_t auto_picked_materialize = 0;
+  std::size_t facts_added = 0;
+  std::size_t incremental_runs = 0;
+};
+
+class PreparedQuery;
+class Reasoner;
+
+/// Streaming answer enumeration over a PreparedQuery, in the deterministic
+/// first-derivation order. Evaluates one disjunct at a time, so a UCQ with
+/// many disjuncts (a typical rewriting) starts yielding answers before the
+/// whole union has been evaluated. The cursor references the PreparedQuery:
+/// it must not outlive it (or survive a move of it).
+class AnswerCursor {
+ public:
+  /// The next answer tuple, or nullopt when the enumeration is exhausted.
+  std::optional<AnswerTuple> Next();
+
+ private:
+  friend class PreparedQuery;
+  explicit AnswerCursor(const PreparedQuery* query) : query_(query) {}
+
+  const PreparedQuery* query_;
+  std::size_t disjunct_ = 0;  // next disjunct to evaluate
+  std::vector<AnswerTuple> buffer_;
+  std::size_t buffer_pos_ = 0;
+  std::unordered_set<AnswerTuple, AnswerTupleHash> seen_;
+};
+
+/// A query planned once — strategy resolved, rewriting (if any) computed,
+/// per-disjunct homomorphism searches built — and executable many times.
+/// Execution always reflects the Reasoner's current state: answers grow as
+/// AddFacts() inserts data. Movable but not copyable; must not outlive the
+/// Reasoner that prepared it.
+class PreparedQuery {
+ public:
+  PreparedQuery(PreparedQuery&&) = default;
+  PreparedQuery& operator=(PreparedQuery&&) = default;
+  PreparedQuery(const PreparedQuery&) = delete;
+  PreparedQuery& operator=(const PreparedQuery&) = delete;
+
+  /// The strategy this query executes with (kMaterialize or kRewrite —
+  /// kAuto has been resolved at Prepare time).
+  AnswerStrategy strategy() const { return strategy_; }
+
+  /// True when the answers are guaranteed complete *right now*: the
+  /// rewriting saturated (kRewrite — a property of the plan), or the
+  /// maintained chase is currently saturated (kMaterialize — re-checked
+  /// live, because a later AddFacts() can drive the incremental chase
+  /// into its bounds after this query was prepared). When false, every
+  /// returned answer is still sound (certain), but some certain answers
+  /// may be missing.
+  bool complete() const;
+
+  /// The UCQ actually evaluated: the rewriting under kRewrite, the input
+  /// query under kMaterialize.
+  const Ucq& evaluated() const { return evaluated_; }
+
+  /// Arity of the answer tuples (0 = Boolean).
+  std::size_t answer_arity() const { return answer_arity_; }
+
+  /// True iff the query has at least one (certain) answer. Short-circuits.
+  bool Ask() const;
+
+  /// Number of distinct answers.
+  std::size_t Count() const;
+
+  /// All distinct answers, in the deterministic first-derivation order.
+  std::vector<AnswerTuple> All() const;
+
+  /// Opens a streaming cursor over the same enumeration.
+  AnswerCursor Open() const { return AnswerCursor(this); }
+
+ private:
+  friend class AnswerCursor;
+  friend class Reasoner;
+  PreparedQuery() = default;
+
+  // Projected, null-filtered (not yet deduplicated) answers of disjunct
+  // `index`, in homomorphism enumeration order.
+  std::vector<AnswerTuple> EvaluateDisjunct(std::size_t index) const;
+
+  AnswerStrategy strategy_ = AnswerStrategy::kMaterialize;
+  const Reasoner* reasoner_ = nullptr;  // the preparing session
+  bool rewrite_saturated_ = false;      // kRewrite: rew(q,R) saturated
+  Ucq evaluated_;
+  std::size_t answer_arity_ = 0;
+  ThreadPool* pool_ = nullptr;  // owned by the Reasoner; null = serial
+  std::vector<HomSearch> searches_;  // one per disjunct, into the target
+};
+
+/// The session facade: one rule set, one growing base instance, one
+/// (lazily built, incrementally maintained) materialization, one rewriter,
+/// one thread pool. Not copyable or movable: PreparedQuery handles point
+/// into the session.
+class Reasoner {
+ public:
+  /// Starts a session over a copy of `database` (later AddFacts() calls
+  /// grow the session's copy, not the caller's instance). The rule set is
+  /// fixed for the session's lifetime.
+  Reasoner(const Instance& database, RuleSet rules,
+           ReasonerOptions options = {});
+
+  Reasoner(const Reasoner&) = delete;
+  Reasoner& operator=(const Reasoner&) = delete;
+  ~Reasoner();
+
+  Universe* universe() const { return database_.universe(); }
+  const RuleSet& rules() const { return rules_; }
+  /// The session's base instance (database atoms only, no chase output).
+  const Instance& database() const { return database_; }
+  const ReasonerOptions& options() const { return options_; }
+  /// Resolved execution thread count (1 = serial).
+  std::size_t num_threads() const { return num_threads_; }
+
+  /// Plans a query under the session strategy. See PreparedQuery.
+  PreparedQuery Prepare(const Cq& q);
+  PreparedQuery Prepare(const Ucq& q);
+
+  /// One-shot conveniences: Prepare + All / Ask.
+  std::vector<AnswerTuple> Answer(const Cq& q);
+  std::vector<AnswerTuple> Answer(const Ucq& q);
+  bool Ask(const Cq& q);
+
+  /// Inserts base facts (atoms over constants, interned in universe()).
+  /// Returns the number of atoms new to the base instance. If the
+  /// materialization exists it is maintained incrementally: the facts are
+  /// appended as a delta and the chase resumes from the existing result
+  /// (with a fresh step budget of options().chase.max_steps), firing only
+  /// triggers the new atoms enable — never re-chasing from scratch.
+  /// Prepared queries are not invalidated; they see the new state.
+  std::size_t AddFacts(const std::vector<Atom>& facts);
+
+  /// Forces the materialization (idempotent) and returns it. Most callers
+  /// never need this: kMaterialize/kAuto queries materialize on demand.
+  const Instance& Materialize();
+
+  /// The chase engine backing kMaterialize, or nullptr while nothing has
+  /// been materialized yet. Exposed for introspection (per-step provenance,
+  /// Explain, CanonicalAtoms) — treat as read-only.
+  const ObliviousChase* materialization() const { return chase_.get(); }
+
+  const ReasonerStats& stats() const { return stats_; }
+
+ private:
+  void EnsureMaterialized();
+  // Runs the chase one step at a time up to `target_steps` total executed
+  // steps, recording per-step stats.
+  void DriveChase(std::size_t target_steps, bool incremental);
+
+  ReasonerOptions options_;
+  Instance database_;
+  RuleSet rules_;
+  UcqRewriter rewriter_;        // full budget (kRewrite)
+  UcqRewriter probe_rewriter_;  // tight budget (the kAuto probe)
+  std::size_t num_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // null when serial
+  std::unique_ptr<ObliviousChase> chase_;
+  ReasonerStats stats_;
+};
+
+}  // namespace bddfc
+
+#endif  // BDDFC_API_REASONER_H_

@@ -1,0 +1,18 @@
+// Minimal JSON string escaping, shared by every JSON reporter in the tree
+// (the bench harness, chase_cli --json).
+
+#ifndef BDDFC_BASE_JSON_H_
+#define BDDFC_BASE_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace bddfc {
+
+/// Escapes `s` for embedding inside a JSON string literal: quotes,
+/// backslashes, \n, \t, and all other control characters (as \u00xx).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_BASE_JSON_H_

@@ -24,9 +24,13 @@ const std::string& SymbolTable::NameOf(SymbolId id) const {
 }
 
 SymbolId SymbolTable::Fresh(std::string_view prefix) {
+  // The separator must be an identifier character of the logic lexer, or
+  // printed fresh symbols could never be re-parsed ('#' — the old choice —
+  // starts a comment there; the prime is the conventional "generated"
+  // marker and round-trips).
   for (;;) {
     std::string candidate =
-        std::string(prefix) + "#" + std::to_string(fresh_counter_++);
+        std::string(prefix) + "'" + std::to_string(fresh_counter_++);
     if (index_.find(candidate) == index_.end()) {
       return Intern(candidate);
     }

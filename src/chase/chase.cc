@@ -1,6 +1,8 @@
 #include "chase/chase.h"
 
 #include <algorithm>
+#include <functional>
+#include <string>
 
 #include "base/check.h"
 #include "base/hash.h"
@@ -45,9 +47,16 @@ ObliviousChase::ObliviousChase(const Instance& database, RuleSet rules,
       frontier_positions_.push_back(std::move(positions));
     }
   }
-  num_threads_ = ThreadPool::ResolveThreadCount(options_.num_threads);
-  if (num_threads_ > 1) {
-    parallel_ = std::make_unique<exec::ParallelChase>(num_threads_);
+  if (options_.pool != nullptr) {
+    num_threads_ = options_.pool->num_workers() + 1;
+    if (num_threads_ > 1) {
+      parallel_ = std::make_unique<exec::ParallelChase>(options_.pool);
+    }
+  } else {
+    num_threads_ = ThreadPool::ResolveThreadCount(options_.num_threads);
+    if (num_threads_ > 1) {
+      parallel_ = std::make_unique<exec::ParallelChase>(num_threads_);
+    }
   }
 }
 
@@ -236,6 +245,83 @@ std::size_t ObliviousChase::RunSteps(std::size_t k) {
     }
   }
   return steps_executed_;
+}
+
+std::size_t ObliviousChase::AddBaseFacts(const std::vector<Atom>& facts) {
+  std::size_t added = 0;
+  for (const Atom& fact : facts) {
+    for (Term t : fact.args()) BDDFC_CHECK(!t.IsVariable());
+    if (!instance_.AddAtom(fact)) continue;
+    atom_step_.push_back(0);
+    atom_provenance_.push_back(AtomProvenance{});
+    ++added;
+  }
+  if (added == 0) return 0;
+  // The appended atoms extend the newest delta segment: the next StepOnce
+  // enumerates [atoms_at_step_[steps-1], size), which covers them (plus the
+  // previous step's atoms, whose triggers the fired_ ledger filters). With
+  // no steps executed yet the first step enumerates the full instance
+  // anyway. Keeping the per-step atom counts consistent, the inserted facts
+  // count into the segment of the last executed step (they are step-0
+  // database atoms individually, see StepOfAtom).
+  atoms_at_step_.back() = instance_.size();
+  saturated_ = false;
+  return added;
+}
+
+std::vector<std::string> ObliviousChase::CanonicalAtoms() const {
+  std::unordered_map<Term, std::string> null_names;
+  const bool semi = options_.variant == ChaseVariant::kSemiOblivious;
+  std::function<const std::string&(Term)> null_name =
+      [&](Term t) -> const std::string& {
+    auto it = null_names.find(t);
+    if (it != null_names.end()) return it->second;
+    const ChaseTermInfo* info = InfoOf(t);
+    BDDFC_CHECK(info != nullptr);
+    const Rule& rule = rules_[info->rule_index];
+    std::size_t existential_index = 0;
+    for (std::size_t i = 0; i < rule.existentials().size(); ++i) {
+      if (info->trigger.Apply(rule.existentials()[i]) == t) {
+        existential_index = i;
+        break;
+      }
+    }
+    const std::vector<Term>& id_vars =
+        semi ? rule.frontier() : rule.body_vars();
+    std::string name = "f";
+    name += std::to_string(info->rule_index);
+    name += '_';
+    name += std::to_string(existential_index);
+    name += '(';
+    for (std::size_t i = 0; i < id_vars.size(); ++i) {
+      if (i > 0) name += ',';
+      Term image = info->trigger.Apply(id_vars[i]);
+      if (image.IsNull()) {
+        name += null_name(image);
+      } else {
+        name += universe()->TermName(image);
+      }
+    }
+    name += ')';
+    return null_names.emplace(t, std::move(name)).first->second;
+  };
+  std::vector<std::string> out;
+  out.reserve(instance_.size());
+  for (const Atom& atom : instance_.atoms()) {
+    std::string s = universe()->PredicateName(atom.pred());
+    if (!atom.IsNullary()) {
+      s += '(';
+      for (std::size_t i = 0; i < atom.arity(); ++i) {
+        if (i > 0) s += ',';
+        Term t = atom.arg(i);
+        s += t.IsNull() ? null_name(t) : universe()->TermName(t);
+      }
+      s += ')';
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::size_t ObliviousChase::AtomCountAtStep(std::size_t k) const {

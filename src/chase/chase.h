@@ -73,6 +73,13 @@ struct ChaseOptions {
   /// instance, and their trigger batches are merged into the canonical
   /// (rule, body-image) order before the serial firing phase.
   std::size_t num_threads = 1;
+  /// Optional shared execution pool (not owned; must outlive the chase).
+  /// When set it overrides `num_threads`: the chase runs with
+  /// pool->num_workers() + 1 execution threads and fans work out over this
+  /// pool instead of spinning up its own. The Reasoner facade uses this so
+  /// one session owns exactly one pool (chase + query evaluation); null
+  /// (the default) keeps the self-owned-pool behavior.
+  ThreadPool* pool = nullptr;
 };
 
 /// Provenance of a chase-created term.
@@ -106,6 +113,33 @@ class ObliviousChase {
 
   /// Runs until at least `k` steps executed (or saturation/bounds).
   std::size_t RunSteps(std::size_t k);
+
+  /// Incremental insertion: appends `facts` (atoms over constants or nulls,
+  /// never variables) to the instance as database atoms and re-arms the
+  /// chase, so the next RunSteps resumes from the existing materialization
+  /// instead of re-chasing from scratch. The new atoms join the newest
+  /// delta segment: the delta-driven enumerator finds exactly the triggers
+  /// whose body image uses at least one of them (already-fired triggers are
+  /// filtered by the trigger ledger). Returns the number of atoms actually
+  /// added; atoms already present (database or derived) are skipped.
+  /// Clears Saturated() when anything was added; HitBounds() is sticky — an
+  /// atom-budget-stopped chase stays stopped. For the oblivious and
+  /// semi-oblivious variants the resumed run fires the same trigger set a
+  /// from-scratch chase of the extended instance fires, so the results are
+  /// isomorphic (CanonicalAtoms() compares equal); the restricted variant
+  /// yields a hom-equivalent but possibly smaller result.
+  std::size_t AddBaseFacts(const std::vector<Atom>& facts);
+
+  /// Order-independent rendering of Result(): every labeled null is renamed
+  /// to its skolem term f<rule>_<existential>(identity images...), built
+  /// recursively from the creating trigger (identity = body image for the
+  /// oblivious/restricted variants, frontier image for the semi-oblivious
+  /// one, matching the trigger ledger), and the atom strings are returned
+  /// sorted. Two chases of the same rules agree on CanonicalAtoms() iff
+  /// their results are equal up to null renaming — the yardstick the
+  /// incremental-vs-scratch differential tests compare with. Intended for
+  /// testing/debugging: string size grows with null nesting depth.
+  std::vector<std::string> CanonicalAtoms() const;
 
   /// The chase result built so far (Ch_n for n = StepsExecuted()).
   const Instance& Result() const { return instance_; }

@@ -62,7 +62,11 @@ void SortCanonical(std::vector<TriggerCandidate>* candidates) {
 }
 
 ParallelChase::ParallelChase(std::size_t num_threads)
-    : pool_(ThreadPool::ResolveThreadCount(num_threads) - 1) {}
+    : owned_pool_(std::make_unique<ThreadPool>(
+          ThreadPool::ResolveThreadCount(num_threads) - 1)),
+      pool_(owned_pool_.get()) {}
+
+ParallelChase::ParallelChase(ThreadPool* pool) : pool_(pool) {}
 
 void ParallelChase::CollectDelta(std::vector<HomSearch>* searches,
                                  std::uint32_t delta_begin,
@@ -87,7 +91,7 @@ void ParallelChase::CollectDelta(std::vector<HomSearch>* searches,
     }
   }
   RunUnits(
-      &pool_, units,
+      pool_, units,
       [&](const Unit& unit, std::vector<TriggerCandidate>* batch) {
         (*searches)[unit.rule].ForEachDeltaAnchor(
             unit.anchor, delta_begin, delta_end, unit.lo, unit.hi, {},
@@ -112,7 +116,7 @@ void ParallelChase::CollectFull(std::vector<HomSearch>* searches,
     }
   }
   RunUnits(
-      &pool_, units,
+      pool_, units,
       [&](const Unit& unit, std::vector<TriggerCandidate>* batch) {
         (*searches)[unit.rule].ForEachFirstIn(
             unit.lo, unit.hi, {}, [&](const Substitution& h) {
@@ -128,7 +132,7 @@ void ParallelChase::ParallelCheck(
     const std::function<bool(const TriggerCandidate&)>& check,
     std::vector<char>* out) {
   out->assign(candidates.size(), 0);
-  ParallelFor(&pool_, 0, candidates.size(), /*grain=*/8,
+  ParallelFor(pool_, 0, candidates.size(), /*grain=*/8,
               [&](std::size_t lo, std::size_t hi) {
                 for (std::size_t i = lo; i < hi; ++i) {
                   (*out)[i] = check(candidates[i]) ? 1 : 0;

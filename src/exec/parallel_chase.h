@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "base/thread_pool.h"
@@ -78,14 +79,21 @@ class ParallelChase {
 
   /// Creates the executor with `num_threads` total execution threads: one
   /// is the caller (which participates while waiting), the rest are pool
-  /// workers. `num_threads` 0 resolves to the hardware thread count.
+  /// workers owned by this executor. `num_threads` 0 resolves to the
+  /// hardware thread count.
   explicit ParallelChase(std::size_t num_threads);
 
+  /// Creates the executor borrowing `pool` (not owned; must outlive the
+  /// executor). Lets a session share one pool between chase execution and
+  /// its other pool-parallel work instead of spinning up a second set of
+  /// workers.
+  explicit ParallelChase(ThreadPool* pool);
+
   /// Total execution threads (workers + the participating caller).
-  std::size_t num_threads() const { return pool_.num_workers() + 1; }
+  std::size_t num_threads() const { return pool_->num_workers() + 1; }
 
   /// The underlying pool, shared with HomSearch's pool-parallel queries.
-  ThreadPool* pool() { return &pool_; }
+  ThreadPool* pool() { return pool_; }
 
   /// Parallel counterpart of the serial delta enumeration: appends to
   /// `out` the same candidate multiset that running ForEachDelta(seed={},
@@ -113,7 +121,8 @@ class ParallelChase {
                      std::vector<char>* out);
 
  private:
-  ThreadPool pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;  // null when borrowing
+  ThreadPool* pool_;  // owned_pool_.get(), or the borrowed pool
 };
 
 }  // namespace exec

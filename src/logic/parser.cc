@@ -1,6 +1,7 @@
 #include "logic/parser.h"
 
 #include <cctype>
+#include <unordered_set>
 #include <vector>
 
 #include "base/check.h"
@@ -26,6 +27,7 @@ struct Token {
   TokKind kind;
   std::string text;
   int line;
+  int column;  // 1-based column of the token's first character
 };
 
 class Lexer {
@@ -34,7 +36,8 @@ class Lexer {
 
   Token Next() {
     SkipSpaceAndComments();
-    if (pos_ >= input_.size()) return {TokKind::kEnd, "", line_};
+    const int col = Column();
+    if (pos_ >= input_.size()) return {TokKind::kEnd, "", line_, col};
     char c = input_[pos_];
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
       std::size_t start = pos_;
@@ -44,49 +47,52 @@ class Lexer {
         ++pos_;
       }
       return {TokKind::kIdent, std::string(input_.substr(start, pos_ - start)),
-              line_};
+              line_, col};
     }
     ++pos_;
     switch (c) {
       case '(':
-        return {TokKind::kLParen, "(", line_};
+        return {TokKind::kLParen, "(", line_, col};
       case ')':
-        return {TokKind::kRParen, ")", line_};
+        return {TokKind::kRParen, ")", line_, col};
       case ',':
-        return {TokKind::kComma, ",", line_};
+        return {TokKind::kComma, ",", line_, col};
       case '.':
-        return {TokKind::kDot, ".", line_};
+        return {TokKind::kDot, ".", line_, col};
       case '?':
-        return {TokKind::kQuestion, "?", line_};
+        return {TokKind::kQuestion, "?", line_, col};
       case '[':
-        return {TokKind::kLBracket, "[", line_};
+        return {TokKind::kLBracket, "[", line_, col};
       case ']':
-        return {TokKind::kRBracket, "]", line_};
+        return {TokKind::kRBracket, "]", line_, col};
       case '-':
         if (pos_ < input_.size() && input_[pos_] == '>') {
           ++pos_;
-          return {TokKind::kArrow, "->", line_};
+          return {TokKind::kArrow, "->", line_, col};
         }
         break;
       case ':':
         if (pos_ < input_.size() && input_[pos_] == '-') {
           ++pos_;
-          return {TokKind::kTurnstile, ":-", line_};
+          return {TokKind::kTurnstile, ":-", line_, col};
         }
         break;
       default:
         break;
     }
-    return {TokKind::kEnd, std::string(1, c), line_};
+    return {TokKind::kEnd, std::string(1, c), line_, col};
   }
 
  private:
+  int Column() const { return static_cast<int>(pos_ - line_start_) + 1; }
+
   void SkipSpaceAndComments() {
     while (pos_ < input_.size()) {
       char c = input_[pos_];
       if (c == '\n') {
         ++line_;
         ++pos_;
+        line_start_ = pos_;
       } else if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos_;
       } else if (c == '#' || c == '%') {
@@ -99,6 +105,7 @@ class Lexer {
 
   std::string_view input_;
   std::size_t pos_ = 0;
+  std::size_t line_start_ = 0;
   int line_ = 1;
 };
 
@@ -128,9 +135,13 @@ class ParserImpl {
   }
 
   void Fail(std::string message) {
+    FailAt(std::move(message), cur_.line, cur_.column);
+  }
+
+  void FailAt(std::string message, int line, int column) {
     if (!failed_) {
       failed_ = true;
-      error_ = {std::move(message), cur_.line};
+      error_ = {std::move(message), line, column};
     }
   }
 
@@ -155,6 +166,8 @@ class ParserImpl {
       return std::nullopt;
     }
     std::string pred_name = cur_.text;
+    const int pred_line = cur_.line;
+    const int pred_column = cur_.column;
     Advance();
     std::vector<Term> args;
     if (cur_.kind == TokKind::kLParen) {
@@ -179,9 +192,10 @@ class ParserImpl {
     PredicateId existing = universe_->FindPredicate(pred_name);
     if (existing != Universe::kNoPredicate &&
         universe_->ArityOf(existing) != static_cast<int>(args.size())) {
-      Fail("predicate '" + pred_name + "' used with arity " +
-           std::to_string(args.size()) + " but declared with arity " +
-           std::to_string(universe_->ArityOf(existing)));
+      FailAt("predicate '" + pred_name + "' used with arity " +
+                 std::to_string(args.size()) + " but declared with arity " +
+                 std::to_string(universe_->ArityOf(existing)),
+             pred_line, pred_column);
       return std::nullopt;
     }
     PredicateId pred = universe_->InternPredicate(
@@ -228,7 +242,13 @@ class ParserImpl {
 
   std::optional<Cq> ParseOneCq() {
     if (!Expect(TokKind::kQuestion, "'?'")) return std::nullopt;
-    std::vector<std::string> answer_names;
+    struct AnswerName {
+      std::string name;
+      int line;
+      int column;
+    };
+    std::vector<AnswerName> answer_names;
+    std::unordered_set<std::string> answer_name_set;
     if (cur_.kind == TokKind::kLParen) {
       Advance();
       if (cur_.kind != TokKind::kRParen) {
@@ -237,7 +257,11 @@ class ParserImpl {
             Fail("expected answer variable");
             return std::nullopt;
           }
-          answer_names.push_back(cur_.text);
+          if (!answer_name_set.insert(cur_.text).second) {
+            Fail("duplicate answer variable '" + cur_.text + "'");
+            return std::nullopt;
+          }
+          answer_names.push_back({cur_.text, cur_.line, cur_.column});
           Advance();
           if (cur_.kind == TokKind::kComma) {
             Advance();
@@ -251,9 +275,25 @@ class ParserImpl {
     if (!Expect(TokKind::kTurnstile, "':-'")) return std::nullopt;
     auto atoms = ParseAtomList(TermMode::kQuery);
     if (!atoms) return std::nullopt;
+    // Every answer variable must occur (as a variable — constants resolved
+    // by TermMode::kQuery don't count) in some body atom.
+    std::unordered_set<Term> body_vars;
+    for (const Atom& atom : *atoms) {
+      for (Term t : atom.args()) {
+        if (t.IsVariable()) body_vars.insert(t);
+      }
+    }
     std::vector<Term> answers;
-    for (const std::string& name : answer_names) {
-      answers.push_back(universe_->InternVariable(name));
+    answers.reserve(answer_names.size());
+    for (const AnswerName& answer : answer_names) {
+      Term v = universe_->InternVariable(answer.name);
+      if (body_vars.find(v) == body_vars.end()) {
+        FailAt("answer variable '" + answer.name +
+                   "' does not occur in the query body",
+               answer.line, answer.column);
+        return std::nullopt;
+      }
+      answers.push_back(v);
     }
     if (cur_.kind == TokKind::kDot) Advance();
     return Cq(std::move(*atoms), std::move(answers));
@@ -261,7 +301,7 @@ class ParserImpl {
 
   Universe* universe_;
   Lexer lexer_;
-  Token cur_{TokKind::kEnd, "", 0};
+  Token cur_{TokKind::kEnd, "", 0, 0};
   bool failed_ = false;
   ParseError error_;
 };
@@ -331,11 +371,27 @@ std::optional<Cq> ParseCq(Universe* universe, std::string_view text,
   return cq;
 }
 
+std::optional<std::vector<Cq>> ParseCqList(Universe* universe,
+                                           std::string_view text,
+                                           ParseError* error) {
+  std::vector<Cq> queries;
+  ParserImpl p(universe, text);
+  while (!p.AtEnd()) {
+    auto cq = p.ParseOneCq();
+    if (!cq || p.failed()) {
+      if (error) *error = p.error();
+      return std::nullopt;
+    }
+    queries.push_back(std::move(*cq));
+  }
+  return queries;
+}
+
 Rule MustParseRule(Universe* universe, std::string_view text) {
   ParseError error;
   auto rule = ParseRule(universe, text, &error);
   if (!rule) {
-    std::fprintf(stderr, "ParseRule failed (line %d): %s\n", error.line,
+    std::fprintf(stderr, "ParseRule failed (line %d:%d): %s\n", error.line, error.column,
                  error.message.c_str());
   }
   BDDFC_CHECK(rule.has_value());
@@ -346,7 +402,7 @@ RuleSet MustParseRuleSet(Universe* universe, std::string_view text) {
   ParseError error;
   auto rules = ParseRuleSet(universe, text, &error);
   if (!rules) {
-    std::fprintf(stderr, "ParseRuleSet failed (line %d): %s\n", error.line,
+    std::fprintf(stderr, "ParseRuleSet failed (line %d:%d): %s\n", error.line, error.column,
                  error.message.c_str());
   }
   BDDFC_CHECK(rules.has_value());
@@ -357,7 +413,7 @@ Instance MustParseInstance(Universe* universe, std::string_view text) {
   ParseError error;
   auto instance = ParseInstance(universe, text, &error);
   if (!instance) {
-    std::fprintf(stderr, "ParseInstance failed (line %d): %s\n", error.line,
+    std::fprintf(stderr, "ParseInstance failed (line %d:%d): %s\n", error.line, error.column,
                  error.message.c_str());
   }
   BDDFC_CHECK(instance.has_value());
@@ -368,7 +424,7 @@ Cq MustParseCq(Universe* universe, std::string_view text) {
   ParseError error;
   auto cq = ParseCq(universe, text, &error);
   if (!cq) {
-    std::fprintf(stderr, "ParseCq failed (line %d): %s\n", error.line,
+    std::fprintf(stderr, "ParseCq failed (line %d:%d): %s\n", error.line, error.column,
                  error.message.c_str());
   }
   BDDFC_CHECK(cq.has_value());

@@ -21,6 +21,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "logic/cq.h"
 #include "logic/instance.h"
@@ -29,10 +30,13 @@
 
 namespace bddfc {
 
-/// Description of a parse failure.
+/// Description of a parse failure. Line and column are 1-based; the column
+/// points at the offending token (for arity mismatches, at the atom's
+/// predicate name).
 struct ParseError {
   std::string message;
   int line = 0;
+  int column = 0;
 };
 
 /// Parses a single rule from `text`. Returns nullopt and fills `error` (if
@@ -49,9 +53,17 @@ std::optional<Instance> ParseInstance(Universe* universe,
                                       std::string_view text,
                                       ParseError* error = nullptr);
 
-/// Parses a conjunctive query.
+/// Parses a conjunctive query. Answer tuples are validated: a duplicate
+/// answer variable or an answer variable that does not occur in the query
+/// body is a parse error (not a crash in the Cq constructor).
 std::optional<Cq> ParseCq(Universe* universe, std::string_view text,
                           ParseError* error = nullptr);
+
+/// Parses one CQ per '?'-led item (query files: one query per line, same
+/// comment syntax as everywhere else).
+std::optional<std::vector<Cq>> ParseCqList(Universe* universe,
+                                           std::string_view text,
+                                           ParseError* error = nullptr);
 
 /// CHECK-failing convenience wrappers for statically known-good inputs
 /// (used pervasively by tests, examples and benches).

@@ -327,6 +327,101 @@ TEST_F(ChaseTest, SemiObliviousStillFiresDistinctFrontiers) {
   EXPECT_EQ(semi.Result().AtomsWith(f).size(), 2u);
 }
 
+TEST_F(ChaseTest, AddBaseFactsResumesAfterSaturation) {
+  // Saturate a Datalog transitive closure, insert a bridging edge, resume:
+  // only the new closure atoms are derived, and the result matches a
+  // from-scratch chase of the extended instance exactly (Datalog invents
+  // no nulls, so plain atom-set equality holds).
+  const char* rules_text = "E(x,y), E(y,z) -> E(x,z)";
+  RuleSet rules = MustParseRuleSet(&u_, rules_text);
+  Instance db = MustParseInstance(&u_, "E(a,b). E(b,c). E(d,e).");
+  ObliviousChase chase(db, rules, {});
+  chase.Run();
+  ASSERT_TRUE(chase.Saturated());
+  const std::size_t atoms_before = chase.Result().size();
+  const std::size_t triggers_before = chase.TriggersFired();
+
+  PredicateId e = u_.FindPredicate("E");
+  Term c = u_.InternConstant("c");
+  Term d = u_.InternConstant("d");
+  EXPECT_EQ(chase.AddBaseFacts({Atom(e, {c, d})}), 1u);
+  EXPECT_FALSE(chase.Saturated());
+  chase.Run();
+  EXPECT_TRUE(chase.Saturated());
+  EXPECT_GT(chase.Result().size(), atoms_before + 1);
+  EXPECT_GT(chase.TriggersFired(), triggers_before);
+
+  Instance extended = MustParseInstance(
+      &u_, "E(a,b). E(b,c). E(d,e). E(c,d).");
+  ObliviousChase scratch(extended, rules, {});
+  scratch.Run();
+  ASSERT_TRUE(scratch.Saturated());
+  EXPECT_EQ(chase.Result().size(), scratch.Result().size());
+  for (const Atom& atom : scratch.Result().atoms()) {
+    EXPECT_TRUE(chase.Result().Contains(atom));
+  }
+  EXPECT_EQ(chase.CanonicalAtoms(), scratch.CanonicalAtoms());
+}
+
+TEST_F(ChaseTest, AddBaseFactsSkipsKnownAtoms) {
+  RuleSet rules = MustParseRuleSet(&u_, "E(x,y), E(y,z) -> E(x,z)");
+  Instance db = MustParseInstance(&u_, "E(a,b). E(b,c).");
+  ObliviousChase chase(db, rules, {});
+  chase.Run();
+  ASSERT_TRUE(chase.Saturated());
+  PredicateId e = u_.FindPredicate("E");
+  Term a = u_.InternConstant("a");
+  Term b = u_.InternConstant("b");
+  Term c = u_.InternConstant("c");
+  // E(a,b) is a database atom, E(a,c) was derived: both add nothing, and
+  // the chase stays saturated.
+  EXPECT_EQ(chase.AddBaseFacts({Atom(e, {a, b}), Atom(e, {a, c})}), 0u);
+  EXPECT_TRUE(chase.Saturated());
+}
+
+TEST_F(ChaseTest, AddBaseFactsWithExistentialRules) {
+  // Resume across null-inventing rules: the incremental result must be
+  // isomorphic (CanonicalAtoms-equal) to the from-scratch chase — null
+  // *numbering* differs, which plain atom equality would reject.
+  const char* rules_text =
+      "Student(s) -> Advises(p,s), Prof(p)\n"
+      "Advises(p,s), Advises(q,s) -> Colleague(p,q)\n";
+  RuleSet rules = MustParseRuleSet(&u_, rules_text);
+  Instance db = MustParseInstance(&u_, "Student(alice).");
+  ObliviousChase chase(db, rules, {});
+  chase.Run();
+  ASSERT_TRUE(chase.Saturated());
+
+  PredicateId student = u_.FindPredicate("Student");
+  Term bob = u_.InternConstant("bob");
+  EXPECT_EQ(chase.AddBaseFacts({Atom(student, {bob})}), 1u);
+  chase.Run();
+  ASSERT_TRUE(chase.Saturated());
+
+  Instance extended = MustParseInstance(&u_, "Student(alice). Student(bob).");
+  ObliviousChase scratch(extended, rules, {});
+  scratch.Run();
+  ASSERT_TRUE(scratch.Saturated());
+  EXPECT_EQ(chase.CanonicalAtoms(), scratch.CanonicalAtoms());
+}
+
+TEST_F(ChaseTest, CanonicalAtomsInvariantUnderDatabaseOrder) {
+  // The same database parsed in two different orders chases to different
+  // null numberings; CanonicalAtoms erases exactly that difference.
+  RuleSet rules1 = MustParseRuleSet(&u_, "P(x,y) -> Q(y,z)");
+  Instance db1 = MustParseInstance(&u_, "P(a,b). P(b,c).");
+  ObliviousChase chase1(db1, rules1, {});
+  chase1.Run();
+
+  Universe u2;
+  RuleSet rules2 = MustParseRuleSet(&u2, "P(x,y) -> Q(y,z)");
+  Instance db2 = MustParseInstance(&u2, "P(b,c). P(a,b).");
+  ObliviousChase chase2(db2, rules2, {});
+  chase2.Run();
+
+  EXPECT_EQ(chase1.CanonicalAtoms(), chase2.CanonicalAtoms());
+}
+
 TEST_F(ChaseTest, ChaseOfTopOnlyInstance) {
   // Ch(R) := Ch({⊤}, R) — the Section 4.1 normal form.
   RuleSet rules = MustParseRuleSet(&u_,

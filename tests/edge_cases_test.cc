@@ -77,7 +77,10 @@ TEST_F(EdgeCaseTest, SelfLoopOnlyInstance) {
 
 TEST_F(EdgeCaseTest, RepeatedAnswerBindingConflicts) {
   Instance inst = MustParseInstance(&u_, "E(a,b).");
-  Cq q = MustParseCq(&u_, "?(x,x) :- E(x,x)");
+  // The parser rejects duplicate answer variables, but the Cq value type
+  // supports them; build ?(x,x) :- E(x,x) programmatically.
+  Term x = u_.InternVariable("x");
+  Cq q(std::vector<Atom>{Atom(u_.FindPredicate("E"), {x, x})}, {x, x});
   Term a = u_.FindConstant("a");
   Term b = u_.FindConstant("b");
   // Binding the repeated answer variable to two distinct values is

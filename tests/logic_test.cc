@@ -330,6 +330,77 @@ TEST(ParserTest, RejectsGarbage) {
   EXPECT_FALSE(ParseCq(&u, "E(x,y)", &error).has_value());
 }
 
+TEST(ParserTest, ReportsLineAndColumn) {
+  Universe u;
+  ParseError error;
+  // The offending token is the second 'y' (column 15): a term list can
+  // only continue with ',' or close with ')'.
+  EXPECT_FALSE(ParseRule(&u, "E(x,y) -> E(x y)", &error).has_value());
+  EXPECT_EQ(error.message, "expected ')' but found 'y'");
+  EXPECT_EQ(error.line, 1);
+  EXPECT_EQ(error.column, 15);
+
+  // Errors on later lines carry the line too; the arity mismatch points at
+  // the atom's predicate name.
+  EXPECT_FALSE(
+      ParseRuleSet(&u, "E(x,y) -> E(y,x)\nE(x) -> E(x,x)", &error)
+          .has_value());
+  EXPECT_EQ(error.message,
+            "predicate 'E' used with arity 1 but declared with arity 2");
+  EXPECT_EQ(error.line, 2);
+  EXPECT_EQ(error.column, 1);
+}
+
+TEST(ParserTest, RejectsDuplicateAnswerVariable) {
+  Universe u;
+  ParseError error;
+  EXPECT_FALSE(ParseCq(&u, "?(x,y,x) :- E(x,y)", &error).has_value());
+  EXPECT_EQ(error.message, "duplicate answer variable 'x'");
+  EXPECT_EQ(error.line, 1);
+  EXPECT_EQ(error.column, 7);  // the second 'x'
+}
+
+TEST(ParserTest, RejectsUnboundAnswerVariable) {
+  Universe u;
+  ParseError error;
+  EXPECT_FALSE(ParseCq(&u, "?(x,z) :- E(x,y)", &error).has_value());
+  EXPECT_EQ(error.message,
+            "answer variable 'z' does not occur in the query body");
+  EXPECT_EQ(error.line, 1);
+  EXPECT_EQ(error.column, 5);  // where 'z' was announced
+
+  // An answer identifier naming an interned constant is a variable in the
+  // answer tuple but a constant in the body — so it is unbound, not a
+  // crash inside the Cq constructor.
+  MustParseInstance(&u, "E(a,b).");
+  EXPECT_FALSE(ParseCq(&u, "?(a) :- E(a,y)", &error).has_value());
+  EXPECT_EQ(error.message,
+            "answer variable 'a' does not occur in the query body");
+}
+
+TEST(ParserTest, ParseCqListReadsQueryFiles) {
+  Universe u;
+  MustParseInstance(&u, "E(a,b).");
+  ParseError error;
+  auto queries = ParseCqList(&u,
+                             "# a comment\n"
+                             "?(x) :- E(x,y)\n"
+                             "? :- E(a,y).\n"
+                             "?(x,y) :- E(x,y)\n",
+                             &error);
+  ASSERT_TRUE(queries.has_value());
+  ASSERT_EQ(queries->size(), 3u);
+  EXPECT_EQ((*queries)[0].answers().size(), 1u);
+  EXPECT_TRUE((*queries)[1].IsBoolean());
+  EXPECT_EQ((*queries)[2].answers().size(), 2u);
+
+  // A failure anywhere in the file reports its position.
+  EXPECT_FALSE(ParseCqList(&u, "?(x) :- E(x,y)\n?(q) :- E(x,y)\n", &error)
+                   .has_value());
+  EXPECT_EQ(error.line, 2);
+  EXPECT_EQ(error.column, 3);
+}
+
 TEST(ParserTest, SkipsComments) {
   Universe u;
   RuleSet rules = MustParseRuleSet(&u,

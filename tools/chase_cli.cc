@@ -1,4 +1,5 @@
-// chase_cli: run the chase on a rule file and an instance file.
+// chase_cli: run the chase and answer queries on file-based workloads,
+// through the bddfc::Reasoner facade (src/api/reasoner.h).
 //
 //   chase_cli [flags] RULES_FILE INSTANCE_FILE
 //
@@ -6,21 +7,32 @@
 //   --variant=oblivious|semi|restricted   trigger discipline (default
 //                                         oblivious)
 //   --threads=N        execution threads; 1 = serial, 0 = all hardware
-//                      threads (default 1)
+//                      threads (default 1). Answers and the chase are
+//                      identical at any thread count.
 //   --max-steps=N      chase step budget (default 16)
 //   --max-atoms=N      atom budget (default 200000)
+//   --query=FILE       answer the conjunctive queries in FILE (one
+//                      '?(x,..) :- ...' per line) through the Reasoner
+//   --strategy=materialize|rewrite|auto   answer strategy for --query
+//                      (default auto: rewrite when the rewriting
+//                      saturates, materialize otherwise)
+//   --json             machine-readable output: one JSON object with the
+//                      run configuration, per-step chase stats, and
+//                      per-query answers (suppresses the human output)
 //   --quiet            suppress the per-step table
 //
 // File formats are those of src/logic/parser.h: one rule per line
-// (`E(x,y), E(y,z) -> E(x,z)`, optional `[label]` prefix) and
-// '.'-separated facts over constants (`E(a,b). E(b,c).`). `#` and `%`
-// start comments. See examples/university.{rules,facts} for a runnable
-// pair.
+// (`E(x,y), E(y,z) -> E(x,z)`, optional `[label]` prefix), '.'-separated
+// facts over constants (`E(a,b). E(b,c).`), and one CQ per line
+// (`?(s) :- Advises(p,s)`; `? :- E(x,x)` is Boolean). `#` and `%` start
+// comments. See examples/university.{rules,facts,queries} for a runnable
+// triple.
 //
-// The per-step table reports, for every executed step, the atoms added by
-// that step, the cumulative atom count, and the wall time of the step.
-// The chase is driven one step at a time through RunSteps, which is
-// bit-identical to a single Run() at any thread count.
+// Without --query the tool materializes and prints the per-step table
+// exactly as before; with --query, only the strategies that need the chase
+// run it (kRewrite answers straight off the database). Query answers are
+// certain answers (all-constant tuples), printed in the Reasoner's
+// deterministic first-derivation order.
 
 #include <chrono>
 #include <cstdio>
@@ -30,21 +42,29 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
-#include "chase/chase.h"
+#include "api/reasoner.h"
+#include "base/json.h"
 #include "logic/parser.h"
+#include "logic/printer.h"
 #include "logic/universe.h"
 
 namespace {
 
+using bddfc::AnswerStrategy;
+using bddfc::AnswerTuple;
 using bddfc::ChaseOptions;
 using bddfc::ChaseVariant;
+using bddfc::JsonEscape;
+using bddfc::ReasonerOptions;
 
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--variant=oblivious|semi|restricted] [--threads=N]\n"
-      "          [--max-steps=N] [--max-atoms=N] [--quiet]\n"
+      "          [--max-steps=N] [--max-atoms=N] [--query=FILE]\n"
+      "          [--strategy=materialize|rewrite|auto] [--json] [--quiet]\n"
       "          RULES_FILE INSTANCE_FILE\n",
       argv0);
   return 2;
@@ -102,40 +122,69 @@ double MsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+// One prepared-and-executed query, ready for reporting.
+struct QueryReport {
+  std::string text;        // the query as parsed (printer rendering)
+  const char* strategy;    // resolved strategy name
+  bool complete = false;
+  std::size_t disjuncts = 0;  // disjuncts of the evaluated UCQ
+  double prepare_ms = 0;
+  double answer_ms = 0;
+  std::vector<AnswerTuple> answers;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  ChaseOptions options;
+  ChaseOptions chase_options;
+  AnswerStrategy strategy = AnswerStrategy::kAuto;
   bool quiet = false;
-  std::string rules_path, instance_path;
+  bool json = false;
+  std::string rules_path, instance_path, query_path;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     std::string_view value;
     if (FlagValue(arg, "--variant", &value)) {
       if (value == "oblivious") {
-        options.variant = ChaseVariant::kOblivious;
+        chase_options.variant = ChaseVariant::kOblivious;
       } else if (value == "semi" || value == "semi-oblivious" ||
                  value == "skolem") {
-        options.variant = ChaseVariant::kSemiOblivious;
+        chase_options.variant = ChaseVariant::kSemiOblivious;
       } else if (value == "restricted" || value == "standard") {
-        options.variant = ChaseVariant::kRestricted;
+        chase_options.variant = ChaseVariant::kRestricted;
       } else {
         std::fprintf(stderr, "chase_cli: unknown variant \"%.*s\"\n",
                      static_cast<int>(value.size()), value.data());
         return Usage(argv[0]);
       }
+    } else if (FlagValue(arg, "--strategy", &value)) {
+      if (value == "materialize" || value == "chase") {
+        strategy = AnswerStrategy::kMaterialize;
+      } else if (value == "rewrite" || value == "rewriting") {
+        strategy = AnswerStrategy::kRewrite;
+      } else if (value == "auto") {
+        strategy = AnswerStrategy::kAuto;
+      } else {
+        std::fprintf(stderr, "chase_cli: unknown strategy \"%.*s\"\n",
+                     static_cast<int>(value.size()), value.data());
+        return Usage(argv[0]);
+      }
     } else if (FlagValue(arg, "--threads", &value)) {
-      if (!ParseCount(value, "--threads", &options.num_threads)) {
+      if (!ParseCount(value, "--threads", &chase_options.num_threads)) {
         return Usage(argv[0]);
       }
     } else if (FlagValue(arg, "--max-steps", &value)) {
-      if (!ParseCount(value, "--max-steps", &options.max_steps)) {
+      if (!ParseCount(value, "--max-steps", &chase_options.max_steps)) {
         return Usage(argv[0]);
       }
     } else if (FlagValue(arg, "--max-atoms", &value)) {
-      if (!ParseCount(value, "--max-atoms", &options.max_atoms)) {
+      if (!ParseCount(value, "--max-atoms", &chase_options.max_atoms)) {
         return Usage(argv[0]);
       }
+    } else if (FlagValue(arg, "--query", &value)) {
+      query_path = std::string(value);
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -154,7 +203,7 @@ int main(int argc, char** argv) {
   }
   if (rules_path.empty() || instance_path.empty()) return Usage(argv[0]);
 
-  std::string rules_text, instance_text;
+  std::string rules_text, instance_text, query_text;
   if (!ReadFile(rules_path, &rules_text)) {
     std::fprintf(stderr, "chase_cli: cannot read %s\n", rules_path.c_str());
     return 2;
@@ -164,68 +213,192 @@ int main(int argc, char** argv) {
                  instance_path.c_str());
     return 2;
   }
+  if (!query_path.empty() && !ReadFile(query_path, &query_text)) {
+    std::fprintf(stderr, "chase_cli: cannot read %s\n", query_path.c_str());
+    return 2;
+  }
 
   bddfc::Universe universe;
   bddfc::ParseError error;
   auto rules = bddfc::ParseRuleSet(&universe, rules_text, &error);
   if (!rules) {
-    std::fprintf(stderr, "chase_cli: %s:%d: %s\n", rules_path.c_str(),
-                 error.line, error.message.c_str());
+    std::fprintf(stderr, "chase_cli: %s:%d:%d: %s\n", rules_path.c_str(),
+                 error.line, error.column, error.message.c_str());
     return 2;
   }
   auto database = bddfc::ParseInstance(&universe, instance_text, &error);
   if (!database) {
-    std::fprintf(stderr, "chase_cli: %s:%d: %s\n", instance_path.c_str(),
-                 error.line, error.message.c_str());
+    std::fprintf(stderr, "chase_cli: %s:%d:%d: %s\n", instance_path.c_str(),
+                 error.line, error.column, error.message.c_str());
     return 2;
   }
-
-  bddfc::ObliviousChase chase(*database, std::move(*rules), options);
-  std::printf("rules:    %s (%zu rules)\n", rules_path.c_str(),
-              chase.rules().size());
-  std::printf("instance: %s (%zu atoms incl. the implicit top fact)\n",
-              instance_path.c_str(), database->size());
-  std::printf("variant:  %s, threads: %zu, max steps: %zu, max atoms: %zu\n",
-              VariantName(options.variant), chase.num_threads(),
-              options.max_steps, options.max_atoms);
-
-  if (!quiet) std::printf("\n  step      +atoms       atoms        ms\n");
-  const auto total_start = std::chrono::steady_clock::now();
-  while (chase.StepsExecuted() < options.max_steps && !chase.Saturated() &&
-         !chase.HitBounds()) {
-    const std::size_t before = chase.Result().size();
-    const std::size_t steps_before = chase.StepsExecuted();
-    const auto step_start = std::chrono::steady_clock::now();
-    chase.RunSteps(steps_before + 1);
-    const double step_ms = MsSince(step_start);
-    if (chase.StepsExecuted() == steps_before) break;  // nothing fired
-    if (!quiet) {
-      std::printf("  %4zu  %10zu  %10zu  %8.2f\n", chase.StepsExecuted(),
-                  chase.Result().size() - before, chase.Result().size(),
-                  step_ms);
+  // Queries are parsed after the instance, so identifiers naming database
+  // constants resolve to those constants.
+  std::vector<bddfc::Cq> queries;
+  if (!query_path.empty()) {
+    auto parsed = bddfc::ParseCqList(&universe, query_text, &error);
+    if (!parsed) {
+      std::fprintf(stderr, "chase_cli: %s:%d:%d: %s\n", query_path.c_str(),
+                   error.line, error.column, error.message.c_str());
+      return 2;
     }
+    queries = std::move(*parsed);
+  }
+
+  ReasonerOptions reasoner_options;
+  reasoner_options.strategy = strategy;
+  reasoner_options.chase = chase_options;
+  reasoner_options.num_threads = chase_options.num_threads;
+  bddfc::Reasoner reasoner(*database, std::move(*rules), reasoner_options);
+
+  const auto total_start = std::chrono::steady_clock::now();
+  // Without queries the tool's job is the materialization itself; with
+  // queries the chase runs only if some query's resolved strategy needs it.
+  if (queries.empty()) reasoner.Materialize();
+
+  std::vector<QueryReport> reports;
+  reports.reserve(queries.size());
+  for (const bddfc::Cq& q : queries) {
+    QueryReport report;
+    report.text = bddfc::ToString(universe, q);
+    const auto prepare_start = std::chrono::steady_clock::now();
+    bddfc::PreparedQuery prepared = reasoner.Prepare(q);
+    report.prepare_ms = MsSince(prepare_start);
+    const auto answer_start = std::chrono::steady_clock::now();
+    report.answers = prepared.All();
+    report.answer_ms = MsSince(answer_start);
+    report.strategy = bddfc::ToString(prepared.strategy());
+    report.complete = prepared.complete();
+    report.disjuncts = prepared.evaluated().size();
+    reports.push_back(std::move(report));
   }
   const double total_ms = MsSince(total_start);
+  const bddfc::ReasonerStats& stats = reasoner.stats();
 
-  std::printf("\n");
-  if (chase.Saturated()) {
-    std::printf("saturated after %zu steps: the result is the full chase "
-                "(a finite universal model).\n",
-                chase.StepsExecuted());
-  } else if (chase.HitBounds()) {
-    std::printf("stopped by the atom budget after %zu steps%s.\n",
-                chase.StepsExecuted(),
-                chase.LastStepTruncated()
-                    ? " (the last step was cut short mid-firing)"
-                    : "");
-  } else {
-    std::printf("stopped at the step budget (%zu steps); the chase may "
-                "continue.\n",
-                chase.StepsExecuted());
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"rules_file\": \"%s\",\n",
+                JsonEscape(rules_path).c_str());
+    std::printf("  \"instance_file\": \"%s\",\n",
+                JsonEscape(instance_path).c_str());
+    if (!query_path.empty()) {
+      std::printf("  \"query_file\": \"%s\",\n",
+                  JsonEscape(query_path).c_str());
+    }
+    std::printf("  \"variant\": \"%s\",\n",
+                VariantName(chase_options.variant));
+    std::printf("  \"strategy\": \"%s\",\n", bddfc::ToString(strategy));
+    std::printf("  \"threads\": %zu,\n", reasoner.num_threads());
+    std::printf("  \"max_steps\": %zu,\n", chase_options.max_steps);
+    std::printf("  \"max_atoms\": %zu,\n", chase_options.max_atoms);
+    std::printf("  \"database_atoms\": %zu,\n", reasoner.database().size());
+    std::printf("  \"rules\": %zu,\n", reasoner.rules().size());
+    std::printf("  \"steps\": [");
+    for (std::size_t i = 0; i < stats.chase_steps.size(); ++i) {
+      const bddfc::ChaseStepStats& s = stats.chase_steps[i];
+      std::printf("%s\n    {\"step\": %zu, \"atoms_added\": %zu, "
+                  "\"atoms_total\": %zu, \"wall_ms\": %.3f, "
+                  "\"incremental\": %s}",
+                  i == 0 ? "" : ",", s.step, s.atoms_added, s.atoms_total,
+                  s.wall_ms, s.incremental ? "true" : "false");
+    }
+    std::printf("%s],\n", stats.chase_steps.empty() ? "" : "\n  ");
+    std::printf("  \"materialized\": %s,\n",
+                stats.materialized ? "true" : "false");
+    std::printf("  \"saturated\": %s,\n",
+                stats.chase_saturated ? "true" : "false");
+    std::printf("  \"hit_bounds\": %s,\n",
+                stats.chase_hit_bounds ? "true" : "false");
+    std::printf("  \"atoms\": %zu,\n", stats.chase_atoms);
+    std::printf("  \"triggers_fired\": %zu,\n", stats.triggers_fired);
+    std::printf("  \"nulls\": %zu,\n", universe.num_nulls());
+    std::printf("  \"wall_ms\": %.3f,\n", total_ms);
+    std::printf("  \"queries\": [");
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const QueryReport& r = reports[i];
+      std::printf("%s\n    {\"query\": \"%s\", \"strategy\": \"%s\", "
+                  "\"complete\": %s, \"disjuncts\": %zu, "
+                  "\"prepare_ms\": %.3f, \"answer_ms\": %.3f,\n"
+                  "     \"answers\": [",
+                  i == 0 ? "" : ",", JsonEscape(r.text).c_str(), r.strategy,
+                  r.complete ? "true" : "false", r.disjuncts, r.prepare_ms,
+                  r.answer_ms);
+      for (std::size_t a = 0; a < r.answers.size(); ++a) {
+        std::printf("%s[", a == 0 ? "" : ", ");
+        for (std::size_t t = 0; t < r.answers[a].size(); ++t) {
+          std::printf("%s\"%s\"", t == 0 ? "" : ", ",
+                      JsonEscape(universe.TermName(r.answers[a][t])).c_str());
+        }
+        std::printf("]");
+      }
+      std::printf("]}");
+    }
+    std::printf("%s]\n", reports.empty() ? "" : "\n  ");
+    std::printf("}\n");
+    return 0;
   }
-  std::printf("atoms: %zu, triggers fired: %zu, labeled nulls: %zu, "
-              "wall: %.2f ms\n",
-              chase.Result().size(), chase.TriggersFired(),
-              universe.num_nulls(), total_ms);
+
+  std::printf("rules:    %s (%zu rules)\n", rules_path.c_str(),
+              reasoner.rules().size());
+  std::printf("instance: %s (%zu atoms incl. the implicit top fact)\n",
+              instance_path.c_str(), reasoner.database().size());
+  std::printf("variant:  %s, threads: %zu, max steps: %zu, max atoms: %zu\n",
+              VariantName(chase_options.variant), reasoner.num_threads(),
+              chase_options.max_steps, chase_options.max_atoms);
+
+  if (stats.materialized) {
+    if (!quiet) {
+      std::printf("\n  step      +atoms       atoms        ms\n");
+      for (const bddfc::ChaseStepStats& s : stats.chase_steps) {
+        std::printf("  %4zu  %10zu  %10zu  %8.2f\n", s.step, s.atoms_added,
+                    s.atoms_total, s.wall_ms);
+      }
+    }
+    std::printf("\n");
+    if (stats.chase_saturated) {
+      std::printf("saturated after %zu steps: the result is the full chase "
+                  "(a finite universal model).\n",
+                  stats.chase_steps.size());
+    } else if (stats.chase_hit_bounds) {
+      const bddfc::ObliviousChase* chase = reasoner.materialization();
+      std::printf("stopped by the atom budget after %zu steps%s.\n",
+                  stats.chase_steps.size(),
+                  chase != nullptr && chase->LastStepTruncated()
+                      ? " (the last step was cut short mid-firing)"
+                      : "");
+    } else {
+      std::printf("stopped at the step budget (%zu steps); the chase may "
+                  "continue.\n",
+                  stats.chase_steps.size());
+    }
+    std::printf("atoms: %zu, triggers fired: %zu, labeled nulls: %zu, "
+                "materialize: %.2f ms\n",
+                stats.chase_atoms, stats.triggers_fired,
+                universe.num_nulls(), stats.materialize_ms);
+  } else if (!queries.empty()) {
+    std::printf("\nno materialization needed: every query answered by "
+                "rewriting.\n");
+  }
+
+  for (const QueryReport& r : reports) {
+    std::printf("\nquery: %s\n", r.text.c_str());
+    std::printf("  strategy: %s (%zu disjunct%s, %s), prepared in %.2f ms\n",
+                r.strategy, r.disjuncts, r.disjuncts == 1 ? "" : "s",
+                r.complete ? "complete" : "incomplete: bounds hit",
+                r.prepare_ms);
+    std::printf("  %zu answer%s in %.2f ms%s\n", r.answers.size(),
+                r.answers.size() == 1 ? "" : "s", r.answer_ms,
+                r.answers.empty() ? "" : ":");
+    for (const AnswerTuple& tuple : r.answers) {
+      std::string line = "    (";
+      for (std::size_t t = 0; t < tuple.size(); ++t) {
+        if (t > 0) line += ", ";
+        line += universe.TermName(tuple[t]);
+      }
+      line += ")";
+      std::printf("%s\n", line.c_str());
+    }
+  }
+  std::printf("\nwall: %.2f ms\n", total_ms);
   return 0;
 }
