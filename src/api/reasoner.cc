@@ -115,7 +115,9 @@ std::vector<AnswerTuple> PreparedQuery::All() const {
 Reasoner::Reasoner(const Instance& database, RuleSet rules,
                    ReasonerOptions options)
     : options_(options),
-      database_(database),
+      database_(database,
+                options.storage.value_or(
+                    options.chase.storage.value_or(database.storage()))),
       rules_(std::move(rules)),
       rewriter_(rules_, database_.universe(), options.rewriter),
       probe_rewriter_(rules_, database_.universe(), options.auto_probe),
@@ -127,6 +129,9 @@ Reasoner::Reasoner(const Instance& database, RuleSet rules,
   // overrides num_threads) and prepared-query evaluation fans out over it.
   options_.chase.num_threads = num_threads_;
   options_.chase.pool = pool_.get();
+  // The materialization inherits the session backend through the database
+  // copy (ChaseOptions::storage defaults to the database's own kind).
+  options_.chase.storage = database_.storage();
 }
 
 Reasoner::~Reasoner() = default;

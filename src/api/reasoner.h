@@ -90,6 +90,12 @@ struct ReasonerOptions {
   /// (HomSearch::FindAllParallel over the session pool). 1 = serial,
   /// 0 = all hardware threads. Answers are identical at any thread count.
   std::size_t num_threads = 1;
+  /// Storage backend for the session's base instance and materialization
+  /// (overrides `chase.storage`). Defaults to the backend of the database
+  /// the session was constructed from. Answers and chase runs are
+  /// identical on every backend; kColumn trades point-lookup speed for
+  /// O(atoms) index memory (see src/storage/fact_store.h).
+  std::optional<StorageKind> storage = std::nullopt;
 };
 
 /// One answer: the images of the query's answer tuple, all constants. A

@@ -21,7 +21,9 @@ std::size_t ObliviousChase::TriggerKeyHash::operator()(
 
 ObliviousChase::ObliviousChase(const Instance& database, RuleSet rules,
                                ChaseOptions options)
-    : instance_(database), rules_(std::move(rules)), options_(options) {
+    : instance_(database, options.storage.value_or(database.storage())),
+      rules_(std::move(rules)),
+      options_(options) {
   atoms_at_step_.push_back(instance_.size());
   atom_step_.assign(instance_.size(), 0);
   atom_provenance_.assign(instance_.size(), AtomProvenance{});
@@ -330,12 +332,11 @@ std::size_t ObliviousChase::AtomCountAtStep(std::size_t k) const {
 }
 
 Instance ObliviousChase::Prefix(std::size_t k) const {
-  Instance out(universe());
+  Instance out(universe(), instance_.storage());
   const std::size_t limit =
       k < atoms_at_step_.size() ? atoms_at_step_[k] : instance_.size();
-  for (std::size_t i = 0; i < limit; ++i) {
-    out.AddAtom(instance_.atoms()[i]);
-  }
+  const std::vector<Atom>& all = instance_.atoms();
+  out.AddAtoms(all.data(), all.data() + limit);
   return out;
 }
 

@@ -80,6 +80,11 @@ struct ChaseOptions {
   /// one session owns exactly one pool (chase + query evaluation); null
   /// (the default) keeps the self-owned-pool behavior.
   ThreadPool* pool = nullptr;
+  /// Storage backend for the chase's working instance (the database copy
+  /// the result grows in). Defaults to the database's own backend; every
+  /// backend produces a bit-identical chase (same atoms, trigger order,
+  /// provenance and fresh-null numbering) at every thread count.
+  std::optional<StorageKind> storage = std::nullopt;
 };
 
 /// Provenance of a chase-created term.

@@ -175,7 +175,8 @@ void Search(SearchState* st, std::size_t depth) {
     IndexView narrowed =
         st->target->AtomsWithIn(a.pred(), static_cast<int>(p), resolved, lo,
                                 hi);
-    if (narrowed.size() < candidates.size()) candidates = narrowed;
+    // Column-store views own their (merged) result; move, don't copy.
+    if (narrowed.size() < candidates.size()) candidates = std::move(narrowed);
   }
   for (std::uint32_t idx : candidates) {
     if (st->stop) return;

@@ -1,108 +1,83 @@
 #include "logic/instance.h"
 
-#include <algorithm>
+#include <utility>
 
 #include "base/check.h"
 
 namespace bddfc {
 
-const std::vector<std::uint32_t> Instance::kEmptyIndex;
-
-std::uint64_t Instance::PosIndexKey(PredicateId pred, int pos) {
-  BDDFC_CHECK_GE(pos, 0);
-  return (static_cast<std::uint64_t>(pred) << 32) |
-         static_cast<std::uint32_t>(pos);
-}
-
-namespace {
-
-// Clamps a sorted index vector to the atom-index range [lo, hi).
-IndexView Clamp(const std::vector<std::uint32_t>& indices, std::uint32_t lo,
-                std::uint32_t hi) {
-  if (lo >= hi) return IndexView();
-  const std::uint32_t* begin = indices.data();
-  const std::uint32_t* end = begin + indices.size();
-  if (lo > 0) begin = std::lower_bound(begin, end, lo);
-  if (indices.empty() || hi <= indices.back()) {
-    end = std::lower_bound(begin, end, hi);
-  }
-  return IndexView(begin, end);
-}
-
-}  // namespace
-
-Instance::Instance(Universe* universe) : universe_(universe) {
+Instance::Instance(Universe* universe, StorageKind storage)
+    : universe_(universe), store_(FactStore::Create(storage)) {
   BDDFC_CHECK(universe != nullptr);
   AddAtom(Atom(universe->top(), {}));
+}
+
+Instance::Instance(const Instance& other)
+    : Instance(other, other.storage()) {}
+
+Instance::Instance(const Instance& other, StorageKind storage)
+    : universe_(other.universe_), store_(FactStore::Create(storage)) {
+  // atoms()[0] is ⊤, so the bulk append reconstructs the full sequence
+  // (including the implicit fact) in order.
+  store_->AddAtoms(other.atoms());
+}
+
+Instance& Instance::operator=(const Instance& other) {
+  if (this == &other) return *this;
+  Instance copy(other);
+  universe_ = copy.universe_;
+  store_ = std::move(copy.store_);
+  return *this;
 }
 
 bool Instance::AddAtom(const Atom& atom) {
   BDDFC_CHECK_EQ(static_cast<int>(atom.arity()),
                  universe_->ArityOf(atom.pred()));
-  if (!pos_.emplace(atom, atoms_.size()).second) return false;
-  std::uint32_t idx = static_cast<std::uint32_t>(atoms_.size());
-  atoms_.push_back(atom);
-  by_pred_[atom.pred()].push_back(idx);
-  for (std::size_t pos = 0; pos < atom.arity(); ++pos) {
-    std::uint64_t pred_pos = PosIndexKey(atom.pred(), static_cast<int>(pos));
-    by_pos_[{pred_pos, atom.arg(pos)}].push_back(idx);
-    Term t = atom.arg(pos);
-    if (adom_set_.insert(t).second) adom_.push_back(t);
+  return store_->AddAtom(atom);
+}
+
+void Instance::AddAtoms(const Atom* begin, const Atom* end) {
+  for (const Atom* a = begin; a != end; ++a) {
+    BDDFC_CHECK_EQ(static_cast<int>(a->arity()),
+                   universe_->ArityOf(a->pred()));
   }
-  return true;
-}
-
-void Instance::AddAtoms(const std::vector<Atom>& atoms) {
-  for (const Atom& a : atoms) AddAtom(a);
-}
-
-const std::vector<std::uint32_t>& Instance::AtomsWith(PredicateId pred) const {
-  auto it = by_pred_.find(pred);
-  return it == by_pred_.end() ? kEmptyIndex : it->second;
-}
-
-const std::vector<std::uint32_t>& Instance::AtomsWith(PredicateId pred,
-                                                      int pos, Term t) const {
-  auto it = by_pos_.find({PosIndexKey(pred, pos), t});
-  return it == by_pos_.end() ? kEmptyIndex : it->second;
-}
-
-IndexView Instance::AtomsWithIn(PredicateId pred, std::uint32_t lo,
-                                std::uint32_t hi) const {
-  return Clamp(AtomsWith(pred), lo, hi);
-}
-
-IndexView Instance::AtomsWithIn(PredicateId pred, int pos, Term t,
-                                std::uint32_t lo, std::uint32_t hi) const {
-  return Clamp(AtomsWith(pred, pos, t), lo, hi);
+  store_->AddAtoms(begin, end);
 }
 
 Instance Instance::Restrict(
     const std::unordered_set<PredicateId>& preds) const {
-  Instance out(universe_);
-  for (const Atom& a : atoms_) {
-    if (preds.find(a.pred()) != preds.end()) out.AddAtom(a);
+  Instance out(universe_, storage());
+  std::vector<Atom> kept;
+  for (const Atom& a : atoms()) {
+    if (preds.find(a.pred()) != preds.end()) kept.push_back(a);
   }
+  out.AddAtoms(kept);
   return out;
 }
 
 Instance Instance::Map(const Substitution& sigma) const {
-  Instance out(universe_);
-  for (const Atom& a : atoms_) out.AddAtom(sigma.Apply(a));
+  Instance out(universe_, storage());
+  std::vector<Atom> mapped;
+  mapped.reserve(size());
+  for (const Atom& a : atoms()) mapped.push_back(sigma.Apply(a));
+  out.AddAtoms(mapped);
   return out;
 }
 
 Instance Instance::DisjointUnion(const Instance& a, const Instance& b) {
   BDDFC_CHECK_EQ(a.universe_, b.universe_);
   Universe* u = a.universe_;
-  Instance out(u);
-  for (const Atom& atom : a.atoms()) out.AddAtom(atom);
+  Instance out(u, a.storage());
   Substitution rename;
   for (Term t : b.ActiveDomain()) {
     if (t.IsRigid()) continue;
     rename.Bind(t, u->FreshNull());
   }
-  for (const Atom& atom : b.atoms()) out.AddAtom(rename.Apply(atom));
+  std::vector<Atom> merged;
+  merged.reserve(a.size() + b.size());
+  for (const Atom& atom : a.atoms()) merged.push_back(atom);
+  for (const Atom& atom : b.atoms()) merged.push_back(rename.Apply(atom));
+  out.AddAtoms(merged);
   return out;
 }
 

@@ -2,6 +2,14 @@
 // and the chase rely on. Instances are grow-only; restriction and union
 // build new instances.
 //
+// Since the storage-API redesign an Instance is a thin owner of a
+// bddfc::FactStore (src/storage/): it binds the store to a Universe (arity
+// checking, the implicit ⊤ fact) and forwards every query to the backend
+// selected at construction — StorageKind::kRow (hash-map indexes, the
+// historical layout) or StorageKind::kColumn (VLog-style columnar tables).
+// Both backends answer every query identically, so engines never care
+// which one is underneath.
+//
 // Per the paper (Section 2.1), every instance implicitly contains the
 // nullary fact ⊤; Instance adds it on construction.
 
@@ -9,37 +17,16 @@
 #define BDDFC_LOGIC_INSTANCE_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
-#include "base/hash.h"
 #include "logic/atom.h"
 #include "logic/substitution.h"
 #include "logic/universe.h"
+#include "storage/fact_store.h"
 
 namespace bddfc {
-
-/// A contiguous view into one of an instance's sorted index vectors. The
-/// indices point into atoms() and are strictly increasing (the instance is
-/// append-only, so every index vector is built in sorted order). Views are
-/// invalidated by AddAtom/AddAtoms — the underlying vectors may reallocate —
-/// so never hold one across an insertion.
-class IndexView {
- public:
-  IndexView() = default;
-  IndexView(const std::uint32_t* begin, const std::uint32_t* end)
-      : begin_(begin), end_(end) {}
-
-  const std::uint32_t* begin() const { return begin_; }
-  const std::uint32_t* end() const { return end_; }
-  std::size_t size() const { return static_cast<std::size_t>(end_ - begin_); }
-  bool empty() const { return begin_ == end_; }
-
- private:
-  const std::uint32_t* begin_ = nullptr;
-  const std::uint32_t* end_ = nullptr;
-};
 
 /// A set of atoms with per-predicate and per-(predicate, position, term)
 /// indexes. Atom order is insertion order, which the chase uses to expose
@@ -49,55 +36,81 @@ class IndexView {
 /// enumerator scan exactly such a delta.
 class Instance {
  public:
-  /// Creates an instance containing only the implicit ⊤ fact.
-  explicit Instance(Universe* universe);
+  /// Creates an instance containing only the implicit ⊤ fact, stored in
+  /// the given backend.
+  explicit Instance(Universe* universe,
+                    StorageKind storage = StorageKind::kRow);
+
+  /// Deep copy, keeping (or overriding) the source's storage backend.
+  Instance(const Instance& other);
+  Instance(const Instance& other, StorageKind storage);
+  Instance& operator=(const Instance& other);
+  Instance(Instance&&) = default;
+  Instance& operator=(Instance&&) = default;
 
   Universe* universe() const { return universe_; }
+
+  /// The storage backend this instance lives in.
+  StorageKind storage() const { return store_->kind(); }
+
+  /// The underlying store (index lookups not re-exported here, storage
+  /// diagnostics). Treat as read-only.
+  const FactStore& store() const { return *store_; }
 
   /// Adds an atom; returns true if it was not already present.
   bool AddAtom(const Atom& atom);
 
-  /// Adds every atom of `atoms`.
-  void AddAtoms(const std::vector<Atom>& atoms);
-
-  bool Contains(const Atom& atom) const {
-    return pos_.find(atom) != pos_.end();
+  /// Adds every atom of `atoms` as one bulk batch (index construction is
+  /// deferred by the backends, so build-then-scan consumers never pay for
+  /// indexes).
+  void AddAtoms(const std::vector<Atom>& atoms) {
+    AddAtoms(atoms.data(), atoms.data() + atoms.size());
   }
+
+  /// Bulk append over a contiguous range — batch a slice of an existing
+  /// sequence without copying it into a temporary vector first.
+  void AddAtoms(const Atom* begin, const Atom* end);
+
+  bool Contains(const Atom& atom) const { return store_->Contains(atom); }
 
   /// Position of `atom` in atoms(), or SIZE_MAX when absent.
-  std::size_t IndexOf(const Atom& atom) const {
-    auto it = pos_.find(atom);
-    return it == pos_.end() ? SIZE_MAX : it->second;
-  }
+  std::size_t IndexOf(const Atom& atom) const { return store_->IndexOf(atom); }
 
   /// All atoms in insertion order (position 0 is ⊤).
-  const std::vector<Atom>& atoms() const { return atoms_; }
+  const std::vector<Atom>& atoms() const { return store_->atoms(); }
 
   /// Number of atoms, including the implicit ⊤.
-  std::size_t size() const { return atoms_.size(); }
+  std::size_t size() const { return store_->size(); }
 
   /// Indices (into atoms()) of atoms over `pred`.
-  const std::vector<std::uint32_t>& AtomsWith(PredicateId pred) const;
+  const std::vector<std::uint32_t>& AtomsWith(PredicateId pred) const {
+    return store_->AtomsWith(pred);
+  }
 
   /// Indices of atoms over `pred` whose argument `pos` equals `t`.
-  const std::vector<std::uint32_t>& AtomsWith(PredicateId pred, int pos,
-                                              Term t) const;
+  IndexView AtomsWith(PredicateId pred, int pos, Term t) const {
+    return store_->AtomsWith(pred, pos, t);
+  }
 
   /// View of AtomsWith(pred) restricted to atom indices in [lo, hi).
   IndexView AtomsWithIn(PredicateId pred, std::uint32_t lo,
-                        std::uint32_t hi) const;
+                        std::uint32_t hi) const {
+    return store_->AtomsWithIn(pred, lo, hi);
+  }
 
   /// View of AtomsWith(pred, pos, t) restricted to atom indices in [lo, hi).
   IndexView AtomsWithIn(PredicateId pred, int pos, Term t, std::uint32_t lo,
-                        std::uint32_t hi) const;
+                        std::uint32_t hi) const {
+    return store_->AtomsWithIn(pred, pos, t, lo, hi);
+  }
 
   /// The active domain: every term occurring in some atom, in first-seen
   /// order.
-  const std::vector<Term>& ActiveDomain() const { return adom_; }
-
-  bool InActiveDomain(Term t) const {
-    return adom_set_.find(t) != adom_set_.end();
+  const std::vector<Term>& ActiveDomain() const {
+    return store_->ActiveDomain();
   }
+
+  bool InActiveDomain(Term t) const { return store_->InActiveDomain(t); }
 
   /// New instance containing only atoms whose predicate is in `preds`
   /// (plus ⊤).
@@ -111,28 +124,8 @@ class Instance {
   static Instance DisjointUnion(const Instance& a, const Instance& b);
 
  private:
-  // (predicate, position) packed into disjoint 32-bit halves. PredicateId is
-  // 32 bits and positions are bounded by the predicate arity (an int), so
-  // neither half can truncate; PosIndexKey checks the position anyway.
-  using PosKey = std::pair<std::uint64_t, Term>;
-  static std::uint64_t PosIndexKey(PredicateId pred, int pos);
-  struct PosKeyHash {
-    std::size_t operator()(const PosKey& k) const {
-      std::size_t seed = std::hash<std::uint64_t>{}(k.first);
-      HashCombine(&seed, std::hash<Term>{}(k.second));
-      return seed;
-    }
-  };
-
   Universe* universe_;
-  std::vector<Atom> atoms_;
-  std::unordered_map<Atom, std::size_t> pos_;
-  std::unordered_map<PredicateId, std::vector<std::uint32_t>> by_pred_;
-  std::unordered_map<PosKey, std::vector<std::uint32_t>, PosKeyHash> by_pos_;
-  std::vector<Term> adom_;
-  std::unordered_set<Term> adom_set_;
-
-  static const std::vector<std::uint32_t> kEmptyIndex;
+  std::unique_ptr<FactStore> store_;
 };
 
 }  // namespace bddfc

@@ -1,0 +1,50 @@
+#include "storage/fact_store.h"
+
+#include <algorithm>
+
+#include "storage/column_store.h"
+#include "storage/row_store.h"
+
+namespace bddfc {
+
+const std::vector<std::uint32_t> FactStore::kEmptyIndex;
+
+const char* ToString(StorageKind kind) {
+  switch (kind) {
+    case StorageKind::kRow:
+      return "row";
+    case StorageKind::kColumn:
+      return "column";
+  }
+  return "?";
+}
+
+std::unique_ptr<FactStore> FactStore::Create(StorageKind kind) {
+  switch (kind) {
+    case StorageKind::kRow:
+      return std::make_unique<RowStore>();
+    case StorageKind::kColumn:
+      return std::make_unique<ColumnStore>();
+  }
+  BDDFC_CHECK(false);
+  return nullptr;
+}
+
+IndexView FactStore::ClampView(const std::vector<std::uint32_t>& indices,
+                               std::uint32_t lo, std::uint32_t hi) const {
+  if (lo >= hi) return IndexView();
+  const std::uint32_t* begin = indices.data();
+  const std::uint32_t* end = begin + indices.size();
+  if (lo > 0) begin = std::lower_bound(begin, end, lo);
+  if (indices.empty() || hi <= indices.back()) {
+    end = std::lower_bound(begin, end, hi);
+  }
+  return BorrowView(begin, end);
+}
+
+IndexView FactStore::AtomsWithIn(PredicateId pred, std::uint32_t lo,
+                                 std::uint32_t hi) const {
+  return ClampView(AtomsWith(pred), lo, hi);
+}
+
+}  // namespace bddfc

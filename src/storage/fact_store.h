@@ -1,0 +1,309 @@
+// The pluggable fact-storage API: the narrow contract every engine (chase,
+// parallel exec, homomorphism search, rewriting evaluation, the Reasoner
+// facade) relies on, extracted from the historical all-in-one Instance.
+//
+// A FactStore is an append-only set of ground atoms with
+//   * a stable insertion order (atom index i never changes; the chase uses
+//     contiguous index ranges as per-step deltas),
+//   * exact membership (Contains / IndexOf),
+//   * per-predicate and per-(predicate, position, term) index lookups whose
+//     results are always in ascending atom-index order, and
+//   * range-filtered delta views (AtomsWithIn) over those lookups.
+//
+// Two backends implement the contract:
+//   * RowStore (row_store.h) — the historical Instance layout: one hash
+//     entry per atom plus eager hash-map indexes. Fastest point lookups,
+//     O(atoms × arity) index entries.
+//   * ColumnStore (column_store.h) — a VLog-inspired columnar layout:
+//     per-predicate column vectors with lazily merged sorted runs and
+//     binary-search point lookups. O(atoms) index memory; built for
+//     large-EDB materializations.
+//
+// Both backends return identical results for every query (the storage
+// differential suite in tests/storage_test.cc enumerates the contract), so
+// chase runs are bit-identical across backends at every thread count.
+//
+// Thread model: mutation (AddAtom/AddAtoms) is single-threaded; queries are
+// const and may run concurrently from many threads (the parallel chase
+// does). Lazily built indexes are guarded by a double-checked lock, so the
+// first concurrent query wave is safe.
+
+#ifndef BDDFC_STORAGE_FACT_STORE_H_
+#define BDDFC_STORAGE_FACT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+#include "logic/atom.h"
+#include "logic/term.h"
+#include "logic/universe.h"  // PredicateId only — a header-only alias
+
+namespace bddfc {
+
+/// Which FactStore backend to use. See the file comment for the trade-off.
+enum class StorageKind {
+  kRow,
+  kColumn,
+};
+
+/// Human-readable backend name ("row" / "column").
+const char* ToString(StorageKind kind);
+
+/// A view over atom indices in ascending order. Views either *borrow* a
+/// contiguous range of one of the store's index vectors (row-store lookups,
+/// per-predicate scans) or *own* a materialized result (column-store point
+/// lookups merge several sorted runs into a private buffer).
+///
+/// Borrowed views are invalidated by any mutation of the store — the
+/// underlying vectors may reallocate — so never hold one across AddAtom /
+/// AddAtoms. In debug builds a borrowed view captures the store's
+/// generation counter and every deref checks it, turning the silent
+/// use-after-invalidation footgun into an immediate CHECK failure.
+class IndexView {
+ public:
+  IndexView() = default;
+
+  /// Borrowed view without a generation guard (tests, scratch buffers).
+  IndexView(const std::uint32_t* begin, const std::uint32_t* end)
+      : begin_(begin), end_(end) {}
+
+  /// Borrowed view guarded by the issuing store's generation counter (the
+  /// guard compiles away in NDEBUG builds). The counter is shared-owned so
+  /// the check stays safe even for a view that outlives its store — the
+  /// store's destructor poisons the counter, turning that use into a CHECK
+  /// failure rather than a read of freed memory.
+  IndexView(const std::uint32_t* begin, const std::uint32_t* end,
+            const std::shared_ptr<const std::uint64_t>& generation)
+      : begin_(begin), end_(end) {
+#ifndef NDEBUG
+    generation_ = generation;
+    expected_generation_ = generation == nullptr ? 0 : *generation;
+#else
+    (void)generation;
+#endif
+  }
+
+  /// Owning view over a materialized (ascending) index list.
+  explicit IndexView(std::vector<std::uint32_t> owned)
+      : owned_(std::move(owned)) {
+    begin_ = owned_.data();
+    end_ = owned_.data() + owned_.size();
+  }
+
+  IndexView(const IndexView& other) { *this = other; }
+  IndexView& operator=(const IndexView& other) {
+    if (this == &other) return *this;
+    owned_ = other.owned_;
+    if (owned_.empty()) {
+      begin_ = other.begin_;
+      end_ = other.end_;
+    } else {
+      begin_ = owned_.data();
+      end_ = owned_.data() + owned_.size();
+    }
+#ifndef NDEBUG
+    generation_ = other.generation_;
+    expected_generation_ = other.expected_generation_;
+#endif
+    return *this;
+  }
+  // std::vector's heap buffer survives a move, so borrowed pointers into
+  // `owned_` stay valid; rebase anyway to keep the invariant obvious.
+  IndexView(IndexView&& other) noexcept { *this = std::move(other); }
+  IndexView& operator=(IndexView&& other) noexcept {
+    if (this == &other) return *this;
+    owned_ = std::move(other.owned_);
+    if (owned_.empty()) {
+      begin_ = other.begin_;
+      end_ = other.end_;
+    } else {
+      begin_ = owned_.data();
+      end_ = owned_.data() + owned_.size();
+    }
+#ifndef NDEBUG
+    generation_ = other.generation_;
+    expected_generation_ = other.expected_generation_;
+#endif
+    other.begin_ = other.end_ = nullptr;
+    return *this;
+  }
+
+  const std::uint32_t* begin() const {
+    CheckGeneration();
+    return begin_;
+  }
+  const std::uint32_t* end() const {
+    CheckGeneration();
+    return end_;
+  }
+  std::size_t size() const {
+    CheckGeneration();
+    return static_cast<std::size_t>(end_ - begin_);
+  }
+  bool empty() const {
+    CheckGeneration();
+    return begin_ == end_;
+  }
+  std::uint32_t operator[](std::size_t i) const {
+    CheckGeneration();
+    return begin_[i];
+  }
+
+ private:
+  void CheckGeneration() const {
+#ifndef NDEBUG
+    // A borrowed view whose store has since mutated points into memory the
+    // index vectors may have vacated; fail fast instead of reading it.
+    BDDFC_CHECK(generation_ == nullptr ||
+                *generation_ == expected_generation_);
+#endif
+  }
+
+  const std::uint32_t* begin_ = nullptr;
+  const std::uint32_t* end_ = nullptr;
+  std::vector<std::uint32_t> owned_;
+#ifndef NDEBUG
+  std::shared_ptr<const std::uint64_t> generation_;
+  std::uint64_t expected_generation_ = 0;
+#endif
+};
+
+/// Abstract fact storage. Owns the atom sequence and active domain (shared
+/// by every backend); subclasses own the index structures. All index query
+/// results list atom indices in ascending order — the engines' determinism
+/// guarantee (bit-identical chase runs on every backend) rests on it.
+class FactStore {
+ public:
+  /// Creates an empty store of the given backend.
+  static std::unique_ptr<FactStore> Create(StorageKind kind);
+
+  virtual ~FactStore() {
+#ifndef NDEBUG
+    // Poison the shared counter: any further deref of a borrowed view
+    // (store destroyed) becomes a CHECK failure.
+    *generation_ = ~std::uint64_t{0};
+#endif
+  }
+
+  virtual StorageKind kind() const = 0;
+
+  /// Adds an atom; returns true if it was not already present.
+  virtual bool AddAtom(const Atom& atom) = 0;
+
+  /// Bulk append over a contiguous range (no intermediate vector needed to
+  /// batch a slice of an existing sequence). The batch size is known up
+  /// front, so backends reserve their growth structures once (the column
+  /// store also pre-grows its membership table); index construction is
+  /// deferred for the whole batch — and beyond: indexes are built lazily
+  /// on first query, so a store that is only ever scanned via atoms()
+  /// never pays for them.
+  virtual void AddAtoms(const Atom* begin, const Atom* end) {
+    ReserveAtoms(static_cast<std::size_t>(end - begin));
+    for (const Atom* a = begin; a != end; ++a) AddAtom(*a);
+  }
+
+  void AddAtoms(const std::vector<Atom>& atoms) {
+    AddAtoms(atoms.data(), atoms.data() + atoms.size());
+  }
+
+  virtual bool Contains(const Atom& atom) const = 0;
+
+  /// Position of `atom` in atoms(), or SIZE_MAX when absent.
+  virtual std::size_t IndexOf(const Atom& atom) const = 0;
+
+  /// All atoms in insertion order.
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+  std::size_t size() const { return atoms_.size(); }
+
+  /// Indices (into atoms()) of atoms over `pred`, ascending.
+  virtual const std::vector<std::uint32_t>& AtomsWith(
+      PredicateId pred) const = 0;
+
+  /// Indices of atoms over `pred` whose argument `pos` equals `t`,
+  /// ascending.
+  virtual IndexView AtomsWith(PredicateId pred, int pos, Term t) const = 0;
+
+  /// View of AtomsWith(pred) restricted to atom indices in [lo, hi).
+  IndexView AtomsWithIn(PredicateId pred, std::uint32_t lo,
+                        std::uint32_t hi) const;
+
+  /// View of AtomsWith(pred, pos, t) restricted to atom indices in
+  /// [lo, hi).
+  virtual IndexView AtomsWithIn(PredicateId pred, int pos, Term t,
+                                std::uint32_t lo,
+                                std::uint32_t hi) const = 0;
+
+  /// The active domain: every term occurring in some atom, in first-seen
+  /// order.
+  const std::vector<Term>& ActiveDomain() const { return adom_; }
+
+  bool InActiveDomain(Term t) const {
+    return adom_set_.find(t) != adom_set_.end();
+  }
+
+#ifndef NDEBUG
+  /// Mutation counter backing the debug-build IndexView guard. Bumped by
+  /// every successful insertion; poisoned by the destructor. Debug builds
+  /// only, like the guard itself.
+  std::uint64_t generation() const { return *generation_; }
+#endif
+
+ protected:
+  /// Appends `atom` to the shared sequence + active domain and bumps the
+  /// generation counter. Callers have already checked for duplicates.
+  /// Returns the new atom's index.
+  std::uint32_t RecordAtom(const Atom& atom) {
+    const std::uint32_t idx = static_cast<std::uint32_t>(atoms_.size());
+    atoms_.push_back(atom);
+    for (Term t : atom.args()) {
+      if (adom_set_.insert(t).second) adom_.push_back(t);
+    }
+#ifndef NDEBUG
+    ++*generation_;
+#endif
+    return idx;
+  }
+
+  /// Reserves room for `extra` further atoms (bulk loads).
+  void ReserveAtoms(std::size_t extra) {
+    atoms_.reserve(atoms_.size() + extra);
+  }
+
+  /// Borrowed view with this store's generation guard attached (release
+  /// builds hand out an unguarded view; the counter is never read there).
+  IndexView BorrowView(const std::uint32_t* begin,
+                       const std::uint32_t* end) const {
+#ifndef NDEBUG
+    return IndexView(begin, end, generation_);
+#else
+    return IndexView(begin, end);
+#endif
+  }
+
+  /// Clamps a sorted index vector to the atom-index range [lo, hi),
+  /// returning a guarded borrowed view.
+  IndexView ClampView(const std::vector<std::uint32_t>& indices,
+                      std::uint32_t lo, std::uint32_t hi) const;
+
+  static const std::vector<std::uint32_t> kEmptyIndex;
+
+ private:
+  std::vector<Atom> atoms_;
+  std::vector<Term> adom_;
+  std::unordered_set<Term> adom_set_;
+#ifndef NDEBUG
+  // Shared with borrowed IndexViews (debug guard) so the check survives
+  // the store; the destructor poisons it.
+  std::shared_ptr<std::uint64_t> generation_ =
+      std::make_shared<std::uint64_t>(0);
+#endif
+};
+
+}  // namespace bddfc
+
+#endif  // BDDFC_STORAGE_FACT_STORE_H_

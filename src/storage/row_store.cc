@@ -1,0 +1,58 @@
+#include "storage/row_store.h"
+
+namespace bddfc {
+
+bool RowStore::AddAtom(const Atom& atom) {
+  if (!pos_.emplace(atom, size()).second) return false;
+  const std::uint32_t idx = RecordAtom(atom);
+  // Deferred index construction: before the first index query nothing is
+  // indexed (EnsureIndexes builds from atoms() wholesale); afterwards every
+  // insertion appends incrementally. Acquire pairs with EnsureIndexes'
+  // release so a build on a query thread is fully visible here even if the
+  // caller provided no other happens-before edge.
+  if (indexes_built_.load(std::memory_order_acquire)) IndexAtom(atom, idx);
+  return true;
+}
+
+void RowStore::IndexAtom(const Atom& atom, std::uint32_t idx) const {
+  by_pred_[atom.pred()].push_back(idx);
+  for (std::size_t pos = 0; pos < atom.arity(); ++pos) {
+    by_pos_[{PosIndexKey(atom.pred(), static_cast<int>(pos)), atom.arg(pos)}]
+        .push_back(idx);
+  }
+}
+
+void RowStore::EnsureIndexes() const {
+  if (indexes_built_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (indexes_built_.load(std::memory_order_relaxed)) return;
+  const std::vector<Atom>& all = atoms();
+  for (std::uint32_t idx = 0; idx < all.size(); ++idx) {
+    IndexAtom(all[idx], idx);
+  }
+  indexes_built_.store(true, std::memory_order_release);
+}
+
+const std::vector<std::uint32_t>& RowStore::AtomsWith(
+    PredicateId pred) const {
+  EnsureIndexes();
+  auto it = by_pred_.find(pred);
+  return it == by_pred_.end() ? kEmptyIndex : it->second;
+}
+
+IndexView RowStore::AtomsWith(PredicateId pred, int pos, Term t) const {
+  EnsureIndexes();
+  auto it = by_pos_.find({PosIndexKey(pred, pos), t});
+  if (it == by_pos_.end()) return IndexView();
+  return BorrowView(it->second.data(), it->second.data() + it->second.size());
+}
+
+IndexView RowStore::AtomsWithIn(PredicateId pred, int pos, Term t,
+                                std::uint32_t lo, std::uint32_t hi) const {
+  EnsureIndexes();
+  auto it = by_pos_.find({PosIndexKey(pred, pos), t});
+  if (it == by_pos_.end()) return IndexView();
+  return ClampView(it->second, lo, hi);
+}
+
+}  // namespace bddfc

@@ -1,0 +1,92 @@
+// The row-oriented FactStore backend: the historical Instance layout.
+//
+// One hash entry per atom (exact membership), plus hash-map indexes
+// by predicate and by (predicate, position, term). Index vectors are
+// appended in insertion order, so every lookup result is ascending by
+// construction.
+//
+// The hash-map indexes are built lazily on the first index query (and
+// maintained incrementally afterwards): a store that is only ever scanned
+// via atoms() — a Restrict/Map/DisjointUnion result consumed once — never
+// pays the O(atoms × arity) index build at all.
+
+#ifndef BDDFC_STORAGE_ROW_STORE_H_
+#define BDDFC_STORAGE_ROW_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "base/hash.h"
+#include "storage/fact_store.h"
+
+namespace bddfc {
+
+class RowStore final : public FactStore {
+ public:
+  StorageKind kind() const override { return StorageKind::kRow; }
+
+  bool AddAtom(const Atom& atom) override;
+
+  /// Bulk append: reserves the membership map for the batch's final size
+  /// once instead of rehashing along the way.
+  void AddAtoms(const Atom* begin, const Atom* end) override {
+    ReserveAtoms(static_cast<std::size_t>(end - begin));
+    pos_.reserve(size() + static_cast<std::size_t>(end - begin));
+    for (const Atom* a = begin; a != end; ++a) AddAtom(*a);
+  }
+  using FactStore::AddAtoms;
+
+  bool Contains(const Atom& atom) const override {
+    return pos_.find(atom) != pos_.end();
+  }
+
+  std::size_t IndexOf(const Atom& atom) const override {
+    auto it = pos_.find(atom);
+    return it == pos_.end() ? SIZE_MAX : it->second;
+  }
+
+  const std::vector<std::uint32_t>& AtomsWith(PredicateId pred) const override;
+  IndexView AtomsWith(PredicateId pred, int pos, Term t) const override;
+  IndexView AtomsWithIn(PredicateId pred, int pos, Term t, std::uint32_t lo,
+                        std::uint32_t hi) const override;
+
+ private:
+  // (predicate, position) packed into disjoint 32-bit halves. PredicateId
+  // is 32 bits and positions are bounded by the predicate arity (an int),
+  // so neither half can truncate.
+  using PosKey = std::pair<std::uint64_t, Term>;
+  static std::uint64_t PosIndexKey(PredicateId pred, int pos) {
+    BDDFC_CHECK_GE(pos, 0);
+    return (static_cast<std::uint64_t>(pred) << 32) |
+           static_cast<std::uint32_t>(pos);
+  }
+  struct PosKeyHash {
+    std::size_t operator()(const PosKey& k) const {
+      std::size_t seed = std::hash<std::uint64_t>{}(k.first);
+      HashCombine(&seed, std::hash<Term>{}(k.second));
+      return seed;
+    }
+  };
+
+  // Appends atom #idx to the (built) indexes.
+  void IndexAtom(const Atom& atom, std::uint32_t idx) const;
+  // Builds the indexes from atoms() if they do not exist yet. Thread-safe
+  // double-checked lock: concurrent first queries (the parallel chase)
+  // build exactly once.
+  void EnsureIndexes() const;
+
+  std::unordered_map<Atom, std::size_t> pos_;
+  mutable std::unordered_map<PredicateId, std::vector<std::uint32_t>>
+      by_pred_;
+  mutable std::unordered_map<PosKey, std::vector<std::uint32_t>, PosKeyHash>
+      by_pos_;
+  mutable std::atomic<bool> indexes_built_{false};
+  mutable std::mutex index_mutex_;
+};
+
+}  // namespace bddfc
+
+#endif  // BDDFC_STORAGE_ROW_STORE_H_

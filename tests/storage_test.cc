@@ -1,0 +1,422 @@
+// The storage differential suite: the RowStore and ColumnStore backends
+// must answer every FactStore query identically — same atoms() sequence,
+// same index-lookup results, same delta views, same active domain — and
+// produce bit-identical chase transcripts (atoms, trigger order,
+// provenance, fresh-null numbering) across all three chase variants and
+// thread counts. Plus targeted regressions: the debug-build IndexView
+// generation guard, the bulk-AddAtoms Restrict/Map/DisjointUnion paths,
+// and the column store's lazy run-merge discipline.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "base/rng.h"
+#include "chase/chase.h"
+#include "generators/workload.h"
+#include "logic/instance.h"
+#include "logic/parser.h"
+#include "storage/column_store.h"
+#include "storage/fact_store.h"
+#include "storage/row_store.h"
+
+namespace bddfc {
+namespace {
+
+constexpr StorageKind kBackends[] = {StorageKind::kRow, StorageKind::kColumn};
+
+std::vector<std::uint32_t> Materialize(const IndexView& view) {
+  return std::vector<std::uint32_t>(view.begin(), view.end());
+}
+
+// Every query of the FactStore contract, cross-checked between two
+// instances that were built from the same atom sequence.
+void ExpectStoresAgree(const Instance& row, const Instance& column) {
+  ASSERT_EQ(row.size(), column.size());
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    ASSERT_EQ(row.atoms()[i], column.atoms()[i]) << "atom " << i;
+  }
+  EXPECT_EQ(row.ActiveDomain(), column.ActiveDomain());
+  for (Term t : row.ActiveDomain()) {
+    EXPECT_TRUE(column.InActiveDomain(t));
+  }
+  // Membership, positions, and every per-(pred, pos, term) lookup over the
+  // active domain plus one absent term.
+  std::vector<Term> probes = row.ActiveDomain();
+  probes.push_back(Term::MakeConstant(0x2fffffu));  // never interned
+  const std::uint32_t n = static_cast<std::uint32_t>(row.size());
+  for (const Atom& a : row.atoms()) {
+    EXPECT_TRUE(column.Contains(a));
+    EXPECT_EQ(row.IndexOf(a), column.IndexOf(a));
+  }
+  for (PredicateId pred = 0; pred < row.universe()->num_predicates();
+       ++pred) {
+    EXPECT_EQ(row.AtomsWith(pred), column.AtomsWith(pred)) << "pred " << pred;
+    const int arity = row.universe()->ArityOf(pred);
+    for (int pos = 0; pos < arity; ++pos) {
+      for (Term t : probes) {
+        EXPECT_EQ(Materialize(row.AtomsWith(pred, pos, t)),
+                  Materialize(column.AtomsWith(pred, pos, t)))
+            << "pred " << pred << " pos " << pos;
+        // Delta views over a few representative ranges, including empty
+        // and partial windows.
+        const std::uint32_t ranges[][2] = {
+            {0, n}, {0, n / 2}, {n / 2, n}, {n / 3, (2 * n) / 3}, {n, n}};
+        for (const auto& range : ranges) {
+          EXPECT_EQ(
+              Materialize(row.AtomsWithIn(pred, pos, t, range[0], range[1])),
+              Materialize(
+                  column.AtomsWithIn(pred, pos, t, range[0], range[1])))
+              << "pred " << pred << " pos " << pos << " range ["
+              << range[0] << "," << range[1] << ")";
+        }
+      }
+    }
+    for (std::uint32_t lo = 0; lo <= n; lo += n / 3 + 1) {
+      EXPECT_EQ(Materialize(row.AtomsWithIn(pred, lo, n)),
+                Materialize(column.AtomsWithIn(pred, lo, n)));
+    }
+  }
+}
+
+TEST(StorageDifferentialTest, HandWrittenWorkload) {
+  for (bool bulk : {false, true}) {
+    SCOPED_TRACE(bulk ? "bulk" : "atomwise");
+    Universe u;
+    PredicateId e = u.InternPredicate("E", 2);
+    PredicateId p = u.InternPredicate("P", 1);
+    Term a = u.InternConstant("a"), b = u.InternConstant("b"),
+         c = u.InternConstant("c");
+    std::vector<Atom> atoms = {Atom(e, {a, b}), Atom(e, {b, c}),
+                               Atom(e, {a, c}), Atom(e, {c, a}),
+                               Atom(p, {a}),    Atom(p, {c}),
+                               Atom(e, {a, b})};  // duplicate
+    Instance row(&u, StorageKind::kRow);
+    Instance column(&u, StorageKind::kColumn);
+    if (bulk) {
+      row.AddAtoms(atoms);
+      column.AddAtoms(atoms);
+    } else {
+      for (const Atom& atom : atoms) {
+        EXPECT_EQ(row.AddAtom(atom), column.AddAtom(atom));
+      }
+    }
+    EXPECT_EQ(row.size(), 7u);  // ⊤ + 6 distinct
+    ExpectStoresAgree(row, column);
+  }
+}
+
+TEST(StorageDifferentialTest, RandomizedGeneratorWorkloads) {
+  generators::RuleSetSpec spec;
+  spec.num_predicates = 4;
+  spec.num_rules = 4;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Universe u;
+    Rng rng(seed);
+    RuleSet rules = generators::RandomBinaryRuleSet(&u, spec, &rng);
+    Instance row = generators::RandomInstance(&u, rules, /*num_constants=*/9,
+                                              /*num_atoms=*/60, &rng);
+    Instance column(row, StorageKind::kColumn);
+    EXPECT_EQ(row.storage(), StorageKind::kRow);
+    EXPECT_EQ(column.storage(), StorageKind::kColumn);
+    ExpectStoresAgree(row, column);
+  }
+}
+
+TEST(StorageDifferentialTest, InterleavedInsertAndLookup) {
+  // Interleaving queries with single-atom inserts forces the column store
+  // through many seal/merge cycles; results must stay identical at every
+  // point, not just at the end.
+  Universe u;
+  PredicateId e = u.InternPredicate("E", 2);
+  Rng rng(7);
+  Instance row(&u, StorageKind::kRow);
+  Instance column(&u, StorageKind::kColumn);
+  std::vector<Term> terms;
+  for (int i = 0; i < 12; ++i) {
+    terms.push_back(u.InternConstant("t" + std::to_string(i)));
+  }
+  for (int i = 0; i < 200; ++i) {
+    Term x = terms[rng.Below(12)];
+    Term y = terms[rng.Below(12)];
+    Atom atom(e, {x, y});
+    EXPECT_EQ(row.AddAtom(atom), column.AddAtom(atom));
+    Term probe = terms[rng.Below(12)];
+    const int pos = static_cast<int>(rng.Below(2));
+    EXPECT_EQ(Materialize(row.AtomsWith(e, pos, probe)),
+              Materialize(column.AtomsWith(e, pos, probe)))
+        << "after insert " << i;
+  }
+  ExpectStoresAgree(row, column);
+}
+
+TEST(StorageDifferentialTest, WideArityPositions) {
+  // Positions beyond 255 exercised on both backends (the historical packed
+  // pos-key regression, now part of the shared contract).
+  Universe u;
+  PredicateId wide = u.InternPredicate("W", 258);
+  Term a = u.InternConstant("a"), b = u.InternConstant("b");
+  std::vector<Term> args(258, a);
+  args[257] = b;
+  Instance row(&u, StorageKind::kRow);
+  Instance column(&u, StorageKind::kColumn);
+  row.AddAtom(Atom(wide, args));
+  column.AddAtom(Atom(wide, args));
+  for (const Instance* inst : {&row, &column}) {
+    ASSERT_EQ(inst->AtomsWith(wide, 257, b).size(), 1u);
+    EXPECT_EQ(inst->AtomsWith(wide, 257, b)[0], 1u);
+    EXPECT_TRUE(inst->AtomsWith(wide, 257, a).empty());
+    EXPECT_EQ(inst->AtomsWith(wide, 0, a).size(), 1u);
+  }
+}
+
+// --- Chase transcripts ------------------------------------------------------
+// Bit-identical chase runs on both backends: the full differential
+// observable set (atoms, order, steps, provenance, null numbering), all
+// three variants, serial and parallel.
+
+struct EngineRun {
+  Universe universe;
+  std::unique_ptr<ObliviousChase> chase;
+};
+
+void RunChase(std::uint64_t seed, const generators::RuleSetSpec& spec,
+              ChaseOptions options, EngineRun* run) {
+  Rng rng(seed);
+  RuleSet rules = generators::RandomBinaryRuleSet(&run->universe, spec, &rng);
+  Instance db = generators::RandomInstance(&run->universe, rules,
+                                           /*num_constants=*/5,
+                                           /*num_atoms=*/8, &rng);
+  run->chase = std::make_unique<ObliviousChase>(db, std::move(rules),
+                                                options);
+  run->chase->Run();
+}
+
+void ExpectTranscriptsIdentical(const EngineRun& a, const EngineRun& b) {
+  const ObliviousChase& x = *a.chase;
+  const ObliviousChase& y = *b.chase;
+  EXPECT_EQ(x.Saturated(), y.Saturated());
+  EXPECT_EQ(x.HitBounds(), y.HitBounds());
+  ASSERT_EQ(x.StepsExecuted(), y.StepsExecuted());
+  EXPECT_EQ(x.TriggersFired(), y.TriggersFired());
+  for (std::size_t k = 0; k <= x.StepsExecuted(); ++k) {
+    EXPECT_EQ(x.AtomCountAtStep(k), y.AtomCountAtStep(k)) << "step " << k;
+  }
+  ASSERT_EQ(x.Result().size(), y.Result().size());
+  ASSERT_EQ(a.universe.num_nulls(), b.universe.num_nulls());
+  for (std::size_t i = 0; i < x.Result().size(); ++i) {
+    ASSERT_EQ(x.Result().atoms()[i], y.Result().atoms()[i]) << "atom " << i;
+    EXPECT_EQ(x.StepOfAtom(i), y.StepOfAtom(i));
+    const auto& px = x.ProvenanceOf(i);
+    const auto& py = y.ProvenanceOf(i);
+    EXPECT_EQ(px.database, py.database);
+    EXPECT_EQ(px.step, py.step);
+    EXPECT_EQ(px.rule_index, py.rule_index);
+    EXPECT_EQ(px.trigger.entries(), py.trigger.entries());
+  }
+}
+
+TEST(StorageDifferentialTest, ChaseTranscriptsAllVariantsAndThreads) {
+  constexpr ChaseVariant kVariants[] = {ChaseVariant::kOblivious,
+                                        ChaseVariant::kSemiOblivious,
+                                        ChaseVariant::kRestricted};
+  generators::RuleSetSpec spec;
+  spec.num_predicates = 3;
+  spec.num_rules = 4;
+  spec.max_body_atoms = 3;
+  spec.datalog_fraction = 0.5;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    for (ChaseVariant variant : kVariants) {
+      for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        SCOPED_TRACE("seed " + std::to_string(seed) + " variant " +
+                     std::to_string(static_cast<int>(variant)) + " threads " +
+                     std::to_string(threads));
+        ChaseOptions options{.max_steps = 4, .max_atoms = 4000,
+                             .variant = variant};
+        options.num_threads = threads;
+        EngineRun row, column;
+        options.storage = StorageKind::kRow;
+        RunChase(seed, spec, options, &row);
+        options.storage = StorageKind::kColumn;
+        RunChase(seed, spec, options, &column);
+        EXPECT_EQ(row.chase->Result().storage(), StorageKind::kRow);
+        EXPECT_EQ(column.chase->Result().storage(), StorageKind::kColumn);
+        ExpectTranscriptsIdentical(row, column);
+      }
+    }
+  }
+}
+
+// --- Bulk construction paths ------------------------------------------------
+// Restrict/Map/DisjointUnion now route through one bulk AddAtoms (deferred
+// index construction); the results must be indistinguishable from the
+// historical atom-by-atom construction on either backend.
+
+TEST(StorageBulkOpsTest, RestrictMapUnionMatchAtomwiseConstruction) {
+  for (StorageKind kind : kBackends) {
+    SCOPED_TRACE(ToString(kind));
+    Universe u;
+    PredicateId e = u.InternPredicate("E", 2);
+    PredicateId p = u.InternPredicate("P", 1);
+    Term a = u.InternConstant("a"), b = u.InternConstant("b"),
+         c = u.InternConstant("c");
+    Instance inst(&u, kind);
+    inst.AddAtoms({Atom(e, {a, b}), Atom(e, {b, c}), Atom(p, {a}),
+                   Atom(p, {b})});
+
+    // Restrict.
+    Instance restricted = inst.Restrict({p});
+    Instance restricted_ref(&u, kind);
+    for (const Atom& atom : inst.atoms()) {
+      if (atom.pred() == p) restricted_ref.AddAtom(atom);
+    }
+    ASSERT_EQ(restricted.atoms(), restricted_ref.atoms());
+    EXPECT_EQ(restricted.ActiveDomain(), restricted_ref.ActiveDomain());
+    EXPECT_EQ(restricted.AtomsWith(p), restricted_ref.AtomsWith(p));
+    EXPECT_EQ(restricted.storage(), kind);
+
+    // Map with a non-injective substitution (bulk dedup must kick in).
+    Substitution collapse;
+    collapse.Bind(b, a);
+    Instance mapped = inst.Map(collapse);
+    Instance mapped_ref(&u, kind);
+    for (const Atom& atom : inst.atoms()) {
+      mapped_ref.AddAtom(collapse.Apply(atom));
+    }
+    ASSERT_EQ(mapped.atoms(), mapped_ref.atoms());
+    EXPECT_EQ(mapped.IndexOf(Atom(p, {a})), mapped_ref.IndexOf(Atom(p, {a})));
+
+    // DisjointUnion: null renaming and the atom sequence must match the
+    // historical construction (checked against a twin universe so the
+    // fresh-null counters line up).
+    Universe u2;
+    PredicateId e2 = u2.InternPredicate("E", 2);
+    PredicateId p2 = u2.InternPredicate("P", 1);
+    Term a2 = u2.InternConstant("a"), b2 = u2.InternConstant("b"),
+         c2 = u2.InternConstant("c");
+    auto build = [&](Universe* uu, PredicateId ee, PredicateId pp, Term aa,
+                     Term bb, Term cc) {
+      Instance left(uu, kind);
+      left.AddAtoms({Atom(ee, {aa, bb}), Atom(pp, {aa})});
+      Instance right(uu, kind);
+      right.AddAtoms({Atom(ee, {bb, cc}), Atom(pp, {cc})});
+      return Instance::DisjointUnion(left, right);
+    };
+    Instance joined = build(&u, e, p, a, b, c);
+    Instance joined_ref = build(&u2, e2, p2, a2, b2, c2);
+    ASSERT_EQ(joined.size(), joined_ref.size());
+    for (std::size_t i = 0; i < joined.size(); ++i) {
+      EXPECT_EQ(joined.atoms()[i], joined_ref.atoms()[i]) << "atom " << i;
+    }
+  }
+}
+
+// --- Column-store internals -------------------------------------------------
+
+TEST(ColumnStoreTest, LazyMergeKeepsRunCountLogarithmic) {
+  Universe u;
+  PredicateId e = u.InternPredicate("E", 2);
+  Instance inst(&u, StorageKind::kColumn);
+  const auto& store = static_cast<const ColumnStore&>(inst.store());
+  Rng rng(3);
+  // Many small batches, each sealed by the interleaved lookup: the merge
+  // discipline must keep the run count O(log n), not one run per batch.
+  for (int batch = 0; batch < 64; ++batch) {
+    std::vector<Atom> atoms;
+    for (int i = 0; i < 16; ++i) {
+      atoms.push_back(
+          Atom(e, {Term::MakeConstant(rng.Below(5000)),
+                   Term::MakeConstant(rng.Below(5000))}));
+    }
+    inst.AddAtoms(atoms);
+    (void)inst.AtomsWith(e, 0, atoms[0].arg(0));  // forces a seal
+    EXPECT_LE(store.NumRuns(e), 11u) << "batch " << batch;
+  }
+  EXPECT_GE(inst.size(), 512u);
+}
+
+TEST(ColumnStoreTest, PerPredicateIndexReferenceSurvivesNewPredicates) {
+  // AtomsWith(pred) hands out a reference to the predicate's row index;
+  // it must stay valid when later insertions introduce higher predicate
+  // ids (the per-predicate tables are heap-stable, matching the row
+  // store's node-based map).
+  Universe u;
+  PredicateId e = u.InternPredicate("E", 2);
+  Term a = u.InternConstant("a"), b = u.InternConstant("b");
+  Instance inst(&u, StorageKind::kColumn);
+  inst.AddAtom(Atom(e, {a, b}));
+  const std::vector<std::uint32_t>& rows = inst.AtomsWith(e);
+  ASSERT_EQ(rows.size(), 1u);
+  for (int p = 0; p < 40; ++p) {
+    PredicateId fresh = u.InternPredicate("F" + std::to_string(p), 1);
+    inst.AddAtom(Atom(fresh, {a}));
+  }
+  inst.AddAtom(Atom(e, {b, a}));
+  EXPECT_EQ(rows.size(), 2u);  // same reference, grown in place
+  EXPECT_EQ(rows[0], 1u);
+}
+
+TEST(ColumnStoreTest, EmptyAndAbsentPredicates) {
+  Universe u;
+  PredicateId e = u.InternPredicate("E", 2);
+  PredicateId lonely = u.InternPredicate("L", 1);
+  Instance inst(&u, StorageKind::kColumn);
+  Term a = u.InternConstant("a");
+  inst.AddAtom(Atom(e, {a, a}));
+  EXPECT_TRUE(inst.AtomsWith(lonely).empty());
+  EXPECT_TRUE(inst.AtomsWith(lonely, 0, a).empty());
+  EXPECT_TRUE(inst.AtomsWithIn(lonely, 0, a, 0, 10).empty());
+  EXPECT_FALSE(inst.Contains(Atom(lonely, {a})));
+  EXPECT_EQ(inst.IndexOf(Atom(lonely, {a})), SIZE_MAX);
+  // The implicit ⊤ is a nullary atom: position lookups must stay empty.
+  EXPECT_TRUE(inst.AtomsWith(u.top(), 0, a).empty());
+  EXPECT_EQ(inst.AtomsWith(u.top()).size(), 1u);
+}
+
+// --- IndexView generation guard ---------------------------------------------
+// Borrowed views are invalidated by mutation; in debug builds the captured
+// generation counter turns a deref of a stale view into a CHECK failure.
+
+#ifndef NDEBUG
+using StorageDeathTest = ::testing::Test;
+
+TEST(StorageDeathTest, StaleBorrowedViewDiesOnDeref) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  for (StorageKind kind : kBackends) {
+    SCOPED_TRACE(ToString(kind));
+    Universe u;
+    PredicateId e = u.InternPredicate("E", 2);
+    Term a = u.InternConstant("a"), b = u.InternConstant("b");
+    Instance inst(&u, kind);
+    inst.AddAtom(Atom(e, {a, b}));
+    IndexView view = inst.AtomsWithIn(e, 0, static_cast<std::uint32_t>(
+                                                inst.size()));
+    EXPECT_EQ(view.size(), 1u);  // valid while the store is unchanged
+    inst.AddAtom(Atom(e, {b, a}));
+    EXPECT_DEATH((void)view.size(), "CHECK failed");
+  }
+}
+
+TEST(StorageDeathTest, OwnedViewsSurviveMutation) {
+  // Owning views (column-store point lookups) hold a private buffer; they
+  // must stay dereferenceable across mutations.
+  Universe u;
+  PredicateId e = u.InternPredicate("E", 2);
+  Term a = u.InternConstant("a"), b = u.InternConstant("b");
+  Instance inst(&u, StorageKind::kColumn);
+  inst.AddAtom(Atom(e, {a, b}));
+  IndexView view = inst.AtomsWith(e, 0, a);
+  ASSERT_EQ(view.size(), 1u);
+  inst.AddAtom(Atom(e, {b, a}));
+  EXPECT_EQ(view.size(), 1u);
+  EXPECT_EQ(view[0], 1u);
+}
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace bddfc
