@@ -17,6 +17,14 @@ double MsSince(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
+ExecutionConfig ReasonerOptions::ResolvedExec() const {
+  ExecutionConfig resolved = chase.ResolvedExec();
+  const ExecutionConfig defaults;
+  if (num_threads != defaults.num_threads) resolved.num_threads = num_threads;
+  if (storage.has_value()) resolved.storage = storage;
+  return resolved;
+}
+
 const char* ToString(AnswerStrategy strategy) {
   switch (strategy) {
     case AnswerStrategy::kMaterialize:
@@ -115,23 +123,34 @@ std::vector<AnswerTuple> PreparedQuery::All() const {
 Reasoner::Reasoner(const Instance& database, RuleSet rules,
                    ReasonerOptions options)
     : options_(options),
-      database_(database,
-                options.storage.value_or(
-                    options.chase.storage.value_or(database.storage()))),
+      database_(database, options.ResolvedExec().storage.value_or(
+                              database.storage())),
       rules_(std::move(rules)),
       rewriter_(rules_, database_.universe(), options.rewriter),
       probe_rewriter_(rules_, database_.universe(), options.auto_probe),
-      num_threads_(ThreadPool::ResolveThreadCount(options.num_threads)) {
+      num_threads_(
+          ThreadPool::ResolveThreadCount(options.ResolvedExec().num_threads)) {
   if (num_threads_ > 1) {
     pool_ = std::make_unique<ThreadPool>(num_threads_ - 1);
   }
-  // One pool per session: the chase borrows it (ChaseOptions::pool
-  // overrides num_threads) and prepared-query evaluation fans out over it.
+  // Freeze the resolved configuration into options_.chase.exec — one pool
+  // per session (the chase borrows it, prepared-query evaluation fans out
+  // over it), one storage backend (the materialization inherits the
+  // session backend through the database copy), one engine.
+  options_.chase.exec = options_.ResolvedExec();
+  options_.chase.exec.num_threads = num_threads_;
+  options_.chase.exec.pool = pool_.get();
+  options_.chase.exec.storage = database_.storage();
+  // Mirror the resolved values into the deprecated alias fields so code
+  // reading either view of options() agrees (the re-merge inside the chase
+  // is then a no-op).
+  options_.chase.max_steps = options_.chase.exec.max_steps;
+  options_.chase.max_atoms = options_.chase.exec.max_atoms;
   options_.chase.num_threads = num_threads_;
   options_.chase.pool = pool_.get();
-  // The materialization inherits the session backend through the database
-  // copy (ChaseOptions::storage defaults to the database's own kind).
   options_.chase.storage = database_.storage();
+  options_.num_threads = num_threads_;
+  options_.storage = database_.storage();
 }
 
 Reasoner::~Reasoner() = default;
@@ -160,7 +179,7 @@ void Reasoner::DriveChase(std::size_t target_steps, bool incremental) {
 void Reasoner::EnsureMaterialized() {
   if (chase_ != nullptr) return;
   chase_ = std::make_unique<ObliviousChase>(database_, rules_, options_.chase);
-  DriveChase(options_.chase.max_steps, /*incremental=*/false);
+  DriveChase(options_.chase.exec.max_steps, /*incremental=*/false);
 }
 
 const Instance& Reasoner::Materialize() {
@@ -243,7 +262,7 @@ std::size_t Reasoner::AddFacts(const std::vector<Atom>& facts) {
   // A fact the chase had already derived adds nothing to the delta.
   if (chase_->AddBaseFacts(fresh) > 0) {
     ++stats_.incremental_runs;
-    DriveChase(chase_->StepsExecuted() + options_.chase.max_steps,
+    DriveChase(chase_->StepsExecuted() + options_.chase.exec.max_steps,
                /*incremental=*/true);
   } else {
     stats_.chase_atoms = chase_->Result().size();

@@ -62,10 +62,17 @@ enum class AnswerStrategy {
 const char* ToString(AnswerStrategy strategy);
 
 /// Session-wide configuration.
+///
+/// Execution knobs (engine, storage, threads, bounds) live in
+/// `chase.exec` (ExecutionConfig) and govern the whole session: the chase
+/// materialization and prepared-query evaluation share one resolved
+/// configuration and one thread pool. The loose `num_threads` / `storage`
+/// fields below are deprecated aliases kept for source compatibility; a
+/// non-default alias overrides its `chase.exec` twin.
 struct ReasonerOptions {
   AnswerStrategy strategy = AnswerStrategy::kAuto;
-  /// Chase variant and bounds for the kMaterialize path. `num_threads`
-  /// below overrides `chase.num_threads`.
+  /// Chase variant, engine and bounds for the kMaterialize path (see
+  /// ChaseOptions::exec for the unified execution configuration).
   ChaseOptions chase;
   /// Rewriting bounds for the explicit kRewrite strategy. The facade trims
   /// the library-wide caps (depth 12 → 10, 4096 → 1024 disjuncts, 24 → 16
@@ -85,17 +92,22 @@ struct ReasonerOptions {
   /// for kRewrite explicitly to spend the full budget.
   RewriterOptions auto_probe{
       .max_depth = 6, .max_disjuncts = 128, .max_atoms_per_query = 16};
-  /// Execution threads, plumbed both into the chase
-  /// (ChaseOptions::num_threads) and into prepared-query evaluation
+  /// Deprecated alias of chase.exec.num_threads. Execution threads,
+  /// plumbed both into the chase and into prepared-query evaluation
   /// (HomSearch::FindAllParallel over the session pool). 1 = serial,
   /// 0 = all hardware threads. Answers are identical at any thread count.
   std::size_t num_threads = 1;
-  /// Storage backend for the session's base instance and materialization
-  /// (overrides `chase.storage`). Defaults to the backend of the database
-  /// the session was constructed from. Answers and chase runs are
-  /// identical on every backend; kColumn trades point-lookup speed for
-  /// O(atoms) index memory (see src/storage/fact_store.h).
+  /// Deprecated alias of chase.exec.storage. Storage backend for the
+  /// session's base instance and materialization. Defaults to the backend
+  /// of the database the session was constructed from. Answers and chase
+  /// runs are identical on every backend; kColumn trades point-lookup
+  /// speed for O(atoms) index memory (see src/storage/fact_store.h).
   std::optional<StorageKind> storage = std::nullopt;
+
+  /// The effective session-wide execution configuration: chase.exec with
+  /// every non-default deprecated alias (ChaseOptions' and this struct's)
+  /// overriding its twin.
+  ExecutionConfig ResolvedExec() const;
 };
 
 /// One answer: the images of the query's answer tuple, all constants. A

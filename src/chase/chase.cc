@@ -7,10 +7,25 @@
 #include "base/check.h"
 #include "base/hash.h"
 #include "base/thread_pool.h"
+#include "chase/segment_engine.h"
 #include "exec/parallel_chase.h"
 #include "homomorphism/homomorphism.h"
 
 namespace bddfc {
+
+ExecutionConfig ChaseOptions::ResolvedExec() const {
+  ExecutionConfig resolved = exec;
+  const ExecutionConfig defaults;
+  // A deprecated alias overrides its exec twin only when it was set away
+  // from its default — the alias defaults equal the exec defaults, so an
+  // untouched alias never masks an explicit exec setting.
+  if (max_steps != defaults.max_steps) resolved.max_steps = max_steps;
+  if (max_atoms != defaults.max_atoms) resolved.max_atoms = max_atoms;
+  if (num_threads != defaults.num_threads) resolved.num_threads = num_threads;
+  if (pool != nullptr) resolved.pool = pool;
+  if (storage.has_value()) resolved.storage = storage;
+  return resolved;
+}
 
 std::size_t ObliviousChase::TriggerKeyHash::operator()(
     const TriggerKey& k) const {
@@ -21,7 +36,8 @@ std::size_t ObliviousChase::TriggerKeyHash::operator()(
 
 ObliviousChase::ObliviousChase(const Instance& database, RuleSet rules,
                                ChaseOptions options)
-    : instance_(database, options.storage.value_or(database.storage())),
+    : exec_(options.ResolvedExec()),
+      instance_(database, exec_.storage.value_or(database.storage())),
       rules_(std::move(rules)),
       options_(options) {
   atoms_at_step_.push_back(instance_.size());
@@ -31,34 +47,41 @@ ObliviousChase::ObliviousChase(const Instance& database, RuleSet rules,
   for (const Rule& rule : rules_) {
     rule_searches_.emplace_back(rule.body(), &instance_);
   }
+  // Frontier-variable positions: the restricted head check seeds from them
+  // and the segment engine's semi-oblivious trigger identity projects
+  // through them. Cheap enough to build unconditionally.
+  frontier_positions_.reserve(rules_.size());
+  for (const Rule& rule : rules_) {
+    std::vector<std::size_t> positions;
+    positions.reserve(rule.frontier().size());
+    for (Term v : rule.frontier()) {
+      const auto& vars = rule.body_vars();
+      positions.push_back(static_cast<std::size_t>(
+          std::find(vars.begin(), vars.end(), v) - vars.begin()));
+    }
+    frontier_positions_.push_back(std::move(positions));
+  }
   if (options_.variant == ChaseVariant::kRestricted) {
-    // Cached head searches (they see every atom appended to instance_)
-    // and frontier-variable positions, shared by the serial check and the
-    // concurrent precheck.
+    // Cached head searches (they see every atom appended to instance_),
+    // shared by the serial check and the concurrent precheck.
     head_searches_.reserve(rules_.size());
-    frontier_positions_.reserve(rules_.size());
     for (const Rule& rule : rules_) {
       head_searches_.emplace_back(rule.head(), &instance_);
-      std::vector<std::size_t> positions;
-      positions.reserve(rule.frontier().size());
-      for (Term v : rule.frontier()) {
-        const auto& vars = rule.body_vars();
-        positions.push_back(static_cast<std::size_t>(
-            std::find(vars.begin(), vars.end(), v) - vars.begin()));
-      }
-      frontier_positions_.push_back(std::move(positions));
     }
   }
-  if (options_.pool != nullptr) {
-    num_threads_ = options_.pool->num_workers() + 1;
+  if (exec_.pool != nullptr) {
+    num_threads_ = exec_.pool->num_workers() + 1;
     if (num_threads_ > 1) {
-      parallel_ = std::make_unique<exec::ParallelChase>(options_.pool);
+      parallel_ = std::make_unique<exec::ParallelChase>(exec_.pool);
     }
   } else {
-    num_threads_ = ThreadPool::ResolveThreadCount(options_.num_threads);
+    num_threads_ = ThreadPool::ResolveThreadCount(exec_.num_threads);
     if (num_threads_ > 1) {
       parallel_ = std::make_unique<exec::ParallelChase>(num_threads_);
     }
+  }
+  if (exec_.engine == ChaseEngine::kSegment) {
+    segment_ = std::make_unique<SegmentEngine>(&instance_, &rules_);
   }
 }
 
@@ -115,7 +138,36 @@ ObliviousChase::StepOutcome ObliviousChase::StepOnce() {
     for (Term v : rule.body_vars()) c.body_image.push_back(h.Apply(v));
     batch->push_back(std::move(c));
   };
-  if (parallel_ != nullptr) {
+  if (segment_ != nullptr) {
+    // Segment-at-a-time enumeration: one bulk merge-join plan execution
+    // per (rule, anchor) yields the step's whole candidate segment, which
+    // is then filtered against the fired ledger — the same candidate set
+    // the trigger-at-a-time paths below collect, so the firing phase (and
+    // hence the whole chase) is bit-identical across engines. Note the
+    // engine is inherently delta-driven; naive_enumeration degrades it to
+    // a full [0, size) enumeration via delta_begin == 0, matching the
+    // naive trigger engine's re-enumerate-and-filter semantics.
+    std::vector<TriggerCandidate> raw;
+    segment_->Collect(delta_begin, delta_end,
+                      parallel_ != nullptr ? parallel_->pool() : nullptr,
+                      &raw);
+    candidates.reserve(raw.size());
+    for (TriggerCandidate& c : raw) {
+      TriggerKey probe{c.rule_index, {}};
+      if (semi) {
+        const std::vector<std::size_t>& positions =
+            frontier_positions_[c.rule_index];
+        probe.second.reserve(positions.size());
+        for (std::size_t p : positions) {
+          probe.second.push_back(c.body_image[p]);
+        }
+      } else {
+        probe.second = c.body_image;
+      }
+      if (fired_.find(probe) != fired_.end()) continue;
+      candidates.push_back(std::move(c));
+    }
+  } else if (parallel_ != nullptr) {
     if (delta_mode) {
       parallel_->CollectDelta(&rule_searches_, delta_begin, delta_end,
                               collect, &candidates);
@@ -161,7 +213,7 @@ ObliviousChase::StepOutcome ObliviousChase::StepOnce() {
   StepOutcome outcome;
   for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
     const TriggerCandidate& candidate = candidates[ci];
-    if (instance_.size() >= options_.max_atoms) {
+    if (instance_.size() >= exec_.max_atoms) {
       hit_bounds_ = true;
       outcome.truncated = true;
       break;
@@ -231,7 +283,7 @@ ObliviousChase::StepOutcome ObliviousChase::StepOnce() {
   return outcome;
 }
 
-std::size_t ObliviousChase::Run() { return RunSteps(options_.max_steps); }
+std::size_t ObliviousChase::Run() { return RunSteps(exec_.max_steps); }
 
 std::size_t ObliviousChase::RunSteps(std::size_t k) {
   while (steps_executed_ < k && !saturated_ && !hit_bounds_) {
@@ -464,9 +516,12 @@ Instance ChaseThenDatalog(const Instance& database,
                           ChaseOptions existential_options,
                           std::size_t datalog_max_steps) {
   Instance first = Chase(database, existential_rules, existential_options);
+  // The Datalog phase inherits the existential phase's resolved execution
+  // configuration (engine, storage, threads, atom budget) with its own
+  // step bound.
   ChaseOptions datalog_options;
-  datalog_options.max_steps = datalog_max_steps;
-  datalog_options.max_atoms = existential_options.max_atoms;
+  datalog_options.exec = existential_options.ResolvedExec();
+  datalog_options.exec.max_steps = datalog_max_steps;
   // Datalog saturation creates no terms; the restricted variant terminates
   // whenever the saturation is finite (it always is on a finite instance).
   datalog_options.variant = ChaseVariant::kRestricted;

@@ -25,12 +25,15 @@
 #include <unordered_set>
 #include <vector>
 
+#include "exec/execution_config.h"
 #include "homomorphism/homomorphism.h"
 #include "logic/instance.h"
 #include "logic/rule.h"
 #include "logic/substitution.h"
 
 namespace bddfc {
+
+class SegmentEngine;
 
 namespace exec {
 class ParallelChase;
@@ -53,9 +56,16 @@ enum class ChaseVariant {
   kRestricted,
 };
 
-/// Bounds and variant selection for a chase run.
+/// Variant selection and execution configuration for a chase run.
+///
+/// The execution knobs (engine, storage, threads, bounds) live in `exec`
+/// (ExecutionConfig, src/exec/execution_config.h); the loose fields
+/// max_steps / max_atoms / num_threads / pool / storage are deprecated
+/// aliases kept for source compatibility.
 struct ChaseOptions {
+  /// Deprecated alias of exec.max_steps.
   std::size_t max_steps = 16;
+  /// Deprecated alias of exec.max_atoms.
   std::size_t max_atoms = 200000;
   ChaseVariant variant = ChaseVariant::kOblivious;
   /// Escape hatch: re-enumerate every trigger from scratch at every step by
@@ -65,7 +75,8 @@ struct ChaseOptions {
   /// instance, trigger sequence, and provenance — the differential tests
   /// cross-check them atom for atom.
   bool naive_enumeration = false;
-  /// Execution threads for trigger enumeration (and, in the restricted
+  /// Deprecated alias of exec.num_threads. Execution threads for trigger
+  /// enumeration (and, in the restricted
   /// variant, the satisfaction precheck). 1 (the default) runs the
   /// unchanged serial path; 0 means "all hardware threads". Every thread
   /// count produces a bit-identical chase (atoms, trigger order,
@@ -73,18 +84,32 @@ struct ChaseOptions {
   /// instance, and their trigger batches are merged into the canonical
   /// (rule, body-image) order before the serial firing phase.
   std::size_t num_threads = 1;
-  /// Optional shared execution pool (not owned; must outlive the chase).
+  /// Deprecated alias of exec.pool. Optional shared execution pool (not
+  /// owned; must outlive the chase).
   /// When set it overrides `num_threads`: the chase runs with
   /// pool->num_workers() + 1 execution threads and fans work out over this
   /// pool instead of spinning up its own. The Reasoner facade uses this so
   /// one session owns exactly one pool (chase + query evaluation); null
   /// (the default) keeps the self-owned-pool behavior.
   ThreadPool* pool = nullptr;
-  /// Storage backend for the chase's working instance (the database copy
+  /// Deprecated alias of exec.storage. Storage backend for the chase's
+  /// working instance (the database copy
   /// the result grows in). Defaults to the database's own backend; every
   /// backend produces a bit-identical chase (same atoms, trigger order,
   /// provenance and fresh-null numbering) at every thread count.
   std::optional<StorageKind> storage = std::nullopt;
+  /// The unified execution configuration: engine selection plus the
+  /// storage / threading / bounds knobs shared with the Reasoner facade and
+  /// chase_cli. The loose fields above predate it and survive as deprecated
+  /// aliases; ResolvedExec() merges the two views (an alias overrides its
+  /// `exec` twin only when it was set away from its default), so existing
+  /// call sites — including designated initializers over the old field
+  /// names — keep compiling and behaving unchanged.
+  ExecutionConfig exec;
+
+  /// The effective configuration the chase runs with: `exec`, with every
+  /// non-default deprecated alias field overriding its twin.
+  ExecutionConfig ResolvedExec() const;
 };
 
 /// Provenance of a chase-created term.
@@ -235,6 +260,10 @@ class ObliviousChase {
   // and thread-safe (runs concurrently from the parallel precheck).
   bool HeadSatisfied(const exec::TriggerCandidate& candidate) const;
 
+  // The resolved execution configuration (declared before instance_: the
+  // constructor resolves it first and builds the instance from its storage
+  // choice).
+  ExecutionConfig exec_;
   Instance instance_;
   RuleSet rules_;
   ChaseOptions options_;
@@ -242,14 +271,18 @@ class ObliviousChase {
   // instance_ and see every appended atom (ObliviousChase is therefore
   // neither copyable nor movable).
   std::vector<HomSearch> rule_searches_;
-  // Restricted variant only: one cached head search per rule, plus the
-  // positions of each rule's frontier variables within body_vars() (to
-  // seed the head search straight from a candidate's body image).
+  // Restricted variant only: one cached head search per rule.
   std::vector<HomSearch> head_searches_;
+  // Positions of each rule's frontier variables within body_vars() — seeds
+  // the restricted head check straight from a candidate's body image, and
+  // derives the semi-oblivious trigger identity from segment-engine
+  // candidates.
   std::vector<std::vector<std::size_t>> frontier_positions_;
   // Parallel executor (null when num_threads_ == 1: the serial path).
   std::size_t num_threads_ = 1;
   std::unique_ptr<exec::ParallelChase> parallel_;
+  // Segment-at-a-time enumerator (null under the default trigger engine).
+  std::unique_ptr<SegmentEngine> segment_;
   std::size_t steps_executed_ = 0;
   bool saturated_ = false;
   bool hit_bounds_ = false;

@@ -1,0 +1,143 @@
+// The segment-at-a-time chase execution engine (VLog-style set-at-a-time
+// rule execution).
+//
+// The trigger engine enumerates rule-body homomorphisms one at a time
+// through a per-trigger backtracking search. This engine instead compiles
+// each rule body *once* into relational join plans over the FactStore's
+// sorted runs (SortedRunsView, src/storage/fact_store.h) and executes each
+// plan *once per chase step*, producing the step's whole candidate segment
+// in bulk: flat tuple vectors flow through merge joins instead of
+// per-match Substitution maps, and probe terms are matched by
+// binary-searching O(log n) sorted runs instead of hash lookups that
+// materialize an index vector per probe.
+//
+// Semi-naive decomposition: a homomorphism is *new* on step n exactly when
+// at least one body atom maps into the previous step's delta segment
+// [delta_begin, delta_end). Per rule there is one plan per anchor a ∈
+// [0, |body|): atom a's image is constrained to the delta, atoms before a
+// to the old prefix [0, delta_begin), and atoms after a to the full range
+// [0, delta_end). The anchor is thus the *first* body atom mapping into
+// the delta, so each new homomorphism is produced by exactly one anchor
+// plan, exactly once — the same exactly-once property the trigger engine's
+// delta search has, which is why both engines hand the shared canonical
+// firing phase the same candidate set and produce bit-identical chases.
+//
+// Join order within a plan is greedy: start at the anchor, then repeatedly
+// take the body atom with the most bound (already-slotted or constant)
+// positions. An atom joined on a bound variable becomes a merge join over
+// the sorted runs of its (predicate, position); an atom with no binding to
+// the current tuples becomes a cross join (disconnected body components).
+// The plan structure is exposed for inspection (tests/segment_engine_test
+// asserts the compiled shapes).
+
+#ifndef BDDFC_CHASE_SEGMENT_ENGINE_H_
+#define BDDFC_CHASE_SEGMENT_ENGINE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "exec/parallel_chase.h"
+#include "logic/instance.h"
+#include "logic/rule.h"
+
+namespace bddfc {
+
+class ThreadPool;
+
+/// One stage of a compiled per-anchor join plan.
+struct SegmentJoinStep {
+  enum class Kind {
+    /// Plan opener: scan the anchor atom's image range.
+    kScan,
+    /// Merge join: probe the sorted runs of (pred, probe_pos) with the
+    /// term each current tuple holds in probe_slot.
+    kMergeJoin,
+    /// Cross join: the atom shares no bound variable with the tuples
+    /// (disconnected body component); every matching atom pairs with
+    /// every tuple.
+    kCross,
+  };
+  /// Which atom-index range the body atom's image must fall in, realized
+  /// against the step's [delta_begin, delta_end) at execution time.
+  enum class Range {
+    kDelta,  // [delta_begin, delta_end) — the anchor
+    kOld,    // [0, delta_begin) — body atoms before the anchor
+    kFull,   // [0, delta_end)  — body atoms after the anchor
+  };
+
+  Kind kind = Kind::kScan;
+  Range range = Range::kFull;
+  /// Index of the body atom this step matches.
+  std::size_t body_index = 0;
+  PredicateId pred = 0;
+  /// kMergeJoin only: the probed argument position and the tuple slot
+  /// whose term drives the probe.
+  int probe_pos = -1;
+  int probe_slot = -1;
+  /// Positions that must equal a rule constant: (position, constant).
+  std::vector<std::pair<int, Term>> const_checks;
+  /// Positions bound to an earlier atom's variable: (position, slot).
+  std::vector<std::pair<int, int>> slot_checks;
+  /// A new variable repeated within this atom: (position, earlier
+  /// position holding the same variable).
+  std::vector<std::pair<int, int>> dup_checks;
+  /// First occurrences of new variables: (position, output slot).
+  std::vector<std::pair<int, int>> outputs;
+};
+
+/// The compiled plan for one (rule, anchor) pair.
+struct SegmentAnchorPlan {
+  std::size_t anchor = 0;  // body index of the delta-driving atom
+  std::vector<SegmentJoinStep> steps;
+  std::size_t num_slots = 0;  // width of the intermediate tuples
+  /// Slot of body_vars()[i] — the final projection into a
+  /// TriggerCandidate's canonical body image.
+  std::vector<int> body_var_slots;
+};
+
+/// All anchor plans of one rule (anchors in body order).
+struct SegmentRulePlan {
+  std::vector<SegmentAnchorPlan> anchors;
+};
+
+/// Compiles the per-anchor join plans of `rule`. Deterministic: depends
+/// only on the rule's body.
+SegmentRulePlan CompileSegmentPlan(const Rule& rule);
+
+/// Executes compiled plans against a growing instance. The engine holds
+/// only borrowed pointers (instance and rules must outlive it) and caches
+/// the compiled plans; all state mutated per step is local to Collect.
+class SegmentEngine {
+ public:
+  SegmentEngine(const Instance* instance, const RuleSet* rules);
+
+  const SegmentRulePlan& plan(std::size_t rule_index) const {
+    return plans_[rule_index];
+  }
+
+  /// Appends to `out` every body homomorphism (as a TriggerCandidate body
+  /// image) that is new for the step whose delta segment is
+  /// [delta_begin, delta_end). With delta_begin == 0 this is the full
+  /// first-step enumeration (only anchor-0 plans run). When `pool` is
+  /// non-null the (rule, anchor) plan executions fan out over it; the
+  /// caller's canonical sort erases the nondeterministic batch order.
+  /// Read-only with respect to the instance.
+  void Collect(std::uint32_t delta_begin, std::uint32_t delta_end,
+               ThreadPool* pool,
+               std::vector<exec::TriggerCandidate>* out) const;
+
+ private:
+  void ExecuteAnchor(std::size_t rule_index,
+                     const SegmentAnchorPlan& anchor_plan,
+                     std::uint32_t delta_begin, std::uint32_t delta_end,
+                     std::vector<exec::TriggerCandidate>* out) const;
+
+  const Instance* instance_;
+  const RuleSet* rules_;
+  std::vector<SegmentRulePlan> plans_;
+};
+
+}  // namespace bddfc
+
+#endif  // BDDFC_CHASE_SEGMENT_ENGINE_H_

@@ -1,0 +1,15 @@
+#include "exec/execution_config.h"
+
+namespace bddfc {
+
+const char* ToString(ChaseEngine engine) {
+  switch (engine) {
+    case ChaseEngine::kTrigger:
+      return "trigger";
+    case ChaseEngine::kSegment:
+      return "segment";
+  }
+  return "?";
+}
+
+}  // namespace bddfc

@@ -1,0 +1,74 @@
+// The unified execution configuration shared by every chase entry point.
+//
+// Before this header existed, the knobs steering *how* a chase executes —
+// thread count, shared pool, storage backend, step/atom bounds — were
+// duplicated across ChaseOptions, ReasonerOptions and ad-hoc chase_cli
+// flags, each with its own override rules. ExecutionConfig collapses them
+// into one struct, threaded verbatim through ObliviousChase, the Reasoner
+// facade and chase_cli. The old fields survive one release as deprecated
+// aliases (see ChaseOptions::ResolvedExec / the Reasoner's resolution) so
+// existing code compiles unchanged.
+//
+// The `engine` knob selects between the two chase execution engines:
+//
+//   * kTrigger — the canonical engine: per-trigger homomorphism search
+//     (semi-naive, optionally fanned out over a thread pool). This is the
+//     spec every other engine is differentially tested against.
+//   * kSegment — the set-at-a-time engine (src/chase/segment_engine.h):
+//     each rule body is compiled once into per-anchor merge-join plans over
+//     the FactStore's sorted runs, and each chase step executes every plan
+//     once against the previous step's delta segment, producing the whole
+//     candidate segment in bulk. Reaches the identical result (bit for
+//     bit, not just atom-set equality) because both engines feed the same
+//     canonical (rule, body-image) firing phase.
+//
+// Every combination of engine × storage × threads produces the same chase
+// (atoms, trigger order, provenance, fresh-null numbering); the knobs only
+// move the wall clock and the memory profile.
+
+#ifndef BDDFC_EXEC_EXECUTION_CONFIG_H_
+#define BDDFC_EXEC_EXECUTION_CONFIG_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "storage/fact_store.h"
+
+namespace bddfc {
+
+class ThreadPool;
+
+/// Which chase execution engine to run. See the file comment.
+enum class ChaseEngine {
+  kTrigger,
+  kSegment,
+};
+
+/// Human-readable engine name ("trigger" / "segment").
+const char* ToString(ChaseEngine engine);
+
+/// The execution knobs of a chase (or a Reasoner session): everything that
+/// steers *how* the work runs, as opposed to *what* is computed (rules,
+/// variant, enumeration discipline — those stay on ChaseOptions).
+struct ExecutionConfig {
+  /// Execution engine. Both engines produce bit-identical chases.
+  ChaseEngine engine = ChaseEngine::kTrigger;
+  /// Storage backend for the working instance. Defaults to the backend of
+  /// the database the chase (or session) starts from.
+  std::optional<StorageKind> storage = std::nullopt;
+  /// Execution threads: 1 = serial, 0 = all hardware threads. Ignored when
+  /// `pool` is set.
+  std::size_t num_threads = 1;
+  /// Optional shared thread pool (not owned; must outlive the run). When
+  /// set it overrides `num_threads`: the run uses pool->num_workers() + 1
+  /// execution threads.
+  ThreadPool* pool = nullptr;
+  /// Chase step budget.
+  std::size_t max_steps = 16;
+  /// Chase atom budget.
+  std::size_t max_atoms = 200000;
+};
+
+}  // namespace bddfc
+
+#endif  // BDDFC_EXEC_EXECUTION_CONFIG_H_

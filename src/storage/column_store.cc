@@ -188,6 +188,23 @@ IndexView ColumnStore::AtomsWithIn(PredicateId pred, int pos, Term t,
   return IndexView(std::move(out));
 }
 
+SortedRunsView ColumnStore::SortedRuns(PredicateId pred, int pos) const {
+  BDDFC_CHECK_GE(pos, 0);
+  if (pred >= tables_.size() || tables_[pred] == nullptr) {
+    return SortedRunsView();
+  }
+  const PredTable& table = *tables_[pred];
+  if (static_cast<std::size_t>(pos) >= table.columns.size() ||
+      table.rows.empty()) {
+    return SortedRunsView();
+  }
+  EnsureRuns();
+  return BorrowRuns(table.columns[pos].data(), table.rows.data(),
+                    table.perms[pos].data(), table.run_ends.data(),
+                    static_cast<std::uint32_t>(table.rows.size()),
+                    static_cast<std::uint32_t>(table.run_ends.size()));
+}
+
 std::size_t ColumnStore::NumRuns(PredicateId pred) const {
   if (pred >= tables_.size() || tables_[pred] == nullptr) return 0;
   return tables_[pred]->run_ends.size();

@@ -58,6 +58,13 @@ class ColumnStore final : public FactStore {
   IndexView AtomsWithIn(PredicateId pred, int pos, Term t, std::uint32_t lo,
                         std::uint32_t hi) const override;
 
+  /// The native run structure, borrowed zero-copy from the predicate's
+  /// table after sealing: at most O(log n) runs, each sorted by (term,
+  /// local row) — and local rows ascend in global order, so each run is
+  /// (term, global)-sorted as the contract requires. Invalidated by
+  /// mutation like every borrowed view.
+  SortedRunsView SortedRuns(PredicateId pred, int pos) const override;
+
   /// Number of unmerged sorted runs of `pred`'s tables as of the last
   /// seal (diagnostics and the merge-policy tests; 0 when the predicate
   /// is absent). Atoms appended since the last query are not yet sealed

@@ -172,6 +172,108 @@ class IndexView {
 #endif
 };
 
+/// A read-only view of one (predicate, position)'s *sorted runs*: the
+/// first-class iteration API the segment engine's merge joins consume,
+/// generalizing the point lookups above.
+///
+/// The view covers every atom of the predicate, as a sequence of `size()`
+/// entries partitioned into `num_runs()` runs. Entry k exposes the term at
+/// the viewed position (`term(k)`) and the atom's global index
+/// (`global(k)`); within each run the (term, global) pairs are strictly
+/// ascending, so equal-term entries form a contiguous span per run and
+/// their globals ascend — a merge join can binary-search each run for a
+/// probe term and early-exit a span once the globals leave its delta
+/// range. The column store hands out its native run structure (at most
+/// O(log n) runs, zero copies); the row store materializes one fully
+/// sorted run on demand (correct, slower — see RowStore::SortedRuns).
+///
+/// Lifetime mirrors IndexView: a borrowed view (column store) is
+/// invalidated by any mutation of the store, and in debug builds carries
+/// the store's generation counter so a stale deref fails a CHECK instead
+/// of reading vacated memory. A view backed by `keepalive` (row store)
+/// owns a snapshot and stays valid across mutation — it just goes stale.
+class SortedRunsView {
+ public:
+  SortedRunsView() = default;
+
+  SortedRunsView(const Term* column, const std::uint32_t* rows,
+                 const std::uint32_t* perm, const std::uint32_t* run_ends,
+                 std::uint32_t size, std::uint32_t num_runs,
+                 std::shared_ptr<const void> keepalive,
+                 const std::shared_ptr<const std::uint64_t>& generation)
+      : column_(column),
+        rows_(rows),
+        perm_(perm),
+        run_ends_(run_ends),
+        size_(size),
+        num_runs_(num_runs),
+        keepalive_(std::move(keepalive)) {
+#ifndef NDEBUG
+    generation_ = generation;
+    expected_generation_ = generation == nullptr ? 0 : *generation;
+#else
+    (void)generation;
+#endif
+  }
+
+  /// Total entries (== the number of atoms over the predicate).
+  std::size_t size() const {
+    CheckGeneration();
+    return size_;
+  }
+  bool empty() const {
+    CheckGeneration();
+    return size_ == 0;
+  }
+
+  std::size_t num_runs() const {
+    CheckGeneration();
+    return num_runs_;
+  }
+
+  /// Entry range [run_begin(r), run_end(r)) of run r.
+  std::uint32_t run_begin(std::size_t r) const {
+    CheckGeneration();
+    return r == 0 ? 0 : run_ends_[r - 1];
+  }
+  std::uint32_t run_end(std::size_t r) const {
+    CheckGeneration();
+    return run_ends_[r];
+  }
+
+  /// The viewed position's term of entry k.
+  Term term(std::uint32_t k) const {
+    CheckGeneration();
+    return column_[perm_[k]];
+  }
+
+  /// Global atom index of entry k.
+  std::uint32_t global(std::uint32_t k) const {
+    CheckGeneration();
+    return rows_[perm_[k]];
+  }
+
+ private:
+  void CheckGeneration() const {
+#ifndef NDEBUG
+    BDDFC_CHECK(generation_ == nullptr ||
+                *generation_ == expected_generation_);
+#endif
+  }
+
+  const Term* column_ = nullptr;           // term per local row
+  const std::uint32_t* rows_ = nullptr;    // global index per local row
+  const std::uint32_t* perm_ = nullptr;    // local rows in run-sorted order
+  const std::uint32_t* run_ends_ = nullptr;  // exclusive entry end per run
+  std::uint32_t size_ = 0;
+  std::uint32_t num_runs_ = 0;
+  std::shared_ptr<const void> keepalive_;  // row-store snapshot owner
+#ifndef NDEBUG
+  std::shared_ptr<const std::uint64_t> generation_;
+  std::uint64_t expected_generation_ = 0;
+#endif
+};
+
 /// Abstract fact storage. Owns the atom sequence and active domain (shared
 /// by every backend); subclasses own the index structures. All index query
 /// results list atom indices in ascending order — the engines' determinism
@@ -238,6 +340,14 @@ class FactStore {
                                 std::uint32_t lo,
                                 std::uint32_t hi) const = 0;
 
+  /// The sorted-run structure of (pred, pos): every atom of `pred` exactly
+  /// once, partitioned into runs each strictly ascending by (term at pos,
+  /// global atom index). Empty view when the predicate is absent or `pos`
+  /// is beyond its arity. Thread-safe against concurrent queries (lazy
+  /// structures are built behind the backends' double-checked locks), not
+  /// against concurrent mutation — the usual FactStore thread model.
+  virtual SortedRunsView SortedRuns(PredicateId pred, int pos) const = 0;
+
   /// The active domain: every term occurring in some atom, in first-seen
   /// order.
   const std::vector<Term>& ActiveDomain() const { return adom_; }
@@ -289,6 +399,23 @@ class FactStore {
   /// returning a guarded borrowed view.
   IndexView ClampView(const std::vector<std::uint32_t>& indices,
                       std::uint32_t lo, std::uint32_t hi) const;
+
+  /// Borrowed sorted-runs view with this store's generation guard attached
+  /// (release builds hand out an unguarded view, mirroring BorrowView).
+  /// Snapshot-backed views should construct SortedRunsView directly with
+  /// their keepalive and a null generation instead.
+  SortedRunsView BorrowRuns(const Term* column, const std::uint32_t* rows,
+                            const std::uint32_t* perm,
+                            const std::uint32_t* run_ends, std::uint32_t size,
+                            std::uint32_t num_runs) const {
+#ifndef NDEBUG
+    return SortedRunsView(column, rows, perm, run_ends, size, num_runs,
+                          nullptr, generation_);
+#else
+    return SortedRunsView(column, rows, perm, run_ends, size, num_runs,
+                          nullptr, nullptr);
+#endif
+  }
 
   static const std::vector<std::uint32_t> kEmptyIndex;
 

@@ -1,5 +1,8 @@
 #include "storage/row_store.h"
 
+#include <algorithm>
+#include <memory>
+
 namespace bddfc {
 
 bool RowStore::AddAtom(const Atom& atom) {
@@ -53,6 +56,48 @@ IndexView RowStore::AtomsWithIn(PredicateId pred, int pos, Term t,
   auto it = by_pos_.find({PosIndexKey(pred, pos), t});
   if (it == by_pos_.end()) return IndexView();
   return ClampView(it->second, lo, hi);
+}
+
+SortedRunsView RowStore::SortedRuns(PredicateId pred, int pos) const {
+  EnsureIndexes();
+  auto it = by_pred_.find(pred);
+  if (it == by_pred_.end()) return SortedRunsView();
+  const std::vector<std::uint32_t>& globals = it->second;
+  const std::vector<Atom>& all = atoms();
+  if (static_cast<std::size_t>(pos) >= all[globals.front()].arity()) {
+    return SortedRunsView();
+  }
+  const std::uint64_t key = PosIndexKey(pred, pos);
+  std::shared_ptr<const RunSnapshot> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(runs_mutex_);
+    std::shared_ptr<const RunSnapshot>& slot = runs_cache_[key];
+    if (slot == nullptr || slot->size_stamp != globals.size()) {
+      auto fresh = std::make_shared<RunSnapshot>();
+      const std::uint32_t n = static_cast<std::uint32_t>(globals.size());
+      fresh->size_stamp = n;
+      fresh->column.reserve(n);
+      fresh->rows.reserve(n);
+      fresh->perm.reserve(n);
+      for (std::uint32_t r = 0; r < n; ++r) {
+        fresh->column.push_back(all[globals[r]].arg(pos));
+        fresh->rows.push_back(globals[r]);
+        fresh->perm.push_back(r);
+      }
+      const std::vector<Term>& column = fresh->column;
+      std::sort(fresh->perm.begin(), fresh->perm.end(),
+                [&column](std::uint32_t a, std::uint32_t b) {
+                  if (column[a] != column[b]) return column[a] < column[b];
+                  return a < b;
+                });
+      fresh->run_end = n;
+      slot = std::move(fresh);
+    }
+    snapshot = slot;
+  }
+  return SortedRunsView(snapshot->column.data(), snapshot->rows.data(),
+                        snapshot->perm.data(), &snapshot->run_end,
+                        snapshot->run_end, 1, snapshot, nullptr);
 }
 
 }  // namespace bddfc

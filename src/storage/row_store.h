@@ -53,6 +53,14 @@ class RowStore final : public FactStore {
   IndexView AtomsWithIn(PredicateId pred, int pos, Term t, std::uint32_t lo,
                         std::uint32_t hi) const override;
 
+  /// Satisfies the widened contract by materializing one fully sorted
+  /// permutation of the predicate's atoms on demand (correct, slower than
+  /// the column store's native runs: O(n log n) per build). Snapshots are
+  /// cached per (pred, pos) and rebuilt when the predicate has grown;
+  /// handed-out views share ownership of their snapshot, so they survive
+  /// both mutation and cache replacement (they just go stale).
+  SortedRunsView SortedRuns(PredicateId pred, int pos) const override;
+
  private:
   // (predicate, position) packed into disjoint 32-bit halves. PredicateId
   // is 32 bits and positions are bounded by the predicate arity (an int),
@@ -78,6 +86,16 @@ class RowStore final : public FactStore {
   // build exactly once.
   void EnsureIndexes() const;
 
+  // One materialized sorted permutation (a single run) of a predicate's
+  // atoms at one position, snapshotted at `size_stamp` atoms.
+  struct RunSnapshot {
+    std::size_t size_stamp = 0;
+    std::vector<Term> column;          // term at `pos` per local row
+    std::vector<std::uint32_t> rows;   // global index per local row
+    std::vector<std::uint32_t> perm;   // local rows sorted by (term, row)
+    std::uint32_t run_end = 0;         // the single run's exclusive end
+  };
+
   std::unordered_map<Atom, std::size_t> pos_;
   mutable std::unordered_map<PredicateId, std::vector<std::uint32_t>>
       by_pred_;
@@ -85,6 +103,12 @@ class RowStore final : public FactStore {
       by_pos_;
   mutable std::atomic<bool> indexes_built_{false};
   mutable std::mutex index_mutex_;
+  // Keyed by PosIndexKey(pred, pos); guarded by runs_mutex_ (concurrent
+  // first queries from the parallel segment engine build exactly once).
+  mutable std::unordered_map<std::uint64_t,
+                             std::shared_ptr<const RunSnapshot>>
+      runs_cache_;
+  mutable std::mutex runs_mutex_;
 };
 
 }  // namespace bddfc

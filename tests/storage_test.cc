@@ -9,10 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "base/rng.h"
@@ -31,6 +33,73 @@ constexpr StorageKind kBackends[] = {StorageKind::kRow, StorageKind::kColumn};
 
 std::vector<std::uint32_t> Materialize(const IndexView& view) {
   return std::vector<std::uint32_t>(view.begin(), view.end());
+}
+
+// Walks a SortedRunsView checking the per-run contract — strictly
+// ascending (term, global) within every run — and returns the flattened
+// (term, global) multiset in sorted order, so two views with different run
+// structures (column store: O(log n) native runs; row store: one
+// materialized run) can be compared for content equality.
+std::vector<std::pair<Term, std::uint32_t>> CheckAndFlattenRuns(
+    const SortedRunsView& runs) {
+  std::vector<std::pair<Term, std::uint32_t>> flat;
+  flat.reserve(runs.size());
+  for (std::size_t r = 0; r < runs.num_runs(); ++r) {
+    for (std::uint32_t k = runs.run_begin(r); k < runs.run_end(r); ++k) {
+      if (k > runs.run_begin(r)) {
+        const bool ascending =
+            runs.term(k - 1) < runs.term(k) ||
+            (runs.term(k - 1) == runs.term(k) &&
+             runs.global(k - 1) < runs.global(k));
+        EXPECT_TRUE(ascending) << "run " << r << " entry " << k;
+      }
+      flat.push_back({runs.term(k), runs.global(k)});
+    }
+  }
+  std::sort(flat.begin(), flat.end());
+  return flat;
+}
+
+// The SortedRuns leg of the differential: both backends must expose the
+// same (term, global) content at every (pred, pos), covering every atom of
+// the predicate exactly once and agreeing with the point-lookup index.
+void ExpectSortedRunsAgree(const Instance& row, const Instance& column) {
+  for (PredicateId pred = 0; pred < row.universe()->num_predicates();
+       ++pred) {
+    const int arity = row.universe()->ArityOf(pred);
+    for (int pos = 0; pos < arity; ++pos) {
+      const auto row_flat =
+          CheckAndFlattenRuns(row.store().SortedRuns(pred, pos));
+      const auto column_flat =
+          CheckAndFlattenRuns(column.store().SortedRuns(pred, pos));
+      EXPECT_EQ(row_flat, column_flat) << "pred " << pred << " pos " << pos;
+      // Exactly the predicate's atoms, each exactly once, with the term
+      // actually stored at the viewed position.
+      std::vector<std::uint32_t> globals;
+      globals.reserve(row_flat.size());
+      for (const auto& [t, g] : row_flat) {
+        EXPECT_EQ(row.atoms()[g].arg(static_cast<std::size_t>(pos)), t);
+        globals.push_back(g);
+      }
+      std::sort(globals.begin(), globals.end());
+      EXPECT_EQ(globals, row.AtomsWith(pred))
+          << "pred " << pred << " pos " << pos;
+      // Consistency with the point lookup: the runs' equal-term entries
+      // are AtomsWith(pred, pos, t) for every active-domain term.
+      for (Term t : row.ActiveDomain()) {
+        std::vector<std::uint32_t> expected =
+            Materialize(row.AtomsWith(pred, pos, t));
+        std::vector<std::uint32_t> from_runs;
+        for (const auto& [term, g] : row_flat) {
+          if (term == t) from_runs.push_back(g);
+        }
+        EXPECT_EQ(from_runs, expected) << "pred " << pred << " pos " << pos;
+      }
+    }
+    // A position beyond the arity is an empty view on every backend.
+    EXPECT_TRUE(row.store().SortedRuns(pred, arity).empty());
+    EXPECT_TRUE(column.store().SortedRuns(pred, arity).empty());
+  }
 }
 
 // Every query of the FactStore contract, cross-checked between two
@@ -81,6 +150,7 @@ void ExpectStoresAgree(const Instance& row, const Instance& column) {
                 Materialize(column.AtomsWithIn(pred, lo, n)));
     }
   }
+  ExpectSortedRunsAgree(row, column);
 }
 
 TEST(StorageDifferentialTest, HandWrittenWorkload) {
@@ -376,6 +446,55 @@ TEST(ColumnStoreTest, EmptyAndAbsentPredicates) {
   // The implicit ⊤ is a nullary atom: position lookups must stay empty.
   EXPECT_TRUE(inst.AtomsWith(u.top(), 0, a).empty());
   EXPECT_EQ(inst.AtomsWith(u.top()).size(), 1u);
+}
+
+// --- SortedRuns lifetime ----------------------------------------------------
+
+TEST(SortedRunsTest, AbsentPredicateAndNullaryPositionsAreEmpty) {
+  Universe u;
+  PredicateId e = u.InternPredicate("E", 2);
+  PredicateId lonely = u.InternPredicate("L", 1);
+  for (StorageKind kind : kBackends) {
+    SCOPED_TRACE(ToString(kind));
+    Instance inst(&u, kind);
+    Term a = u.InternConstant("a");
+    inst.AddAtom(Atom(e, {a, a}));
+    EXPECT_TRUE(inst.store().SortedRuns(lonely, 0).empty());
+    EXPECT_TRUE(inst.store().SortedRuns(e, 2).empty());
+    EXPECT_TRUE(inst.store().SortedRuns(u.top(), 0).empty());
+    EXPECT_EQ(inst.store().SortedRuns(e, 0).size(), 1u);
+  }
+}
+
+TEST(SortedRunsTest, RowStoreSnapshotSurvivesMutationAndRebuilds) {
+  // The row store's SortedRuns hands out a snapshot that shares ownership
+  // with the cache: it stays dereferenceable (just stale) across mutation,
+  // and a fresh call after growth sees the new atoms.
+  Universe u;
+  PredicateId e = u.InternPredicate("E", 2);
+  Term a = u.InternConstant("a"), b = u.InternConstant("b"),
+       c = u.InternConstant("c");
+  Instance inst(&u, StorageKind::kRow);
+  inst.AddAtom(Atom(e, {b, a}));
+  inst.AddAtom(Atom(e, {a, c}));
+  SortedRunsView before = inst.store().SortedRuns(e, 0);
+  ASSERT_EQ(before.size(), 2u);
+  EXPECT_EQ(before.term(0), a);  // sorted by term, not insertion order
+  EXPECT_EQ(before.term(1), b);
+  inst.AddAtom(Atom(e, {a, b}));
+  // The old snapshot is stale but safe.
+  EXPECT_EQ(before.size(), 2u);
+  EXPECT_EQ(before.term(0), a);
+  // A fresh view reflects the grown predicate.
+  SortedRunsView after = inst.store().SortedRuns(e, 0);
+  ASSERT_EQ(after.size(), 3u);
+  // Atom indices: ⊤ = 0, E(b,a) = 1, E(a,c) = 2, E(a,b) = 3; equal-term
+  // entries ascend by global index.
+  EXPECT_EQ(after.term(0), a);
+  EXPECT_EQ(after.global(0), 2u);
+  EXPECT_EQ(after.term(1), a);
+  EXPECT_EQ(after.global(1), 3u);
+  EXPECT_EQ(after.term(2), b);
 }
 
 // --- IndexView generation guard ---------------------------------------------
