@@ -47,7 +47,7 @@ BDDFC_BENCH_EXPERIMENT(ablation_chase) {
       auto start = std::chrono::steady_clock::now();
       ObliviousChase chase(
           db, rules,
-          {.max_steps = c.steps, .max_atoms = 100000, .variant = variant});
+          {.variant = variant, .exec = {.max_steps = c.steps, .max_atoms = 100000}});
       chase.Run();
       double ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - start)

@@ -46,14 +46,14 @@ BDDFC_BENCH_EXPERIMENT(body_rewrite) {
     std::vector<Instance> probes = {db};
 
     bool quick_before =
-        surgery::IsQuick(rules, probes, {.max_steps = 3, .max_atoms = 50000});
+        surgery::IsQuick(rules, probes, {.exec = {.max_steps = 3, .max_atoms = 50000}});
     auto rewritten = surgery::BodyRewrite(rules, &u, {.max_depth = 10});
     bool quick_after = surgery::IsQuick(rewritten.rules, probes,
-                                        {.max_steps = 3, .max_atoms = 50000});
+                                        {.exec = {.max_steps = 3, .max_atoms = 50000}});
 
-    Instance lhs = Chase(db, rules, {.max_steps = 4, .max_atoms = 50000});
+    Instance lhs = Chase(db, rules, {.exec = {.max_steps = 4, .max_atoms = 50000}});
     Instance rhs =
-        Chase(db, rewritten.rules, {.max_steps = 4, .max_atoms = 50000});
+        Chase(db, rewritten.rules, {.exec = {.max_steps = 4, .max_atoms = 50000}});
     bool lemma30 = MapsInto(lhs, rhs);  // rew adds shortcuts: lhs ⊆h rhs
 
     all_ok = all_ok && rewritten.complete && quick_after && lemma30;

@@ -41,7 +41,7 @@ BDDFC_BENCH_EXPERIMENT(chromatic) {
       RuleSet rules = MustParseRuleSet(&u, c.rules);
       Instance db = MustParseInstance(&u, c.db);
       Instance chased =
-          Chase(db, rules, {.max_steps = 5, .max_atoms = 4000});
+          Chase(db, rules, {.exec = {.max_steps = 5, .max_atoms = 4000}});
       PredicateId e = u.FindPredicate("E");
       InstanceGraph eg = GraphOfPredicate(chased, e);
       UndirectedGraph ug = UndirectedGraph::FromDigraph(eg.graph);

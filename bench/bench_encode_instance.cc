@@ -38,9 +38,9 @@ BDDFC_BENCH_EXPERIMENT(encode_instance) {
     RuleSet encoded = surgery::EncodeInstance(rules, db, &u);
 
     Instance lhs =
-        Chase(surgery::FlexibleCopy(db), rules, {.max_steps = 4});
+        Chase(surgery::FlexibleCopy(db), rules, {.exec = {.max_steps = 4}});
     Instance top(&u);
-    Instance rhs = Chase(top, encoded, {.max_steps = 5});
+    Instance rhs = Chase(top, encoded, {.exec = {.max_steps = 5}});
     bool equal = HomEquivalent(lhs, rhs);
 
     // Observation 16 signal: a probe query rewrites (saturates) against

@@ -12,7 +12,7 @@
 #include "graph/digraph.h"
 #include "homomorphism/homomorphism.h"
 #include "logic/parser.h"
-#include "rewriting/bdd_probe.h"
+#include "api/bdd_probe.h"
 #include "rewriting/rewriter.h"
 
 BDDFC_BENCH_EXPERIMENT(example1) {
@@ -26,7 +26,7 @@ BDDFC_BENCH_EXPERIMENT(example1) {
                                      "E(x,y), E(y,z) -> E(x,z)\n");
     Instance db = MustParseInstance(&u, "E(a,b).");
     PredicateId e = u.FindPredicate("E");
-    ObliviousChase chase(db, rules, {.max_steps = 5, .max_atoms = 100000});
+    ObliviousChase chase(db, rules, {.exec = {.max_steps = 5, .max_atoms = 100000}});
     TablePrinter table({"k", "atoms in Ch_k", "E-edges", "Loop_E?"});
     for (std::size_t k = 0; k <= 5; ++k) {
       chase.RunSteps(k);
@@ -96,7 +96,7 @@ BDDFC_BENCH_EXPERIMENT(example1) {
       Instance db = MustParseInstance(&u, text);
       Cq q = MustParseCq(&u, "? :- W(u), E(u,v), V(v)");
       BddProbeReport probe =
-          ProbeBddConstant(q, rules, {db}, {.max_steps = 12});
+          ProbeBddConstant(q, rules, {db}, {.exec = {.max_steps = 12}});
       table.AddRow({"transitivity", std::to_string(len),
                     std::to_string(probe.entries[0].first_entailed_step)});
     }

@@ -45,7 +45,7 @@ BDDFC_BENCH_EXPERIMENT(finite_controllability) {
     UcqRewriter rewriter(rules, &u, {.max_depth = 6});
     bool bdd_probe = rewriter.Rewrite(LoopQuery(&u, e)).saturated;
 
-    Instance chased = Chase(db, rules, {.max_steps = 4, .max_atoms = 60000});
+    Instance chased = Chase(db, rules, {.exec = {.max_steps = 4, .max_atoms = 60000}});
     InstanceGraph eg = GraphOfPredicate(chased, e);
     bool chase_loop = eg.graph.HasLoop();
 

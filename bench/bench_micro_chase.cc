@@ -25,7 +25,7 @@ void BM_ChaseLinearChain(bench::State& state) {
     RuleSet rules = MustParseRuleSet(&u, "E(x,y) -> E(y,z)");
     Instance db = MustParseInstance(&u, "E(a,b).");
     ObliviousChase chase(db, rules,
-                         WithMode({.max_steps = steps}, state.range(1)));
+                         WithMode({.exec = {.max_steps = steps}}, state.range(1)));
     chase.Run();
     bench::DoNotOptimize(chase.Result().size());
   }
@@ -47,7 +47,7 @@ void BM_ChaseBinaryTree(bench::State& state) {
     Instance db = MustParseInstance(&u, "E(a,b).");
     ObliviousChase chase(
         db, rules,
-        WithMode({.max_steps = steps, .max_atoms = 200000}, state.range(1)));
+        WithMode({.exec = {.max_steps = steps, .max_atoms = 200000}}, state.range(1)));
     chase.Run();
     bench::DoNotOptimize(chase.Result().size());
   }
@@ -75,7 +75,7 @@ void BM_DatalogTransitiveClosure(bench::State& state) {
     state.ResumeTiming();
     ObliviousChase chase(
         db, rules,
-        WithMode({.max_steps = 64, .max_atoms = 500000}, state.range(1)));
+        WithMode({.exec = {.max_steps = 64, .max_atoms = 500000}}, state.range(1)));
     chase.Run();
     bench::DoNotOptimize(chase.Result().size());
   }
@@ -101,10 +101,9 @@ void BM_RestrictedVsOblivious(bench::State& state) {
     Instance db = MustParseInstance(&u, "E(a,b).");
     ObliviousChase chase(
         db, rules,
-        WithMode({.max_steps = 3,
-                  .max_atoms = 60000,
-                  .variant = restricted ? ChaseVariant::kRestricted
-                                        : ChaseVariant::kOblivious},
+        WithMode({.variant = restricted ? ChaseVariant::kRestricted
+                                        : ChaseVariant::kOblivious,
+                  .exec = {.max_steps = 3, .max_atoms = 60000}},
                  state.range(1)));
     chase.Run();
     bench::DoNotOptimize(chase.Result().size());

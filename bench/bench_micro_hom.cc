@@ -73,8 +73,8 @@ void BM_HomEquivalenceOfChases(bench::State& state) {
   Universe u;
   RuleSet rules = MustParseRuleSet(&u, "E(x,y) -> E(y,z)");
   Instance db = MustParseInstance(&u, "E(a,b). E(c,d).");
-  Instance a = Chase(db, rules, {.max_steps = 6});
-  Instance b = Chase(db, rules, {.max_steps = 7});
+  Instance a = Chase(db, rules, {.exec = {.max_steps = 6}});
+  Instance b = Chase(db, rules, {.exec = {.max_steps = 7}});
   for (auto _ : state) {
     bench::DoNotOptimize(MapsInto(a, b));
   }

@@ -39,10 +39,10 @@ struct RegalFixture {
     auto [datalog, existential] = SplitDatalog(rules);
     Instance top(&u);
     chase = std::make_unique<ObliviousChase>(
-        top, existential, ChaseOptions{.max_steps = 6, .max_atoms = 50000});
+        top, existential, ChaseOptions{.exec = {.max_steps = 6, .max_atoms = 50000}});
     chase->Run();
     ChaseOptions dl;
-    dl.max_steps = 32;
+    dl.exec.max_steps = 32;
     dl.variant = ChaseVariant::kRestricted;
     saturation =
         std::make_unique<ObliviousChase>(chase->Result(), datalog, dl);

@@ -53,10 +53,10 @@ BDDFC_BENCH_EXPERIMENT(peak_removal) {
   auto [datalog, existential] = SplitDatalog(rewritten.rules);
   Instance top(&u);
   ObliviousChase chase(top, existential,
-                       {.max_steps = 8, .max_atoms = 50000});
+                       {.exec = {.max_steps = 8, .max_atoms = 50000}});
   chase.Run();
   ChaseOptions dl;
-  dl.max_steps = 32;
+  dl.exec.max_steps = 32;
   dl.variant = ChaseVariant::kRestricted;
   ObliviousChase saturation(chase.Result(), datalog, dl);
   saturation.Run();

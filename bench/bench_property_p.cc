@@ -43,8 +43,8 @@ BDDFC_BENCH_EXPERIMENT(property_p) {
     Instance db = MustParseInstance(&u, w.db);
     PredicateId e = u.FindPredicate("E");
     PropertyPOptions options;
-    options.chase.max_steps = w.steps;
-    options.chase.max_atoms = 80000;
+    options.chase.exec.max_steps = w.steps;
+    options.chase.exec.max_atoms = 80000;
     PropertyPReport report = CheckPropertyP(db, rules, e, options);
     for (const auto& point : report.curve) {
       table.AddRow({w.name, FormatBool(w.bdd), std::to_string(point.step),

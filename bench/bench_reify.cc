@@ -56,10 +56,10 @@ BDDFC_BENCH_EXPERIMENT(reify) {
     RuleSet reified_rules = reifier.ReifyRules(rules);
     Instance reified_db = reifier.ReifyInstance(db);
 
-    Instance chased = Chase(db, rules, {.max_steps = 4});
+    Instance chased = Chase(db, rules, {.exec = {.max_steps = 4}});
     Instance chase_then_reify = reifier.ReifyInstance(chased);
     Instance reify_then_chase =
-        Chase(reified_db, reified_rules, {.max_steps = 4});
+        Chase(reified_db, reified_rules, {.exec = {.max_steps = 4}});
     bool commutes = HomEquivalent(chase_then_reify, reify_then_chase);
 
     PredicateId e = u.FindPredicate("E");

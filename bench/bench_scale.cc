@@ -68,9 +68,9 @@ BDDFC_BENCH_EXPERIMENT(scale) {
         PredicateId e = u.FindPredicate("E");
         auto start = std::chrono::steady_clock::now();
         ObliviousChase chase(db, rules,
-                             {.max_steps = steps,
-                              .max_atoms = 600000,
-                              .num_threads = bench::Threads()});
+                             {.exec = {.num_threads = bench::Threads(),
+                                       .max_steps = steps,
+                                       .max_atoms = 600000}});
         chase.Run();
         double delta_ms = MsSince(start);
 
@@ -85,10 +85,10 @@ BDDFC_BENCH_EXPERIMENT(scale) {
           Instance db2 = MustParseInstance(&u2, "E(a,b).");
           start = std::chrono::steady_clock::now();
           ObliviousChase naive(db2, rules2,
-                               {.max_steps = steps,
-                                .max_atoms = 600000,
-                                .naive_enumeration = true,
-                                .num_threads = bench::Threads()});
+                               {.naive_enumeration = true,
+                                .exec = {.num_threads = bench::Threads(),
+                                         .max_steps = steps,
+                                         .max_atoms = 600000}});
           naive.Run();
           double naive_ms = MsSince(start);
           naive_cell = FormatDouble(naive_ms, 2);
@@ -133,10 +133,10 @@ BDDFC_BENCH_EXPERIMENT(scale) {
         PredicateId e = u.FindPredicate("E");
         auto start = std::chrono::steady_clock::now();
         ObliviousChase chase(db, rules,
-                             {.max_steps = 64,
-                              .max_atoms = 600000,
-                              .naive_enumeration = naive,
-                              .num_threads = bench::Threads()});
+                             {.naive_enumeration = naive,
+                              .exec = {.num_threads = bench::Threads(),
+                                       .max_steps = 64,
+                                       .max_atoms = 600000}});
         chase.Run();
         *edges = chase.Result().AtomsWith(e).size();
         return MsSince(start);

@@ -188,9 +188,9 @@ std::size_t TimeChase(StorageKind kind, double* chase_ms) {
   rules.push_back(bddfc::Rule({Atom(e, {x, y}), Atom(e, {y, z})},
                               {Atom(e, {x, z})}));
   ChaseOptions options;
-  options.max_steps = 3;
-  options.max_atoms = 1000000;
-  options.storage = kind;
+  options.exec.max_steps = 3;
+  options.exec.max_atoms = 1000000;
+  options.exec.storage = kind;
   const auto start = std::chrono::steady_clock::now();
   Instance result = bddfc::Chase(db, rules, options);
   *chase_ms = MsSince(start);

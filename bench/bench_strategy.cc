@@ -124,10 +124,10 @@ BDDFC_BENCH_EXPERIMENT(strategy) {
       asserted = workload.all_strategies_complete;
       ReasonerOptions options;
       options.strategy = kStrategies[s];
-      options.num_threads = bddfc::bench::Threads();
+      options.chase.exec.num_threads = bddfc::bench::Threads();
       options.chase.variant = bddfc::ChaseVariant::kRestricted;
-      options.chase.max_steps = 64;
-      options.chase.max_atoms = workload.max_atoms;
+      options.chase.exec.max_steps = 64;
+      options.chase.exec.max_atoms = workload.max_atoms;
       // Keep the explicit-rewrite budget small enough that the divergent
       // rewritings fail fast instead of grinding through subsumption.
       options.rewriter.max_depth = 10;

@@ -42,15 +42,15 @@ BDDFC_BENCH_EXPERIMENT(streamline) {
     bool fwd = surgery::IsForwardExistential(streamlined);
     bool uniq = surgery::IsPredicateUnique(streamlined);
 
-    Instance plain = Chase(db, rules, {.max_steps = 3, .max_atoms = 30000});
+    Instance plain = Chase(db, rules, {.exec = {.max_steps = 3, .max_atoms = 30000}});
     Instance tri =
-        Chase(db, streamlined, {.max_steps = 9, .max_atoms = 90000});
+        Chase(db, streamlined, {.exec = {.max_steps = 9, .max_atoms = 90000}});
     bool lemma24 = HomEquivalent(plain.Restrict(signature),
                                  tri.Restrict(signature));
 
     // Dilation: at only k steps the streamlined chase lags behind.
     Instance tri_short =
-        Chase(db, streamlined, {.max_steps = 3, .max_atoms = 90000});
+        Chase(db, streamlined, {.exec = {.max_steps = 3, .max_atoms = 90000}});
     bool dilated =
         tri_short.Restrict(signature).size() <=
             plain.Restrict(signature).size() &&

@@ -112,8 +112,8 @@ BDDFC_BENCH_EXPERIMENT(valley_tournament) {
     PredicateId e = u.FindPredicate("E");
     AnalyzerOptions opts;
     opts.rewriter.max_depth = 10;
-    opts.chase.max_steps = w.chase_steps;
-    opts.chase.max_atoms = 50000;
+    opts.chase.exec.max_steps = w.chase_steps;
+    opts.chase.exec.max_atoms = 50000;
     auto start = std::chrono::steady_clock::now();
     TournamentAnalyzer analyzer(rules, e, &u, opts);
     AnalyzerResult result = analyzer.Run();

@@ -50,7 +50,7 @@ int main() {
     PredicateId e = u.FindPredicate("E");
     Report("Example 1 (transitivity, NOT bdd)",
            CheckPropertyP(db, transitive, e,
-                          {.chase = {.max_steps = 4, .max_atoms = 60000}}));
+                          {.chase = {.exec = {.max_steps = 4, .max_atoms = 60000}}}));
 
     // The non-bdd-ness is visible in the rewriting: the loop query keeps
     // producing longer cycle queries.
@@ -76,7 +76,7 @@ int main() {
     PredicateId e = u.FindPredicate("E");
     Report("bdd-ified Example 1",
            CheckPropertyP(db, bddified, e,
-                          {.chase = {.max_steps = 3, .max_atoms = 60000}}));
+                          {.chase = {.exec = {.max_steps = 3, .max_atoms = 60000}}}));
 
     UcqRewriter rewriter(bddified, &u, {.max_depth = 8});
     RewriteResult r = rewriter.Rewrite(LoopQuery(&u, e));

@@ -42,7 +42,7 @@ int main() {
     Universe u;
     RuleSet rules = MustParseRuleSet(&u, c.rules);
     Instance db = MustParseInstance(&u, c.db);
-    Instance chased = Chase(db, rules, {.max_steps = 6, .max_atoms = 4000});
+    Instance chased = Chase(db, rules, {.exec = {.max_steps = 6, .max_atoms = 4000}});
     PredicateId e = u.FindPredicate("E");
     InstanceGraph eg = GraphOfPredicate(chased, e);
     UndirectedGraph ug = UndirectedGraph::FromDigraph(eg.graph);

@@ -31,7 +31,7 @@ int main() {
     Instance db = MustParseInstance(&u, "E(a,b).");
     PredicateId e = u.FindPredicate("E");
 
-    Instance chased = Chase(db, rules, {.max_steps = 4, .max_atoms = 50000});
+    Instance chased = Chase(db, rules, {.exec = {.max_steps = 4, .max_atoms = 50000}});
     InstanceGraph eg = GraphOfPredicate(chased, e);
     std::printf("Example 1, unrestricted side: chase prefix (4 steps) has\n"
                 "%zu E-edges and loop: %s\n",
@@ -69,7 +69,7 @@ int main() {
                                      "E(x,x1), E(y,y1) -> E(x,y1)\n");
     Instance db = MustParseInstance(&u, "E(a,b).");
     PredicateId e = u.FindPredicate("E");
-    Instance chased = Chase(db, rules, {.max_steps = 3, .max_atoms = 50000});
+    Instance chased = Chase(db, rules, {.exec = {.max_steps = 3, .max_atoms = 50000}});
     InstanceGraph eg = GraphOfPredicate(chased, e);
     ModelSearchResult finite =
         FindLoopFreeFiniteModel(db, rules, e, &u, {.domain_size = 3});

@@ -30,7 +30,7 @@ int main() {
 
   // 1. Materialize with the chase (bounded; this rule set does not
   //    terminate, so we look at a prefix).
-  ObliviousChase chase(db, rules, {.max_steps = 4});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 4}});
   chase.Run();
   std::printf("chase prefix after %zu steps: %zu atoms\n",
               chase.StepsExecuted(), chase.Result().size());

@@ -39,9 +39,9 @@ int main() {
               ToString(u, encoded.back()).c_str());
 
   // Corollary 15 sanity check.
-  Instance lhs = Chase(surgery::FlexibleCopy(db), rules, {.max_steps = 3});
+  Instance lhs = Chase(surgery::FlexibleCopy(db), rules, {.exec = {.max_steps = 3}});
   Instance top(&u);
-  Instance rhs = Chase(top, encoded, {.max_steps = 4});
+  Instance rhs = Chase(top, encoded, {.exec = {.max_steps = 4}});
   std::printf("    Ch(J,S) ↔ Ch({⊤}, S ∪ {⊤→J}): %s\n\n",
               HomEquivalent(lhs, rhs) ? "verified" : "FAILED");
 
@@ -70,7 +70,7 @@ int main() {
   probes.push_back(Instance(&u));
   auto report = surgery::CheckRegal(rewritten.rules, &u, probes,
                                     {.max_depth = 10},
-                                    {.max_steps = 3, .max_atoms = 100000});
+                                    {.exec = {.max_steps = 3, .max_atoms = 100000}});
   std::printf("\nregality audit:\n%s", report.ToString().c_str());
 
   return 0;

@@ -28,8 +28,8 @@ int main() {
 
   AnalyzerOptions opts;
   opts.rewriter.max_depth = 10;
-  opts.chase.max_steps = 10;
-  opts.chase.max_atoms = 50000;
+  opts.chase.exec.max_steps = 10;
+  opts.chase.exec.max_atoms = 50000;
   opts.tournament_size = 4;
   opts.mono_size = 4;
 

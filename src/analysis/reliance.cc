@@ -1,0 +1,373 @@
+#include "analysis/reliance.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "logic/atom.h"
+#include "logic/cq.h"
+#include "rewriting/piece_unifier.h"
+
+namespace bddfc {
+
+namespace {
+
+constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+
+// Iterative Tarjan. Components are numbered in emission order, which for
+// Tarjan is a *reverse* topological order of the condensation (an SCC is
+// emitted only after every SCC it reaches); callers flip the numbering to
+// get sources-first ids. Deterministic for a fixed adjacency.
+struct SccResult {
+  std::vector<std::size_t> component;  // node -> component id
+  std::size_t num_components = 0;
+};
+
+SccResult TarjanScc(const std::vector<std::vector<std::size_t>>& adj) {
+  const std::size_t n = adj.size();
+  SccResult out;
+  out.component.assign(n, kUnvisited);
+  std::vector<std::size_t> index(n, kUnvisited);
+  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<std::size_t> stack;
+  struct Frame {
+    std::size_t node;
+    std::size_t edge;
+  };
+  std::vector<Frame> frames;
+  std::size_t next_index = 0;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (index[start] != kUnvisited) continue;
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = 1;
+    frames.push_back({start, 0});
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.edge < adj[frame.node].size()) {
+        const std::size_t to = adj[frame.node][frame.edge++];
+        if (index[to] == kUnvisited) {
+          index[to] = lowlink[to] = next_index++;
+          stack.push_back(to);
+          on_stack[to] = 1;
+          frames.push_back({to, 0});
+        } else if (on_stack[to]) {
+          lowlink[frame.node] = std::min(lowlink[frame.node], index[to]);
+        }
+        continue;
+      }
+      const std::size_t node = frame.node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().node] =
+            std::min(lowlink[frames.back().node], lowlink[node]);
+      }
+      if (lowlink[node] == index[node]) {
+        for (;;) {
+          const std::size_t v = stack.back();
+          stack.pop_back();
+          on_stack[v] = 0;
+          out.component[v] = out.num_components;
+          if (v == node) break;
+        }
+        ++out.num_components;
+      }
+    }
+  }
+  return out;
+}
+
+std::unordered_set<PredicateId> PredsOf(const std::vector<Atom>& atoms) {
+  std::unordered_set<PredicateId> out;
+  for (const Atom& a : atoms) out.insert(a.pred());
+  return out;
+}
+
+bool Overlaps(const std::unordered_set<PredicateId>& a,
+              const std::unordered_set<PredicateId>& b) {
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  for (PredicateId p : small) {
+    if (large.find(p) != large.end()) return true;
+  }
+  return false;
+}
+
+// (predicate, argument position) packed into one key.
+std::uint64_t PosId(PredicateId pred, int pos) {
+  return (static_cast<std::uint64_t>(pred) << 32) |
+         static_cast<std::uint32_t>(pos);
+}
+
+}  // namespace
+
+bool RelianceGraph::HasPositive(std::size_t from, std::size_t to) const {
+  const std::vector<std::size_t>& row = positive[from];
+  return std::binary_search(row.begin(), row.end(), to);
+}
+
+bool RelianceGraph::HasRestraint(std::size_t from, std::size_t to) const {
+  const std::vector<std::size_t>& row = restraint[from];
+  return std::binary_search(row.begin(), row.end(), to);
+}
+
+std::size_t RelianceGraph::num_positive_edges() const {
+  std::size_t n = 0;
+  for (const auto& row : positive) n += row.size();
+  return n;
+}
+
+std::size_t RelianceGraph::num_restraint_edges() const {
+  std::size_t n = 0;
+  for (const auto& row : restraint) n += row.size();
+  return n;
+}
+
+RelianceGraph BuildRelianceGraph(const RuleSet& rules, Universe* universe) {
+  RelianceGraph graph;
+  const std::size_t n = rules.size();
+  graph.positive.assign(n, {});
+  graph.restraint.assign(n, {});
+
+  std::vector<std::unordered_set<PredicateId>> body_preds;
+  std::vector<std::unordered_set<PredicateId>> head_preds;
+  body_preds.reserve(n);
+  head_preds.reserve(n);
+  for (const Rule& rule : rules) {
+    body_preds.push_back(PredsOf(rule.body()));
+    head_preds.push_back(PredsOf(rule.head()));
+  }
+
+  // The target queries (one per "to" rule): body(i) as a Boolean CQ for
+  // positive reliance, head(i) with the frontier pinned as answer
+  // variables for restraint. Restraint is only computed toward rules with
+  // existentials — an all-frontier head has no alternative-match freedom
+  // worth ordering around.
+  std::vector<Cq> body_queries;
+  body_queries.reserve(n);
+  for (const Rule& rule : rules) {
+    body_queries.emplace_back(rule.body(), std::vector<Term>{});
+  }
+
+  for (std::size_t j = 0; j < n; ++j) {
+    RuleSet single{rules[j]};
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!Overlaps(head_preds[j], body_preds[i])) continue;
+      if (!EnumeratePieceRewritings(body_queries[i], single, universe)
+               .empty()) {
+        graph.positive[j].push_back(i);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rules[i].existentials().empty()) continue;
+      if (!Overlaps(head_preds[j], head_preds[i])) continue;
+      Cq head_query(rules[i].head(), rules[i].frontier());
+      if (!EnumeratePieceRewritings(head_query, single, universe).empty()) {
+        graph.restraint[j].push_back(i);
+      }
+    }
+  }
+  return graph;
+}
+
+Stratification Stratify(const RelianceGraph& graph) {
+  Stratification out;
+  const std::size_t n = graph.num_rules();
+  const SccResult scc = TarjanScc(graph.positive);
+  const std::size_t m = scc.num_components;
+  out.stratum_of.resize(n);
+  out.strata.assign(m, {});
+  for (std::size_t r = 0; r < n; ++r) {
+    // Tarjan emits sinks first; flipping the ids makes every positive
+    // edge run topologically forward (stratum_of[from] <= stratum_of[to]).
+    out.stratum_of[r] = m - 1 - scc.component[r];
+    out.strata[out.stratum_of[r]].push_back(r);
+  }
+  out.predecessors.assign(m, {});
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i : graph.positive[j]) {
+      const std::size_t from = out.stratum_of[j];
+      const std::size_t to = out.stratum_of[i];
+      if (from != to) out.predecessors[to].push_back(from);
+    }
+  }
+  for (std::vector<std::size_t>& preds : out.predecessors) {
+    std::sort(preds.begin(), preds.end());
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+  }
+  // Restraint ranks: fire restrainers before the rules they restrain, so
+  // the restricted chase sees the alternative head match in time to skip.
+  const SccResult rscc = TarjanScc(graph.restraint);
+  out.firing_rank.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    out.firing_rank[r] = rscc.num_components - 1 - rscc.component[r];
+  }
+  return out;
+}
+
+const char* ToString(TerminationCertificate certificate) {
+  switch (certificate) {
+    case TerminationCertificate::kNone:
+      return "none";
+    case TerminationCertificate::kWeaklyAcyclic:
+      return "weakly-acyclic";
+    case TerminationCertificate::kJointlyAcyclic:
+      return "jointly-acyclic";
+  }
+  return "?";
+}
+
+bool IsWeaklyAcyclic(const RuleSet& rules) {
+  // Nodes are (predicate, position) pairs; for every rule and frontier
+  // variable y, each body position of y gets a regular edge to each head
+  // position of y and a special edge to each head position holding an
+  // existential variable. Weakly acyclic iff no special edge stays inside
+  // one SCC of the combined graph.
+  std::unordered_map<std::uint64_t, std::size_t> node_of;
+  const auto node = [&](PredicateId pred, int pos) {
+    return node_of.emplace(PosId(pred, pos), node_of.size()).first->second;
+  };
+  std::vector<std::pair<std::size_t, std::size_t>> regular;
+  std::vector<std::pair<std::size_t, std::size_t>> special;
+  for (const Rule& rule : rules) {
+    for (Term y : rule.frontier()) {
+      std::vector<std::size_t> body_nodes;
+      for (const Atom& a : rule.body()) {
+        for (int pos = 0; pos < static_cast<int>(a.arity()); ++pos) {
+          if (a.arg(pos) == y) body_nodes.push_back(node(a.pred(), pos));
+        }
+      }
+      std::vector<std::size_t> head_nodes;
+      std::vector<std::size_t> exist_nodes;
+      for (const Atom& a : rule.head()) {
+        for (int pos = 0; pos < static_cast<int>(a.arity()); ++pos) {
+          const Term t = a.arg(pos);
+          if (t == y) {
+            head_nodes.push_back(node(a.pred(), pos));
+          } else if (rule.IsExistentialVar(t)) {
+            exist_nodes.push_back(node(a.pred(), pos));
+          }
+        }
+      }
+      for (std::size_t u : body_nodes) {
+        for (std::size_t v : head_nodes) regular.push_back({u, v});
+        for (std::size_t v : exist_nodes) special.push_back({u, v});
+      }
+    }
+  }
+  std::vector<std::vector<std::size_t>> adj(node_of.size());
+  for (const auto& [u, v] : regular) adj[u].push_back(v);
+  for (const auto& [u, v] : special) adj[u].push_back(v);
+  const SccResult scc = TarjanScc(adj);
+  for (const auto& [u, v] : special) {
+    if (scc.component[u] == scc.component[v]) return false;
+  }
+  return true;
+}
+
+bool IsJointlyAcyclic(const RuleSet& rules) {
+  // Krötzsch & Rudolph's existential-variable graph. Ω(z) is the position
+  // fixpoint reachable by nulls created for z: seeded with z's head
+  // positions, closed under "a frontier variable whose body positions all
+  // lie in Ω carries Ω into its head positions". Edge z → z' iff some
+  // frontier variable of rule(z') has every body position inside Ω(z);
+  // jointly acyclic iff the graph is acyclic.
+  struct FrontierVar {
+    std::size_t rule = 0;
+    std::vector<std::uint64_t> body_positions;
+    std::vector<std::uint64_t> head_positions;
+  };
+  std::vector<FrontierVar> frontier_vars;
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    for (Term x : rules[r].frontier()) {
+      FrontierVar fv;
+      fv.rule = r;
+      for (const Atom& a : rules[r].body()) {
+        for (int pos = 0; pos < static_cast<int>(a.arity()); ++pos) {
+          if (a.arg(pos) == x) fv.body_positions.push_back(PosId(a.pred(), pos));
+        }
+      }
+      for (const Atom& a : rules[r].head()) {
+        for (int pos = 0; pos < static_cast<int>(a.arity()); ++pos) {
+          if (a.arg(pos) == x) fv.head_positions.push_back(PosId(a.pred(), pos));
+        }
+      }
+      frontier_vars.push_back(std::move(fv));
+    }
+  }
+
+  struct Evar {
+    std::size_t rule = 0;
+    Term var;
+  };
+  std::vector<Evar> evars;
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    for (Term z : rules[r].existentials()) evars.push_back({r, z});
+  }
+  if (evars.empty()) return true;
+
+  const auto covered = [](const FrontierVar& fv,
+                          const std::unordered_set<std::uint64_t>& omega) {
+    for (std::uint64_t p : fv.body_positions) {
+      if (omega.find(p) == omega.end()) return false;
+    }
+    return true;
+  };
+
+  std::vector<std::unordered_set<std::uint64_t>> omegas(evars.size());
+  for (std::size_t e = 0; e < evars.size(); ++e) {
+    std::unordered_set<std::uint64_t>& omega = omegas[e];
+    for (const Atom& a : rules[evars[e].rule].head()) {
+      for (int pos = 0; pos < static_cast<int>(a.arity()); ++pos) {
+        if (a.arg(pos) == evars[e].var) omega.insert(PosId(a.pred(), pos));
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const FrontierVar& fv : frontier_vars) {
+        if (!covered(fv, omega)) continue;
+        for (std::uint64_t p : fv.head_positions) {
+          changed |= omega.insert(p).second;
+        }
+      }
+    }
+  }
+
+  std::vector<std::vector<std::size_t>> adj(evars.size());
+  for (std::size_t e = 0; e < evars.size(); ++e) {
+    for (std::size_t f = 0; f < evars.size(); ++f) {
+      const std::size_t target_rule = evars[f].rule;
+      for (const FrontierVar& fv : frontier_vars) {
+        if (fv.rule != target_rule) continue;
+        if (covered(fv, omegas[e])) {
+          adj[e].push_back(f);
+          break;
+        }
+      }
+    }
+  }
+  for (std::size_t e = 0; e < evars.size(); ++e) {
+    for (std::size_t to : adj[e]) {
+      if (to == e) return false;  // self-loop
+    }
+  }
+  const SccResult scc = TarjanScc(adj);
+  std::vector<std::size_t> size(scc.num_components, 0);
+  for (std::size_t c : scc.component) ++size[c];
+  for (std::size_t s : size) {
+    if (s > 1) return false;
+  }
+  return true;
+}
+
+TerminationCertificate CertifyTermination(const RuleSet& rules) {
+  if (IsWeaklyAcyclic(rules)) return TerminationCertificate::kWeaklyAcyclic;
+  if (IsJointlyAcyclic(rules)) return TerminationCertificate::kJointlyAcyclic;
+  return TerminationCertificate::kNone;
+}
+
+}  // namespace bddfc

@@ -1,0 +1,127 @@
+// Rule reliance analysis (VLog-style): the static dependency structure of
+// a rule set, and the structural termination certificates it yields.
+//
+// Two edge families between rules are computed, both as sound
+// over-approximations via the piece-unification machinery of
+// src/rewriting/piece_unifier.h:
+//
+//   * positive reliance  j → i : applying rule j can enable a *new*
+//     trigger of rule i. Approximated by "body(i), read as a Boolean CQ,
+//     has an admissible piece-unifier with rule j": if some application of
+//     j produces atoms that complete a body image of i, the produced head
+//     atoms unify with the corresponding body atoms of i, and the
+//     fresh-null images of j's existentials satisfy exactly the
+//     admissibility constraints (a null equals no constant and no two
+//     distinct nulls are forced equal by a single head application).
+//     A pair without a unifier therefore has no reliance; a pair with one
+//     might (the approximation never drops a real edge).
+//   * restraint  j ⊸ i : an application of j can satisfy the head of a
+//     pending trigger of rule i (so the restricted chase may skip i's
+//     trigger once j has fired). Approximated by "head(i) with answer
+//     variables fr(i) piece-unifies with rule j": the frontier is pinned
+//     by i's body match — declaring it as answer variables forbids
+//     unifying it with j's existentials — while i's own existentials may
+//     be covered by anything j produces.
+//
+// The SCC condensation of the positive-reliance graph stratifies the rule
+// set: within a stratum rules are mutually recursive; across strata all
+// enablement flows along the topological order, so a scheduler may
+// saturate each stratum before its dependents run (src/chase/
+// rule_scheduler.h consumes exactly this).
+//
+// Termination certificates (decidable sufficient conditions, checked on
+// the position graphs rather than the reliance graph):
+//
+//   * weak acyclicity  — the classic position-dependency graph (regular
+//     edge: frontier body position → same variable's head position;
+//     special edge: frontier body position ⇒ every existential head
+//     position of the same rule) has no cycle through a special edge.
+//   * joint acyclicity — the existential-variable graph over the Ω(y)
+//     position fixpoints (Krötzsch & Rudolph); strictly more general than
+//     weak acyclicity.
+//
+// Both certify termination of the *semi-oblivious and restricted* chase
+// on every instance. They say nothing about the oblivious chase:
+// P(x,y) → ∃z P(x,z) is weakly acyclic yet obliviously divergent, so
+// consumers must gate on the chase variant (see Reasoner::Prepare).
+
+#ifndef BDDFC_ANALYSIS_RELIANCE_H_
+#define BDDFC_ANALYSIS_RELIANCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "logic/rule.h"
+#include "logic/universe.h"
+
+namespace bddfc {
+
+/// The reliance edges of a rule set. Adjacency lists are sorted and
+/// indexed by "from" rule: positive[j] holds every i with j → i.
+struct RelianceGraph {
+  std::vector<std::vector<std::size_t>> positive;
+  std::vector<std::vector<std::size_t>> restraint;
+
+  std::size_t num_rules() const { return positive.size(); }
+  bool HasPositive(std::size_t from, std::size_t to) const;
+  bool HasRestraint(std::size_t from, std::size_t to) const;
+  std::size_t num_positive_edges() const;
+  std::size_t num_restraint_edges() const;
+};
+
+/// Computes both edge families. `universe` is needed to freshen rule
+/// copies during unification (it gains fresh variable names; nothing else
+/// is mutated).
+RelianceGraph BuildRelianceGraph(const RuleSet& rules, Universe* universe);
+
+/// The SCC condensation of the positive-reliance graph, in topological
+/// order: every positive edge runs from a stratum to itself or to a later
+/// stratum.
+struct Stratification {
+  /// strata[s] = rule indices of stratum s, ascending. Strata appear in a
+  /// topological order of the condensation.
+  std::vector<std::vector<std::size_t>> strata;
+  /// stratum_of[rule] = index into `strata`.
+  std::vector<std::size_t> stratum_of;
+  /// predecessors[s] = strata with a positive edge into s (excluding s
+  /// itself), ascending — the strata that must saturate before s runs.
+  std::vector<std::vector<std::size_t>> predecessors;
+  /// firing_rank[rule]: topological position of the rule's restraint-SCC.
+  /// Firing lower ranks first lets the restricted chase skip triggers a
+  /// restraining rule has already satisfied; ranks are a total preorder
+  /// (rules in one restraint-SCC share a rank).
+  std::vector<std::size_t> firing_rank;
+
+  std::size_t num_strata() const { return strata.size(); }
+};
+
+/// Stratifies `graph` (Tarjan SCC + topological condensation).
+Stratification Stratify(const RelianceGraph& graph);
+
+/// What the structural analysis can promise about chase termination.
+enum class TerminationCertificate {
+  kNone,
+  kWeaklyAcyclic,
+  kJointlyAcyclic,
+};
+
+/// Human-readable certificate name ("none" / "weakly-acyclic" /
+/// "jointly-acyclic").
+const char* ToString(TerminationCertificate certificate);
+
+/// Weak acyclicity of the position-dependency graph.
+bool IsWeaklyAcyclic(const RuleSet& rules);
+
+/// Joint acyclicity of the existential-variable graph (implied by weak
+/// acyclicity).
+bool IsJointlyAcyclic(const RuleSet& rules);
+
+/// The strongest certificate that holds: kWeaklyAcyclic if weakly
+/// acyclic, else kJointlyAcyclic if jointly acyclic, else kNone. Any
+/// non-kNone certificate guarantees the semi-oblivious and restricted
+/// chases terminate on every instance (NOT the oblivious chase).
+TerminationCertificate CertifyTermination(const RuleSet& rules);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_ANALYSIS_RELIANCE_H_

@@ -1,4 +1,4 @@
-#include "rewriting/bdd_probe.h"
+#include "api/bdd_probe.h"
 
 #include "homomorphism/homomorphism.h"
 

@@ -11,8 +11,8 @@
 // probe stays bounded exactly when the rewriting saturates; the EXP-1
 // bench and the tests cross-check the two.
 
-#ifndef BDDFC_REWRITING_BDD_PROBE_H_
-#define BDDFC_REWRITING_BDD_PROBE_H_
+#ifndef BDDFC_API_BDD_PROBE_H_
+#define BDDFC_API_BDD_PROBE_H_
 
 #include <vector>
 
@@ -70,4 +70,4 @@ Proposition4Report CheckProposition4(const Cq& q, const RuleSet& rules,
 
 }  // namespace bddfc
 
-#endif  // BDDFC_REWRITING_BDD_PROBE_H_
+#endif  // BDDFC_API_BDD_PROBE_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/check.h"
+#include "chase/rule_scheduler.h"
 
 namespace bddfc {
 
@@ -20,8 +21,19 @@ double MsSince(std::chrono::steady_clock::time_point start) {
 ExecutionConfig ReasonerOptions::ResolvedExec() const {
   ExecutionConfig resolved = chase.ResolvedExec();
   const ExecutionConfig defaults;
-  if (num_threads != defaults.num_threads) resolved.num_threads = num_threads;
-  if (storage.has_value()) resolved.storage = storage;
+  // Same contract as ChaseOptions::ResolvedExec: a non-default deprecated
+  // alias overrides its twin, and conflicting non-default settings
+  // CHECK-fail instead of resolving silently.
+  if (num_threads != defaults.num_threads) {
+    BDDFC_CHECK(resolved.num_threads == defaults.num_threads ||
+                resolved.num_threads == num_threads);
+    resolved.num_threads = num_threads;
+  }
+  if (storage.has_value()) {
+    BDDFC_CHECK(!resolved.storage.has_value() ||
+                *resolved.storage == *storage);
+    resolved.storage = storage;
+  }
   return resolved;
 }
 
@@ -174,6 +186,16 @@ void Reasoner::DriveChase(std::size_t target_steps, bool incremental) {
   stats_.chase_hit_bounds = chase_->HitBounds();
   stats_.chase_atoms = chase_->Result().size();
   stats_.triggers_fired = chase_->TriggersFired();
+  stats_.num_strata = chase_->scheduler().num_strata();
+  stats_.rules_skipped = chase_->scheduler().stats().skipped_total();
+}
+
+TerminationCertificate Reasoner::certificate() {
+  if (!certificate_.has_value()) {
+    certificate_ = CertifyTermination(rules_);
+    stats_.certificate = *certificate_;
+  }
+  return *certificate_;
 }
 
 void Reasoner::EnsureMaterialized() {
@@ -193,6 +215,18 @@ PreparedQuery Reasoner::Prepare(const Ucq& q) {
   ++stats_.queries_prepared;
   AnswerStrategy resolved = options_.strategy;
   RewriteResult rewrite;
+  if (resolved == AnswerStrategy::kAuto &&
+      options_.chase.variant != ChaseVariant::kOblivious &&
+      certificate() != TerminationCertificate::kNone) {
+    // A structural termination certificate (weak or joint acyclicity)
+    // guarantees the semi-oblivious/restricted chase saturates, so full
+    // materialization is safe and complete — skip the probe rewriting
+    // entirely. (No certificate covers the oblivious chase: weakly acyclic
+    // rules can still diverge under it, so kAuto keeps probing there.)
+    resolved = AnswerStrategy::kMaterialize;
+    ++stats_.auto_picked_materialize;
+    ++stats_.auto_certified_materialize;
+  }
   if (resolved != AnswerStrategy::kMaterialize) {
     rewrite = resolved == AnswerStrategy::kAuto ? probe_rewriter_.Rewrite(q)
                                                 : rewriter_.Rewrite(q);

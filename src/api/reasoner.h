@@ -40,6 +40,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/reliance.h"
 #include "base/hash.h"
 #include "base/thread_pool.h"
 #include "chase/chase.h"
@@ -148,6 +149,19 @@ struct ReasonerStats {
   std::size_t auto_picked_materialize = 0;
   std::size_t facts_added = 0;
   std::size_t incremental_runs = 0;
+  /// Rule-scheduling counters of the materialization (see
+  /// src/chase/rule_scheduler.h): strata of the schedule (1 under kFlat)
+  /// and rule-enumerations the stratified schedule avoided.
+  std::size_t num_strata = 0;
+  std::size_t rules_skipped = 0;
+  /// The structural termination certificate of the rule set, as computed
+  /// by the first kAuto Prepare() on a non-oblivious chase variant
+  /// (kNone until then — the analysis is lazy).
+  TerminationCertificate certificate = TerminationCertificate::kNone;
+  /// kAuto picks decided by the certificate alone: the chase provably
+  /// terminates, so Prepare() chose kMaterialize without spending any
+  /// probe-rewriting budget. Also counted in auto_picked_materialize.
+  std::size_t auto_certified_materialize = 0;
 };
 
 class PreparedQuery;
@@ -289,6 +303,13 @@ class Reasoner {
 
   const ReasonerStats& stats() const { return stats_; }
 
+  /// The rule set's structural termination certificate (weak/joint
+  /// acyclicity; src/analysis/reliance.h), computed lazily on first use
+  /// and cached. A non-kNone certificate guarantees the semi-oblivious
+  /// and restricted chase variants terminate on every instance; kAuto
+  /// consults it before spending probe-rewriting budget.
+  TerminationCertificate certificate();
+
  private:
   void EnsureMaterialized();
   // Runs the chase one step at a time up to `target_steps` total executed
@@ -303,6 +324,7 @@ class Reasoner {
   std::size_t num_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;  // null when serial
   std::unique_ptr<ObliviousChase> chase_;
+  std::optional<TerminationCertificate> certificate_;  // lazy cache
   ReasonerStats stats_;
 };
 

@@ -7,6 +7,7 @@
 #include "base/check.h"
 #include "base/hash.h"
 #include "base/thread_pool.h"
+#include "chase/rule_scheduler.h"
 #include "chase/segment_engine.h"
 #include "exec/parallel_chase.h"
 #include "homomorphism/homomorphism.h"
@@ -18,12 +19,32 @@ ExecutionConfig ChaseOptions::ResolvedExec() const {
   const ExecutionConfig defaults;
   // A deprecated alias overrides its exec twin only when it was set away
   // from its default — the alias defaults equal the exec defaults, so an
-  // untouched alias never masks an explicit exec setting.
-  if (max_steps != defaults.max_steps) resolved.max_steps = max_steps;
-  if (max_atoms != defaults.max_atoms) resolved.max_atoms = max_atoms;
-  if (num_threads != defaults.num_threads) resolved.num_threads = num_threads;
-  if (pool != nullptr) resolved.pool = pool;
-  if (storage.has_value()) resolved.storage = storage;
+  // untouched alias never masks an explicit exec setting. Setting alias
+  // AND twin to different non-default values is a configuration bug and
+  // CHECK-fails instead of silently preferring the alias.
+  if (max_steps != defaults.max_steps) {
+    BDDFC_CHECK(exec.max_steps == defaults.max_steps ||
+                exec.max_steps == max_steps);
+    resolved.max_steps = max_steps;
+  }
+  if (max_atoms != defaults.max_atoms) {
+    BDDFC_CHECK(exec.max_atoms == defaults.max_atoms ||
+                exec.max_atoms == max_atoms);
+    resolved.max_atoms = max_atoms;
+  }
+  if (num_threads != defaults.num_threads) {
+    BDDFC_CHECK(exec.num_threads == defaults.num_threads ||
+                exec.num_threads == num_threads);
+    resolved.num_threads = num_threads;
+  }
+  if (pool != nullptr) {
+    BDDFC_CHECK(exec.pool == nullptr || exec.pool == pool);
+    resolved.pool = pool;
+  }
+  if (storage.has_value()) {
+    BDDFC_CHECK(!exec.storage.has_value() || *exec.storage == *storage);
+    resolved.storage = storage;
+  }
   return resolved;
 }
 
@@ -83,6 +104,12 @@ ObliviousChase::ObliviousChase(const Instance& database, RuleSet rules,
   if (exec_.engine == ChaseEngine::kSegment) {
     segment_ = std::make_unique<SegmentEngine>(&instance_, &rules_);
   }
+  if (exec_.schedule == ChaseSchedule::kStratified) {
+    scheduler_ = RuleScheduler::Stratified(rules_, universe(),
+                                           options_.naive_enumeration);
+  } else {
+    scheduler_ = RuleScheduler::Flat(rules_.size());
+  }
 }
 
 ObliviousChase::~ObliviousChase() = default;
@@ -122,6 +149,12 @@ ObliviousChase::StepOutcome ObliviousChase::StepOnce() {
           : 0;
   const std::uint32_t delta_end =
       static_cast<std::uint32_t>(instance_.size());
+  // The scheduler decides which rules enumerate this round and with which
+  // window: the flat schedule hands every rule the global window computed
+  // above (bit-identical to the pre-scheduler loop); the stratified one
+  // plans only the active strata's rules, each at its own delta cursor.
+  const std::vector<exec::RuleJob> jobs =
+      scheduler_->PlanRound(!delta_mode, delta_begin, instance_);
   // Trigger identity: full body image for the oblivious/restricted
   // chases, frontier image only for the semi-oblivious (skolem) one.
   const auto collect = [&](std::size_t r, const Substitution& h,
@@ -145,12 +178,12 @@ ObliviousChase::StepOutcome ObliviousChase::StepOnce() {
     // the trigger-at-a-time paths below collect, so the firing phase (and
     // hence the whole chase) is bit-identical across engines. Note the
     // engine is inherently delta-driven; naive_enumeration degrades it to
-    // a full [0, size) enumeration via delta_begin == 0, matching the
-    // naive trigger engine's re-enumerate-and-filter semantics.
+    // a full [0, size) enumeration via a `full` job, matching the naive
+    // trigger engine's re-enumerate-and-filter semantics.
     std::vector<TriggerCandidate> raw;
-    segment_->Collect(delta_begin, delta_end,
-                      parallel_ != nullptr ? parallel_->pool() : nullptr,
-                      &raw);
+    segment_->CollectJobs(jobs, delta_end,
+                          parallel_ != nullptr ? parallel_->pool() : nullptr,
+                          &raw);
     candidates.reserve(raw.size());
     for (TriggerCandidate& c : raw) {
       TriggerKey probe{c.rule_index, {}};
@@ -168,23 +201,20 @@ ObliviousChase::StepOutcome ObliviousChase::StepOnce() {
       candidates.push_back(std::move(c));
     }
   } else if (parallel_ != nullptr) {
-    if (delta_mode) {
-      parallel_->CollectDelta(&rule_searches_, delta_begin, delta_end,
-                              collect, &candidates);
-    } else {
-      parallel_->CollectFull(&rule_searches_, delta_end, collect,
-                             &candidates);
-    }
+    parallel_->CollectJobs(&rule_searches_, jobs, delta_end, collect,
+                           &candidates);
   } else {
-    for (std::size_t r = 0; r < rules_.size(); ++r) {
+    for (const exec::RuleJob& job : jobs) {
+      const std::size_t r = job.rule_index;
       const auto visit = [&](const Substitution& h) {
         collect(r, h, &candidates);
         return true;
       };
-      if (delta_mode) {
-        rule_searches_[r].ForEachDelta({}, delta_begin, delta_end, visit);
-      } else {
+      if (job.full) {
         rule_searches_[r].ForEach({}, visit);
+      } else {
+        rule_searches_[r].ForEachDelta({}, job.delta_begin, delta_end,
+                                       visit);
       }
     }
   }
@@ -192,8 +222,23 @@ ObliviousChase::StepOutcome ObliviousChase::StepOnce() {
   // Phase 2 — canonical firing order. Sorting by (rule, body image) makes
   // the step independent of enumeration order, so the naive, semi-naive
   // and parallel engines produce bit-identical instances, null names and
-  // provenance.
-  exec::SortCanonical(&candidates);
+  // provenance. The stratified schedule refines the order with the
+  // restraint-topological firing rank: restrainers fire first, so the
+  // restricted variant sees alternative head matches in time to skip the
+  // triggers they pre-empt (still deterministic — rank, then the
+  // canonical key).
+  const std::vector<std::size_t>* ranks = scheduler_->FiringRanks();
+  if (ranks == nullptr) {
+    exec::SortCanonical(&candidates);
+  } else {
+    std::sort(candidates.begin(), candidates.end(),
+              [&](const TriggerCandidate& a, const TriggerCandidate& b) {
+                if ((*ranks)[a.rule_index] != (*ranks)[b.rule_index]) {
+                  return (*ranks)[a.rule_index] < (*ranks)[b.rule_index];
+                }
+                return exec::CanonicalTriggerLess(a, b);
+              });
+  }
 
   // Restricted precheck: satisfaction is monotone (the instance only
   // grows), so any candidate whose head is satisfied *now* — before this
@@ -211,6 +256,7 @@ ObliviousChase::StepOutcome ObliviousChase::StepOnce() {
   const std::size_t step_start_size = instance_.size();
 
   StepOutcome outcome;
+  std::vector<std::size_t> round_fired(rules_.size(), 0);
   for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
     const TriggerCandidate& candidate = candidates[ci];
     if (instance_.size() >= exec_.max_atoms) {
@@ -278,8 +324,13 @@ ObliviousChase::StepOutcome ObliviousChase::StepOnce() {
       term_info_.emplace(null, std::move(info));
     }
     ++triggers_fired_;
+    ++round_fired[candidate.rule_index];
     outcome.fired = true;
   }
+  // Close the round: accumulate per-rule counters, advance the stratified
+  // schedule's cursors and saturation flags (skipped when the atom budget
+  // truncated the firing phase — unfired candidates must stay findable).
+  scheduler_->OnRoundEnd(delta_end, round_fired, outcome.truncated);
   return outcome;
 }
 
@@ -295,7 +346,11 @@ std::size_t ObliviousChase::RunSteps(std::size_t k) {
       atoms_at_step_.push_back(instance_.size());
       last_step_truncated_ = outcome.truncated;
     } else if (!outcome.truncated) {
-      saturated_ = true;
+      // A no-fire round is saturation under the flat schedule. Under the
+      // stratified one it may instead be a transition: the round
+      // saturated its active strata, whose dependents activate next
+      // round. Transition rounds are not chase steps.
+      if (scheduler_->AllSaturated()) saturated_ = true;
     }
   }
   return steps_executed_;
@@ -320,6 +375,9 @@ std::size_t ObliviousChase::AddBaseFacts(const std::vector<Atom>& facts) {
   // database atoms individually, see StepOfAtom).
   atoms_at_step_.back() = instance_.size();
   saturated_ = false;
+  // The stratified schedule re-checks every stratum in topological order;
+  // its per-rule cursors stay valid (the new atoms sit above all of them).
+  scheduler_->OnFactsInserted();
   return added;
 }
 

@@ -33,6 +33,7 @@
 
 namespace bddfc {
 
+class RuleScheduler;
 class SegmentEngine;
 
 namespace exec {
@@ -108,7 +109,10 @@ struct ChaseOptions {
   ExecutionConfig exec;
 
   /// The effective configuration the chase runs with: `exec`, with every
-  /// non-default deprecated alias field overriding its twin.
+  /// non-default deprecated alias field overriding its twin. CHECK-fails
+  /// when an alias and its twin are both set away from their defaults to
+  /// different values — a conflict that used to be resolved silently in
+  /// the alias's favor.
   ExecutionConfig ResolvedExec() const;
 };
 
@@ -216,6 +220,12 @@ class ObliviousChase {
   /// Resolved execution thread count (1 = serial).
   std::size_t num_threads() const { return num_threads_; }
 
+  /// The rule scheduler driving the per-step rule loop (flat pass-through
+  /// or reliance-stratified, per ExecutionConfig::schedule). Exposes
+  /// per-rule fired/skipped counters, the stratification and the reliance
+  /// graph (see src/chase/rule_scheduler.h).
+  const RuleScheduler& scheduler() const { return *scheduler_; }
+
   /// Provenance of one atom of Result(): the trigger that first derived
   /// it (database atoms have `database == true`).
   struct AtomProvenance {
@@ -281,6 +291,8 @@ class ObliviousChase {
   // Parallel executor (null when num_threads_ == 1: the serial path).
   std::size_t num_threads_ = 1;
   std::unique_ptr<exec::ParallelChase> parallel_;
+  // Per-round rule scheduling (never null; flat by default).
+  std::unique_ptr<RuleScheduler> scheduler_;
   // Segment-at-a-time enumerator (null under the default trigger engine).
   std::unique_ptr<SegmentEngine> segment_;
   std::size_t steps_executed_ = 0;

@@ -311,24 +311,39 @@ void SegmentEngine::ExecuteAnchor(std::size_t rule_index,
 void SegmentEngine::Collect(std::uint32_t delta_begin,
                             std::uint32_t delta_end, ThreadPool* pool,
                             std::vector<exec::TriggerCandidate>* out) const {
-  // One work unit per (rule, anchor) plan. With an empty old prefix only
-  // the anchor-0 plans can produce anything (anchors > 0 require an
-  // earlier body atom strictly below the delta).
+  std::vector<exec::RuleJob> jobs;
+  jobs.reserve(plans_.size());
+  for (std::size_t r = 0; r < plans_.size(); ++r) {
+    jobs.push_back({r, delta_begin == 0, delta_begin});
+  }
+  CollectJobs(jobs, delta_end, pool, out);
+}
+
+void SegmentEngine::CollectJobs(
+    const std::vector<exec::RuleJob>& jobs, std::uint32_t delta_end,
+    ThreadPool* pool, std::vector<exec::TriggerCandidate>* out) const {
+  // One work unit per (job, anchor) plan. A full job — a rule's first
+  // enumeration, searching the whole prefix as its delta — runs only the
+  // anchor-0 plan (anchors > 0 require an earlier body atom strictly below
+  // the delta, and a full window has no below-delta prefix).
   struct Unit {
     std::size_t rule_index;
     const SegmentAnchorPlan* plan;
+    std::uint32_t delta_begin;
   };
   std::vector<Unit> units;
-  for (std::size_t r = 0; r < plans_.size(); ++r) {
-    for (const SegmentAnchorPlan& ap : plans_[r].anchors) {
+  for (const exec::RuleJob& job : jobs) {
+    const std::uint32_t delta_begin = job.full ? 0 : job.delta_begin;
+    if (!job.full && job.delta_begin >= delta_end) continue;
+    for (const SegmentAnchorPlan& ap : plans_[job.rule_index].anchors) {
       if (delta_begin == 0 && ap.anchor > 0) continue;
-      units.push_back({r, &ap});
+      units.push_back({job.rule_index, &ap, delta_begin});
     }
   }
   if (pool == nullptr || units.size() <= 1) {
     for (const Unit& unit : units) {
-      ExecuteAnchor(unit.rule_index, *unit.plan, delta_begin, delta_end,
-                    out);
+      ExecuteAnchor(unit.rule_index, *unit.plan, unit.delta_begin,
+                    delta_end, out);
     }
     return;
   }
@@ -339,7 +354,8 @@ void SegmentEngine::Collect(std::uint32_t delta_begin,
               [&](std::size_t begin, std::size_t end) {
                 for (std::size_t i = begin; i < end; ++i) {
                   ExecuteAnchor(units[i].rule_index, *units[i].plan,
-                                delta_begin, delta_end, &batches[i]);
+                                units[i].delta_begin, delta_end,
+                                &batches[i]);
                 }
               });
   for (std::vector<exec::TriggerCandidate>& batch : batches) {

@@ -127,6 +127,16 @@ class SegmentEngine {
                ThreadPool* pool,
                std::vector<exec::TriggerCandidate>* out) const;
 
+  /// Job-based variant: each rule runs with its own delta window, as
+  /// planned by a RuleScheduler. A `full` job executes only the rule's
+  /// anchor-0 plan over [0, delta_end) (the first-step enumeration); a
+  /// delta job executes every anchor plan over
+  /// [job.delta_begin, delta_end). Collect(b, e, ...) is exactly
+  /// CollectJobs with one job per rule and a common window.
+  void CollectJobs(const std::vector<exec::RuleJob>& jobs,
+                   std::uint32_t delta_end, ThreadPool* pool,
+                   std::vector<exec::TriggerCandidate>* out) const;
+
  private:
   void ExecuteAnchor(std::size_t rule_index,
                      const SegmentAnchorPlan& anchor_plan,

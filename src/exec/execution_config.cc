@@ -12,4 +12,14 @@ const char* ToString(ChaseEngine engine) {
   return "?";
 }
 
+const char* ToString(ChaseSchedule schedule) {
+  switch (schedule) {
+    case ChaseSchedule::kFlat:
+      return "flat";
+    case ChaseSchedule::kStratified:
+      return "stratified";
+  }
+  return "?";
+}
+
 }  // namespace bddfc

@@ -47,12 +47,37 @@ enum class ChaseEngine {
 /// Human-readable engine name ("trigger" / "segment").
 const char* ToString(ChaseEngine engine);
 
+/// How a chase schedules its rules across steps.
+///
+///   * kFlat — every step considers every rule (the historical behavior,
+///     bit-identical to chases run before the knob existed).
+///   * kStratified — rules are grouped into strata by the SCC condensation
+///     of their positive-reliance graph (src/analysis/reliance.h) and
+///     processed in topological order: a stratum is saturated before its
+///     dependents ever enumerate, rules whose body predicates gained no
+///     atoms since their last enumeration are skipped, and triggers fire
+///     in restraint-aware order. Produces the same result up to null
+///     renaming (CanonicalAtoms() compares equal; the restricted variant
+///     is hom-equivalent), but the step boundaries — and hence the null
+///     numbering and per-step provenance — may differ from kFlat.
+enum class ChaseSchedule {
+  kFlat,
+  kStratified,
+};
+
+/// Human-readable schedule name ("flat" / "stratified").
+const char* ToString(ChaseSchedule schedule);
+
 /// The execution knobs of a chase (or a Reasoner session): everything that
 /// steers *how* the work runs, as opposed to *what* is computed (rules,
 /// variant, enumeration discipline — those stay on ChaseOptions).
 struct ExecutionConfig {
   /// Execution engine. Both engines produce bit-identical chases.
   ChaseEngine engine = ChaseEngine::kTrigger;
+  /// Rule scheduling discipline. kFlat is bit-identical to the historical
+  /// behavior; kStratified reorders work along the reliance strata (same
+  /// result up to null renaming).
+  ChaseSchedule schedule = ChaseSchedule::kFlat;
   /// Storage backend for the working instance. Defaults to the backend of
   /// the database the chase (or session) starts from.
   std::optional<StorageKind> storage = std::nullopt;

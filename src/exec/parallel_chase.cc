@@ -14,9 +14,11 @@ constexpr std::uint32_t kDeltaGrain = 128;
 // One unit of enumeration work.
 struct Unit {
   std::size_t rule = 0;
-  std::size_t anchor = 0;  // unused by CollectFull
+  std::size_t anchor = 0;  // unused by full-enumeration units
   std::uint32_t lo = 0;
   std::uint32_t hi = 0;
+  bool full = false;             // CollectJobs: full-enumeration unit
+  std::uint32_t delta_begin = 0;  // CollectJobs: the job's delta window
 };
 
 // Chunk width that splits [0, range) into at most 2*threads pieces of at
@@ -123,6 +125,55 @@ void ParallelChase::CollectFull(std::vector<HomSearch>* searches,
               collect(unit.rule, h, batch);
               return true;
             });
+      },
+      out);
+}
+
+void ParallelChase::CollectJobs(std::vector<HomSearch>* searches,
+                                const std::vector<RuleJob>& jobs,
+                                std::uint32_t delta_end,
+                                const CollectFn& collect,
+                                std::vector<TriggerCandidate>* out) {
+  std::vector<Unit> units;
+  for (const RuleJob& job : jobs) {
+    HomSearch& search = (*searches)[job.rule_index];
+    if (job.full) {
+      if (search.source_size() == 0) continue;
+      const std::uint32_t chunk_size = ChunkSize(delta_end, num_threads());
+      for (std::uint32_t lo = 0; lo < delta_end; lo += chunk_size) {
+        units.push_back({job.rule_index, 0, lo,
+                         std::min(delta_end, lo + chunk_size), true, 0});
+      }
+      continue;
+    }
+    if (job.delta_begin >= delta_end) continue;
+    search.PrepareDelta();  // build anchor orders before going concurrent
+    const std::uint32_t chunk_size =
+        ChunkSize(delta_end - job.delta_begin, num_threads());
+    for (std::size_t anchor = 0; anchor < search.source_size(); ++anchor) {
+      for (std::uint32_t lo = job.delta_begin; lo < delta_end;
+           lo += chunk_size) {
+        units.push_back({job.rule_index, anchor, lo,
+                         std::min(delta_end, lo + chunk_size), false,
+                         job.delta_begin});
+      }
+    }
+  }
+  RunUnits(
+      pool_, units,
+      [&](const Unit& unit, std::vector<TriggerCandidate>* batch) {
+        const auto visit = [&](const Substitution& h) {
+          collect(unit.rule, h, batch);
+          return true;
+        };
+        if (unit.full) {
+          (*searches)[unit.rule].ForEachFirstIn(unit.lo, unit.hi, {}, visit);
+        } else {
+          (*searches)[unit.rule].ForEachDeltaAnchor(unit.anchor,
+                                                    unit.delta_begin,
+                                                    delta_end, unit.lo,
+                                                    unit.hi, {}, visit);
+        }
       },
       out);
 }

@@ -48,6 +48,20 @@ struct TriggerCandidate {
   std::vector<Term> body_image;
 };
 
+/// One rule's enumeration assignment for a chase round, as planned by a
+/// RuleScheduler (src/chase/rule_scheduler.h). The flat schedule gives
+/// every rule the chase's global delta window; the stratified schedule
+/// hands each rule its own window (rules of not-yet-active or saturated
+/// strata simply get no job).
+struct RuleJob {
+  std::size_t rule_index = 0;
+  /// Full enumeration over [0, delta_end) — the first-step / naive-mode
+  /// search — instead of a delta-anchored one.
+  bool full = false;
+  /// Delta window start (ignored when `full`).
+  std::uint32_t delta_begin = 0;
+};
+
 /// The canonical (rule, body-image) firing order shared by the serial and
 /// parallel engines.
 inline bool CanonicalTriggerLess(const TriggerCandidate& a,
@@ -111,6 +125,17 @@ class ParallelChase {
   /// [0, target_size).
   void CollectFull(std::vector<HomSearch>* searches,
                    std::uint32_t target_size, const CollectFn& collect,
+                   std::vector<TriggerCandidate>* out);
+
+  /// Job-based enumeration: appends the candidate multiset of running
+  /// each job's search — ForEach-equivalent over [0, delta_end) for a
+  /// `full` job, ForEachDelta-equivalent over [job.delta_begin, delta_end)
+  /// otherwise. With one job per rule and a common window this reproduces
+  /// CollectDelta / CollectFull exactly; the scheduler's per-rule windows
+  /// are the general case. Work units are (job, anchor, chunk) triples.
+  void CollectJobs(std::vector<HomSearch>* searches,
+                   const std::vector<RuleJob>& jobs, std::uint32_t delta_end,
+                   const CollectFn& collect,
                    std::vector<TriggerCandidate>* out);
 
   /// Parallel map over candidates: (*out)[i] = check(candidates[i]).

@@ -1,0 +1,198 @@
+// Tests for the rule reliance analysis (src/analysis/reliance.h): the
+// positive-reliance and restraint edges, the SCC stratification, and the
+// weak/joint acyclicity termination certificates — plus the Reasoner's
+// kAuto consultation of the certificate.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "analysis/reliance.h"
+#include "api/reasoner.h"
+#include "chase/chase.h"
+#include "logic/parser.h"
+
+namespace bddfc {
+namespace {
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  RuleSet Rules(const std::string& text) {
+    return MustParseRuleSet(&u_, text);
+  }
+
+  Universe u_;
+};
+
+TEST_F(AnalysisTest, PositiveRelianceChain) {
+  // 0 feeds 1 feeds 2; nothing flows backwards.
+  RuleSet rules = Rules(
+      "A(x,y) -> B(x,y)\n"
+      "B(x,y) -> C(x,y)\n"
+      "C(x,y) -> D(x,y)\n");
+  RelianceGraph g = BuildRelianceGraph(rules, &u_);
+  EXPECT_TRUE(g.HasPositive(0, 1));
+  EXPECT_TRUE(g.HasPositive(1, 2));
+  EXPECT_FALSE(g.HasPositive(1, 0));
+  EXPECT_FALSE(g.HasPositive(2, 1));
+  EXPECT_FALSE(g.HasPositive(0, 2));  // no shared predicate
+  EXPECT_FALSE(g.HasPositive(0, 0));
+}
+
+TEST_F(AnalysisTest, SelfRelianceOfRecursiveRule) {
+  RuleSet rules = Rules("E(x,y), E(y,z) -> E(x,z)\n");
+  RelianceGraph g = BuildRelianceGraph(rules, &u_);
+  EXPECT_TRUE(g.HasPositive(0, 0));
+}
+
+TEST_F(AnalysisTest, NoEdgeWithoutPredicateOverlap) {
+  RuleSet rules = Rules(
+      "A(x,y) -> B(x,y)\n"
+      "C(x,y) -> D(x,y)\n");
+  RelianceGraph g = BuildRelianceGraph(rules, &u_);
+  EXPECT_EQ(g.num_positive_edges(), 0u);
+}
+
+TEST_F(AnalysisTest, RestraintOnlyTowardExistentialRules) {
+  // Rule 1 invents B-atoms; rule 0 also produces B-atoms, so firing 0 can
+  // satisfy a pending trigger of 1 (restraint 0 ⊸ 1). Rule 0 has no
+  // existentials, so nothing restrains it.
+  RuleSet rules = Rules(
+      "C(x,y) -> B(x,y)\n"
+      "A(x) -> B(x,z)\n");
+  RelianceGraph g = BuildRelianceGraph(rules, &u_);
+  EXPECT_TRUE(g.HasRestraint(0, 1));
+  EXPECT_FALSE(g.HasRestraint(1, 0));
+  EXPECT_FALSE(g.HasRestraint(0, 0));
+}
+
+TEST_F(AnalysisTest, RestraintRespectsPinnedFrontier) {
+  // Rule 1's head B(x,x) needs the two arguments equal; rule 0 invents
+  // B(x,z) with z existential — a null can never cover the pinned frontier
+  // pair (x,x) ... but piece-unification is an over-approximation that only
+  // forbids unifying *answer* (frontier) variables of the query with
+  // existentials of the producing rule. Here the frontier x of rule 1
+  // would have to unify with rule 0's existential z, which is forbidden.
+  RuleSet rules = Rules(
+      "A(x) -> B(x,z)\n"
+      "D(x) -> B(x,x), C(w)\n");
+  RelianceGraph g = BuildRelianceGraph(rules, &u_);
+  EXPECT_FALSE(g.HasRestraint(0, 1));
+}
+
+TEST_F(AnalysisTest, StratificationTopologicalOrder) {
+  // Chain of three strata plus one disconnected recursive stratum.
+  RuleSet rules = Rules(
+      "A(x,y) -> B(x,y)\n"
+      "B(x,y) -> C(x,y)\n"
+      "E(x,y), E(y,z) -> E(x,z)\n");
+  RelianceGraph g = BuildRelianceGraph(rules, &u_);
+  Stratification s = Stratify(g);
+  ASSERT_EQ(s.stratum_of.size(), 3u);
+  // Every positive edge runs topologically forward.
+  for (std::size_t j = 0; j < g.num_rules(); ++j) {
+    for (std::size_t i : g.positive[j]) {
+      EXPECT_LE(s.stratum_of[j], s.stratum_of[i]);
+    }
+  }
+  EXPECT_LT(s.stratum_of[0], s.stratum_of[1]);
+  // The TC rule is alone in its stratum and depends on nothing.
+  EXPECT_TRUE(s.predecessors[s.stratum_of[2]].empty());
+  EXPECT_EQ(s.strata[s.stratum_of[2]].size(), 1u);
+}
+
+TEST_F(AnalysisTest, MutuallyRecursiveRulesShareAStratum) {
+  RuleSet rules = Rules(
+      "A(x,y) -> B(y,x)\n"
+      "B(x,y) -> A(y,x)\n");
+  Stratification s = Stratify(BuildRelianceGraph(rules, &u_));
+  EXPECT_EQ(s.num_strata(), 1u);
+  EXPECT_EQ(s.stratum_of[0], s.stratum_of[1]);
+}
+
+TEST_F(AnalysisTest, DatalogIsWeaklyAcyclic) {
+  RuleSet rules = Rules(
+      "E(x,y), E(y,z) -> E(x,z)\n"
+      "E(x,y) -> F(y,x)\n");
+  EXPECT_TRUE(IsWeaklyAcyclic(rules));
+  EXPECT_TRUE(IsJointlyAcyclic(rules));
+  EXPECT_EQ(CertifyTermination(rules), TerminationCertificate::kWeaklyAcyclic);
+}
+
+TEST_F(AnalysisTest, WeaklyAcyclicButObliviouslyDivergent) {
+  // The canonical gap between the certificate and the oblivious chase:
+  // P(x,y) -> ∃z P(x,z) is weakly acyclic (the existential position P#2
+  // has no outgoing edge), yet the oblivious chase fires once per body
+  // homomorphism and diverges. The certificate must still be granted —
+  // consumers gate on the variant.
+  RuleSet rules = Rules("P(x,y) -> P(x,z)\n");
+  EXPECT_TRUE(IsWeaklyAcyclic(rules));
+  EXPECT_EQ(CertifyTermination(rules), TerminationCertificate::kWeaklyAcyclic);
+
+  Instance db = MustParseInstance(&u_, "P(a,b).");
+  ObliviousChase oblivious(db, rules, {.exec = {.max_steps = 50}});
+  oblivious.Run();
+  EXPECT_FALSE(oblivious.Saturated());  // divergent under oblivious
+  ObliviousChase semi(db, rules,
+                      {.variant = ChaseVariant::kSemiOblivious,
+                       .exec = {.max_steps = 50}});
+  semi.Run();
+  EXPECT_TRUE(semi.Saturated());  // terminating, as certified
+}
+
+TEST_F(AnalysisTest, ExistentialCycleHasNoCertificate) {
+  // A(x,y) -> ∃z A(y,z): the special edge A#2 ⇒ A#2 closes a cycle and
+  // the Ω-fixpoint feeds the existential back into itself.
+  RuleSet rules = Rules("A(x,y) -> A(y,z)\n");
+  EXPECT_FALSE(IsWeaklyAcyclic(rules));
+  EXPECT_FALSE(IsJointlyAcyclic(rules));
+  EXPECT_EQ(CertifyTermination(rules), TerminationCertificate::kNone);
+}
+
+TEST_F(AnalysisTest, JointlyButNotWeaklyAcyclic) {
+  // A(x,y), A(y,x) -> ∃z A(x,z): weak acyclicity sees the special
+  // self-loop on A#2; the joint Ω-fixpoint notices that no frontier
+  // variable reads *only* positions the null can reach (both x and y also
+  // occur at A#1), so the existential never feeds itself.
+  RuleSet rules = Rules("A(x,y), A(y,x) -> A(x,z)\n");
+  EXPECT_FALSE(IsWeaklyAcyclic(rules));
+  EXPECT_TRUE(IsJointlyAcyclic(rules));
+  EXPECT_EQ(CertifyTermination(rules),
+            TerminationCertificate::kJointlyAcyclic);
+}
+
+TEST_F(AnalysisTest, ReasonerAutoConsultsCertificateForNonOblivious) {
+  // Transitivity has no finite UCQ rewriting for the edge query, so the
+  // probe would fail and kAuto would fall back to materialization anyway —
+  // but the weak-acyclicity certificate lets it skip the probe outright.
+  RuleSet rules = Rules("E(x,y), E(y,z) -> E(x,z)\n");
+  Instance db = MustParseInstance(&u_, "E(a,b). E(b,c).");
+  ReasonerOptions options;
+  options.strategy = AnswerStrategy::kAuto;
+  options.chase.variant = ChaseVariant::kSemiOblivious;
+  Reasoner reasoner(db, rules, options);
+  PreparedQuery q = reasoner.Prepare(MustParseCq(&u_, "?(x,y) :- E(x,y)"));
+  EXPECT_EQ(q.strategy(), AnswerStrategy::kMaterialize);
+  EXPECT_EQ(reasoner.stats().auto_certified_materialize, 1u);
+  EXPECT_EQ(reasoner.stats().rewrites_run, 0u);  // probe skipped
+  EXPECT_EQ(reasoner.certificate(), TerminationCertificate::kWeaklyAcyclic);
+  EXPECT_EQ(q.Count(), 3u);
+}
+
+TEST_F(AnalysisTest, ReasonerAutoStillProbesUnderOblivious) {
+  // Same rules, oblivious variant: the certificate says nothing about the
+  // oblivious chase, so kAuto must keep probing.
+  RuleSet rules = Rules("E(x,y), E(y,z) -> E(x,z)\n");
+  Instance db = MustParseInstance(&u_, "E(a,b). E(b,c).");
+  ReasonerOptions options;
+  options.strategy = AnswerStrategy::kAuto;
+  Reasoner reasoner(db, rules, options);
+  PreparedQuery q = reasoner.Prepare(MustParseCq(&u_, "?(x,y) :- E(x,y)"));
+  EXPECT_EQ(reasoner.stats().auto_certified_materialize, 0u);
+  EXPECT_GE(reasoner.stats().rewrites_run, 1u);
+  EXPECT_EQ(q.Count(), 3u);
+}
+
+}  // namespace
+}  // namespace bddfc

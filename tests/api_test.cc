@@ -42,7 +42,7 @@ ReasonerOptions WithChase(ChaseOptions chase) {
 
 ReasonerOptions WithThreads(std::size_t num_threads) {
   ReasonerOptions options;
-  options.num_threads = num_threads;
+  options.chase.exec.num_threads = num_threads;
   return options;
 }
 
@@ -125,7 +125,7 @@ TEST_F(ReasonerTest, AutoPicksMaterializeForNonBddRules) {
   RuleSet rules = generators::Example1(&u_);
   Instance db = MustParseInstance(&u_, "E(a,b). E(b,c).");
   ChaseOptions chase;
-  chase.max_steps = 4;  // the chase of Example 1 is infinite; bound it
+  chase.exec.max_steps = 4;  // the chase of Example 1 is infinite; bound it
   Reasoner reasoner(db, rules, WithChase(chase));
   PredicateId e = u_.FindPredicate("E");
   PreparedQuery q = reasoner.Prepare(LoopQuery(&u_, e));
@@ -153,8 +153,8 @@ TEST_F(ReasonerTest, AutoPicksRewriteWhenChaseWouldDiverge) {
   EXPECT_EQ(q.Count(), 6u);
   // Soundness cross-check: every rewriting answer holds in a chase prefix.
   ChaseOptions bounded;
-  bounded.max_steps = 5;
-  bounded.max_atoms = 20000;
+  bounded.exec.max_steps = 5;
+  bounded.exec.max_atoms = 20000;
   Instance prefix = Chase(db, rules, bounded);
   for (const AnswerTuple& tuple : q.All()) {
     EXPECT_TRUE(Entails(prefix, Cq({Atom(e, {x, y})}, {x, y}), tuple));
@@ -204,8 +204,8 @@ TEST_F(ReasonerTest, StrategyAgreementRandomizedWorkloads) {
     Instance db = generators::RandomInstance(&u, rules, /*num_constants=*/4,
                                              /*num_atoms=*/6, &rng);
     ChaseOptions chase;
-    chase.max_steps = 8;
-    chase.max_atoms = 4000;
+    chase.exec.max_steps = 8;
+    chase.exec.max_atoms = 4000;
     chase.variant = ChaseVariant::kRestricted;  // saturates most often
     Reasoner materialize(
         db, rules,
@@ -272,8 +272,8 @@ TEST_F(ReasonerTest, AddFactsMatchesFromScratchChase) {
                                                   /*num_atoms=*/4, &rng);
       ChaseOptions chase_options;
       chase_options.variant = variant;
-      chase_options.max_steps = 8;
-      chase_options.max_atoms = 5000;
+      chase_options.exec.max_steps = 8;
+      chase_options.exec.max_atoms = 5000;
 
       Reasoner incremental(base, rules,
                            WithStrategy(AnswerStrategy::kMaterialize,
@@ -308,7 +308,7 @@ TEST_F(ReasonerTest, CompletenessIsLiveAfterAddFactsHitsBounds) {
   RuleSet rules = MustParseRuleSet(&u_, "E(x,y), E(y,z) -> E(x,z)");
   Instance db = MustParseInstance(&u_, "E(a,b). E(b,c).");
   ChaseOptions chase;
-  chase.max_atoms = 12;
+  chase.exec.max_atoms = 12;
   Reasoner reasoner(db, rules,
                     WithStrategy(AnswerStrategy::kMaterialize, chase));
   PreparedQuery q = reasoner.Prepare(MustParseCq(&u_, "?(x,y) :- E(x,y)"));

@@ -119,8 +119,8 @@ TEST(ChaseDifferentialTest, Example1AllVariants) {
       "E(x,y), E(y,z) -> E(x,z)\n";
   for (ChaseVariant variant : kVariants) {
     SCOPED_TRACE(VariantName(variant));
-    ChaseOptions options{.max_steps = 4, .max_atoms = 20000,
-                         .variant = variant};
+    ChaseOptions options{.variant = variant,
+                         .exec = {.max_steps = 4, .max_atoms = 20000}};
     EngineRun semi, naive;
     RunOnText(rules, "E(a,b).", options, /*naive=*/false, &semi);
     RunOnText(rules, "E(a,b).", options, /*naive=*/true, &naive);
@@ -134,8 +134,8 @@ TEST(ChaseDifferentialTest, BddifiedExample1AllVariants) {
       "E(x,x1), E(y,y1) -> E(x,y1)\n";
   for (ChaseVariant variant : kVariants) {
     SCOPED_TRACE(VariantName(variant));
-    ChaseOptions options{.max_steps = 3, .max_atoms = 60000,
-                         .variant = variant};
+    ChaseOptions options{.variant = variant,
+                         .exec = {.max_steps = 3, .max_atoms = 60000}};
     EngineRun semi, naive;
     RunOnText(rules, "E(a,b).", options, /*naive=*/false, &semi);
     RunOnText(rules, "E(a,b).", options, /*naive=*/true, &naive);
@@ -149,7 +149,7 @@ TEST(ChaseDifferentialTest, DatalogSaturationReachesSameFixpoint) {
   const std::string rules = "E(x,y), E(y,z) -> E(x,z)";
   for (ChaseVariant variant : kVariants) {
     SCOPED_TRACE(VariantName(variant));
-    ChaseOptions options{.max_steps = 64, .variant = variant};
+    ChaseOptions options{.variant = variant, .exec = {.max_steps = 64}};
     EngineRun semi, naive;
     RunOnText(rules, "E(a,b). E(b,c). E(c,d). E(d,e).", options,
               /*naive=*/false, &semi);
@@ -166,8 +166,8 @@ TEST(ChaseDifferentialTest, BoundedRunsAgreeOnTruncation) {
   const std::string rules = "E(x,y) -> E(y,z), E(x,z)";
   for (ChaseVariant variant : kVariants) {
     SCOPED_TRACE(VariantName(variant));
-    ChaseOptions options{.max_steps = 100, .max_atoms = 40,
-                         .variant = variant};
+    ChaseOptions options{.variant = variant,
+                         .exec = {.max_steps = 100, .max_atoms = 40}};
     EngineRun semi, naive;
     RunOnText(rules, "E(a,b).", options, /*naive=*/false, &semi);
     RunOnText(rules, "E(a,b).", options, /*naive=*/true, &naive);
@@ -186,8 +186,8 @@ TEST(ChaseDifferentialTest, RandomizedWorkloadsAllVariants) {
     for (ChaseVariant variant : kVariants) {
       SCOPED_TRACE(std::string(VariantName(variant)) + " seed " +
                    std::to_string(seed));
-      ChaseOptions options{.max_steps = 4, .max_atoms = 4000,
-                           .variant = variant};
+      ChaseOptions options{.variant = variant,
+                           .exec = {.max_steps = 4, .max_atoms = 4000}};
       EngineRun semi, naive;
       RunOnRandomWorkload(seed, spec, options, /*naive=*/false, &semi);
       RunOnRandomWorkload(seed, spec, options, /*naive=*/true, &naive);
@@ -210,8 +210,8 @@ TEST(ChaseDifferentialTest, RandomizedForwardExistentialWorkloads) {
     for (ChaseVariant variant : kVariants) {
       SCOPED_TRACE(std::string(VariantName(variant)) + " seed " +
                    std::to_string(seed));
-      ChaseOptions options{.max_steps = 5, .max_atoms = 3000,
-                           .variant = variant};
+      ChaseOptions options{.variant = variant,
+                           .exec = {.max_steps = 5, .max_atoms = 3000}};
       EngineRun semi, naive;
       RunOnRandomWorkload(seed, spec, options, /*naive=*/false, &semi);
       RunOnRandomWorkload(seed, spec, options, /*naive=*/true, &naive);
@@ -235,11 +235,11 @@ TEST(ChaseDifferentialTest, ParallelMatchesSerialOnExample1) {
     for (std::size_t threads : kThreadCounts) {
       SCOPED_TRACE(std::string(VariantName(variant)) + " threads " +
                    std::to_string(threads));
-      ChaseOptions options{.max_steps = 4, .max_atoms = 20000,
-                           .variant = variant};
+      ChaseOptions options{.variant = variant,
+                           .exec = {.max_steps = 4, .max_atoms = 20000}};
       EngineRun serial, parallel;
       RunOnText(rules, "E(a,b).", options, /*naive=*/false, &serial);
-      options.num_threads = threads;
+      options.exec.num_threads = threads;
       RunOnText(rules, "E(a,b).", options, /*naive=*/false, &parallel);
       ExpectIdentical(serial, parallel);
     }
@@ -254,11 +254,11 @@ TEST(ChaseDifferentialTest, ParallelAgreesOnTruncation) {
     for (std::size_t threads : kThreadCounts) {
       SCOPED_TRACE(std::string(VariantName(variant)) + " threads " +
                    std::to_string(threads));
-      ChaseOptions options{.max_steps = 100, .max_atoms = 40,
-                           .variant = variant};
+      ChaseOptions options{.variant = variant,
+                           .exec = {.max_steps = 100, .max_atoms = 40}};
       EngineRun serial, parallel;
       RunOnText(rules, "E(a,b).", options, /*naive=*/false, &serial);
-      options.num_threads = threads;
+      options.exec.num_threads = threads;
       RunOnText(rules, "E(a,b).", options, /*naive=*/false, &parallel);
       ExpectIdentical(serial, parallel);
     }
@@ -274,11 +274,11 @@ TEST(ChaseDifferentialTest, ParallelSaturatesWithSerialOnDatalog) {
     for (std::size_t threads : kThreadCounts) {
       SCOPED_TRACE(std::string(VariantName(variant)) + " threads " +
                    std::to_string(threads));
-      ChaseOptions options{.max_steps = 64, .variant = variant};
+      ChaseOptions options{.variant = variant, .exec = {.max_steps = 64}};
       EngineRun serial, parallel;
       RunOnText(rules, "E(a,b). E(b,c). E(c,d). E(d,e). E(e,f).", options,
                 /*naive=*/false, &serial);
-      options.num_threads = threads;
+      options.exec.num_threads = threads;
       RunOnText(rules, "E(a,b). E(b,c). E(c,d). E(d,e). E(e,f).", options,
                 /*naive=*/false, &parallel);
       EXPECT_TRUE(parallel.chase->Saturated());
@@ -296,8 +296,8 @@ TEST(ChaseDifferentialTest, ParallelMatchesSerialOnRandomizedWorkloads) {
   spec.datalog_fraction = 0.5;
   for (std::uint64_t seed = 0; seed < 6; ++seed) {
     for (ChaseVariant variant : kVariants) {
-      ChaseOptions options{.max_steps = 4, .max_atoms = 4000,
-                           .variant = variant};
+      ChaseOptions options{.variant = variant,
+                           .exec = {.max_steps = 4, .max_atoms = 4000}};
       EngineRun serial;
       RunOnRandomWorkload(seed, spec, options, /*naive=*/false, &serial);
       for (std::size_t threads : kThreadCounts) {
@@ -305,7 +305,7 @@ TEST(ChaseDifferentialTest, ParallelMatchesSerialOnRandomizedWorkloads) {
                      std::to_string(seed) + " threads " +
                      std::to_string(threads));
         ChaseOptions parallel_options = options;
-        parallel_options.num_threads = threads;
+        parallel_options.exec.num_threads = threads;
         EngineRun parallel;
         RunOnRandomWorkload(seed, spec, parallel_options, /*naive=*/false,
                             &parallel);
@@ -329,11 +329,11 @@ TEST(ChaseDifferentialTest, ParallelNaiveEnumerationMatchesSerialNaive) {
     for (ChaseVariant variant : kVariants) {
       SCOPED_TRACE(std::string(VariantName(variant)) + " seed " +
                    std::to_string(seed));
-      ChaseOptions options{.max_steps = 4, .max_atoms = 3000,
-                           .variant = variant};
+      ChaseOptions options{.variant = variant,
+                           .exec = {.max_steps = 4, .max_atoms = 3000}};
       EngineRun serial, parallel;
       RunOnRandomWorkload(seed, spec, options, /*naive=*/true, &serial);
-      options.num_threads = 4;
+      options.exec.num_threads = 4;
       RunOnRandomWorkload(seed, spec, options, /*naive=*/true, &parallel);
       ExpectIdentical(serial, parallel);
     }
@@ -346,7 +346,7 @@ TEST(ChaseDifferentialTest, IncrementalRunStepsMatchesOneShotRun) {
   const std::string rules =
       "E(x,y) -> E(y,z)\n"
       "E(x,y), E(y,z) -> E(x,z)\n";
-  ChaseOptions options{.max_steps = 4, .max_atoms = 20000};
+  ChaseOptions options{.exec = {.max_steps = 4, .max_atoms = 20000}};
   EngineRun incremental, oneshot;
   {
     RuleSet rs = MustParseRuleSet(&incremental.universe, rules);

@@ -19,7 +19,7 @@ TEST_F(ChaseTest, SingleRuleFiresOnce) {
   // Observation 13: a ⊤-bodied rule triggers exactly once.
   RuleSet rules = MustParseRuleSet(&u_, "true -> E(x,y)");
   Instance db(&u_);
-  ObliviousChase chase(db, rules, {.max_steps = 10});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 10}});
   chase.Run();
   EXPECT_TRUE(chase.Saturated());
   EXPECT_EQ(chase.TriggersFired(), 1u);
@@ -30,7 +30,7 @@ TEST_F(ChaseTest, SingleRuleFiresOnce) {
 TEST_F(ChaseTest, DatalogSaturation) {
   RuleSet rules = MustParseRuleSet(&u_, "E(x,y), E(y,z) -> E(x,z)");
   Instance db = MustParseInstance(&u_, "E(a,b). E(b,c). E(c,d).");
-  ObliviousChase chase(db, rules, {.max_steps = 32});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 32}});
   chase.Run();
   EXPECT_TRUE(chase.Saturated());
   // Transitive closure of the path a->b->c->d: 6 edges.
@@ -45,7 +45,7 @@ TEST_F(ChaseTest, Example1NeverEntailsLoop) {
                                    "E(x,y) -> E(y,z)\n"
                                    "E(x,y), E(y,z) -> E(x,z)\n");
   Instance db = MustParseInstance(&u_, "E(a,b).");
-  ObliviousChase chase(db, rules, {.max_steps = 5, .max_atoms = 20000});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 5, .max_atoms = 20000}});
   chase.Run();
   PredicateId e = u_.FindPredicate("E");
   Cq loop = LoopQuery(&u_, e);
@@ -63,7 +63,7 @@ TEST_F(ChaseTest, BddifiedExample1EntailsLoop) {
                                    "E(x,y) -> E(y,z)\n"
                                    "E(x,x1), E(y,y1) -> E(x,y1)\n");
   Instance db = MustParseInstance(&u_, "E(a,b).");
-  ObliviousChase chase(db, rules, {.max_steps = 3, .max_atoms = 50000});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 3, .max_atoms = 50000}});
   chase.Run();
   PredicateId e = u_.FindPredicate("E");
   EXPECT_TRUE(Entails(chase.Result(), LoopQuery(&u_, e)));
@@ -72,7 +72,7 @@ TEST_F(ChaseTest, BddifiedExample1EntailsLoop) {
 TEST_F(ChaseTest, TimestampsAndFrontiers) {
   RuleSet rules = MustParseRuleSet(&u_, "E(x,y) -> E(y,z)");
   Instance db = MustParseInstance(&u_, "E(a,b).");
-  ObliviousChase chase(db, rules, {.max_steps = 3});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 3}});
   chase.Run();
   // Database terms have timestamp 0.
   Term a = u_.FindConstant("a");
@@ -100,7 +100,7 @@ TEST_F(ChaseTest, TimestampsAndFrontiers) {
 TEST_F(ChaseTest, StepPrefixesAreMonotone) {
   RuleSet rules = MustParseRuleSet(&u_, "E(x,y) -> E(y,z)");
   Instance db = MustParseInstance(&u_, "E(a,b).");
-  ObliviousChase chase(db, rules, {.max_steps = 4});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 4}});
   chase.Run();
   for (std::size_t k = 0; k < 4; ++k) {
     EXPECT_LE(chase.AtomCountAtStep(k), chase.AtomCountAtStep(k + 1));
@@ -116,7 +116,7 @@ TEST_F(ChaseTest, ForwardExistentialChaseIsDag) {
                                    "true -> A(x)\n"
                                    "A(x) -> E(x,y), A(y)\n");
   Instance db(&u_);
-  ObliviousChase chase(db, rules, {.max_steps = 5});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 5}});
   chase.Run();
   EXPECT_TRUE(chase.IsDag());
 }
@@ -124,7 +124,7 @@ TEST_F(ChaseTest, ForwardExistentialChaseIsDag) {
 TEST_F(ChaseTest, LoopBreaksDag) {
   RuleSet rules = MustParseRuleSet(&u_, "E(x,y) -> E(y,y)");
   Instance db = MustParseInstance(&u_, "E(a,b).");
-  ObliviousChase chase(db, rules, {.max_steps = 2});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 2}});
   chase.Run();
   EXPECT_FALSE(chase.IsDag());
 }
@@ -134,10 +134,10 @@ TEST_F(ChaseTest, RestrictedChaseTerminatesWhenObliviousDoesNot) {
   RuleSet rules = MustParseRuleSet(&u_, "E(x,y) -> E(y,z)");
   Instance db = MustParseInstance(&u_, "E(a,b). E(b,a).");
   ObliviousChase restricted(
-      db, rules, {.max_steps = 50, .variant = ChaseVariant::kRestricted});
+      db, rules, {.variant = ChaseVariant::kRestricted, .exec = {.max_steps = 50}});
   restricted.Run();
   EXPECT_TRUE(restricted.Saturated());
-  ObliviousChase oblivious(db, rules, {.max_steps = 50, .max_atoms = 500});
+  ObliviousChase oblivious(db, rules, {.exec = {.max_steps = 50, .max_atoms = 500}});
   oblivious.Run();
   EXPECT_FALSE(oblivious.Saturated());
 }
@@ -151,16 +151,16 @@ TEST_F(ChaseTest, ChaseThenDatalogMatchesLemma33Shape) {
                                    "E(x,y) -> F(x,y)\n");
   Instance db = MustParseInstance(&u_, "A(a).");
   auto [datalog, existential] = SplitDatalog(rules);
-  Instance combined = Chase(db, rules, {.max_steps = 6});
+  Instance combined = Chase(db, rules, {.exec = {.max_steps = 6}});
   Instance staged = ChaseThenDatalog(db, existential, datalog,
-                                     {.max_steps = 6});
+                                     {.exec = {.max_steps = 6}});
   EXPECT_TRUE(MapsInto(staged, combined) || MapsInto(combined, staged));
 }
 
 TEST_F(ChaseTest, MaxAtomBoundStopsRun) {
   RuleSet rules = MustParseRuleSet(&u_, "E(x,y) -> E(y,z), E(x,z)");
   Instance db = MustParseInstance(&u_, "E(a,b).");
-  ObliviousChase chase(db, rules, {.max_steps = 100, .max_atoms = 50});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 100, .max_atoms = 50}});
   chase.Run();
   EXPECT_TRUE(chase.HitBounds());
   EXPECT_LE(chase.Result().size(), 60u);  // bound plus one step's slack
@@ -172,7 +172,7 @@ TEST_F(ChaseTest, ExhaustedBoundDoesNotCountPhantomStep) {
   // pushed onto the per-step atom counts.
   RuleSet rules = MustParseRuleSet(&u_, "E(x,y) -> E(y,z)");
   Instance db = MustParseInstance(&u_, "E(a,b).");  // 2 atoms with ⊤
-  ObliviousChase chase(db, rules, {.max_steps = 10, .max_atoms = 2});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 10, .max_atoms = 2}});
   chase.Run();
   EXPECT_EQ(chase.StepsExecuted(), 0u);
   EXPECT_TRUE(chase.HitBounds());
@@ -188,7 +188,7 @@ TEST_F(ChaseTest, PartiallyFiredStepIsMarkedTruncated) {
   // only one: the step counts, and it is flagged as truncated.
   RuleSet rules = MustParseRuleSet(&u_, "E(x,y), E(y,z) -> F(x,z)");
   Instance db = MustParseInstance(&u_, "E(a,b). E(b,c). E(c,d).");
-  ObliviousChase chase(db, rules, {.max_steps = 10, .max_atoms = 5});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 10, .max_atoms = 5}});
   chase.Run();
   EXPECT_EQ(chase.StepsExecuted(), 1u);
   EXPECT_TRUE(chase.HitBounds());
@@ -200,7 +200,7 @@ TEST_F(ChaseTest, PartiallyFiredStepIsMarkedTruncated) {
 TEST_F(ChaseTest, CompleteRunIsNotTruncated) {
   RuleSet rules = MustParseRuleSet(&u_, "E(x,y), E(y,z) -> E(x,z)");
   Instance db = MustParseInstance(&u_, "E(a,b). E(b,c). E(c,d).");
-  ObliviousChase chase(db, rules, {.max_steps = 32});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 32}});
   chase.Run();
   EXPECT_TRUE(chase.Saturated());
   EXPECT_FALSE(chase.HitBounds());
@@ -216,7 +216,7 @@ TEST_F(ChaseTest, NaiveEnumerationFlagKeepsEngineBehavior) {
                                    "E(x,y), E(y,z) -> E(x,z)\n");
   Instance db = MustParseInstance(&u_, "E(a,b).");
   ObliviousChase naive(db, rules,
-                       {.max_steps = 4, .naive_enumeration = true});
+                       {.naive_enumeration = true, .exec = {.max_steps = 4}});
   naive.Run();
   // Same universe: run the delta engine on a twin universe so the labeled
   // nulls are invented with identical indices.
@@ -225,7 +225,7 @@ TEST_F(ChaseTest, NaiveEnumerationFlagKeepsEngineBehavior) {
                                     "E(x,y) -> E(y,z)\n"
                                     "E(x,y), E(y,z) -> E(x,z)\n");
   Instance db2 = MustParseInstance(&u2, "E(a,b).");
-  ObliviousChase delta(db2, rules2, {.max_steps = 4});
+  ObliviousChase delta(db2, rules2, {.exec = {.max_steps = 4}});
   delta.Run();
   EXPECT_EQ(naive.TriggersFired(), delta.TriggersFired());
   EXPECT_EQ(naive.Result().size(), delta.Result().size());
@@ -239,7 +239,7 @@ TEST_F(ChaseTest, ProvenanceTracksTriggers) {
   RuleSet rules = MustParseRuleSet(&u_,
                                    "[succ] E(x,y) -> E(y,z)\n");
   Instance db = MustParseInstance(&u_, "E(a,b).");
-  ObliviousChase chase(db, rules, {.max_steps = 2});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 2}});
   chase.Run();
   // Atom 0 is ⊤, atom 1 is E(a,b): database provenance.
   EXPECT_TRUE(chase.ProvenanceOf(1).database);
@@ -255,7 +255,7 @@ TEST_F(ChaseTest, ExplainRendersDerivationTree) {
                                    "[pq] P(x) -> Q(x)\n"
                                    "[qr] Q(x) -> R(x)\n");
   Instance db = MustParseInstance(&u_, "P(a).");
-  ObliviousChase chase(db, rules, {.max_steps = 4});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 4}});
   chase.Run();
   PredicateId r = u_.FindPredicate("R");
   Term a = u_.FindConstant("a");
@@ -271,7 +271,7 @@ TEST_F(ChaseTest, ExplainRendersDerivationTree) {
 TEST_F(ChaseTest, ExplainDepthLimit) {
   RuleSet rules = MustParseRuleSet(&u_, "E(x,y) -> E(y,z)");
   Instance db = MustParseInstance(&u_, "E(a,b).");
-  ObliviousChase chase(db, rules, {.max_steps = 5});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 5}});
   chase.Run();
   // The deepest edge: last atom.
   const Atom& deepest = chase.Result().atoms().back();
@@ -285,7 +285,7 @@ TEST_F(ChaseTest, ExplainDepthLimit) {
 TEST_F(ChaseTest, ExplainUnknownAtom) {
   RuleSet rules = MustParseRuleSet(&u_, "E(x,y) -> E(y,z)");
   Instance db = MustParseInstance(&u_, "E(a,b).");
-  ObliviousChase chase(db, rules, {.max_steps = 1});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 1}});
   chase.Run();
   PredicateId e = u_.FindPredicate("E");
   Term a = u_.FindConstant("a");
@@ -301,11 +301,11 @@ TEST_F(ChaseTest, SemiObliviousCollapsesNonFrontierVariables) {
   Instance db = MustParseInstance(&u_, "E(a,b). E(a,c). E(a,d).");
   PredicateId f = u_.FindPredicate("F");
 
-  ObliviousChase oblivious(db, rules, {.max_steps = 2});
+  ObliviousChase oblivious(db, rules, {.exec = {.max_steps = 2}});
   oblivious.Run();
   ObliviousChase semi(db, rules,
-                      {.max_steps = 2,
-                       .variant = ChaseVariant::kSemiOblivious});
+                      {.variant = ChaseVariant::kSemiOblivious,
+                       .exec = {.max_steps = 2}});
   semi.Run();
   // Oblivious: 3 choices of y × 3 of z = 9 triggers; semi: 3 frontier
   // images.
@@ -320,8 +320,8 @@ TEST_F(ChaseTest, SemiObliviousStillFiresDistinctFrontiers) {
   RuleSet rules = MustParseRuleSet(&u_, "E(x,y) -> F(y,w)");
   Instance db = MustParseInstance(&u_, "E(a,b). E(c,d).");
   ObliviousChase semi(db, rules,
-                      {.max_steps = 2,
-                       .variant = ChaseVariant::kSemiOblivious});
+                      {.variant = ChaseVariant::kSemiOblivious,
+                       .exec = {.max_steps = 2}});
   semi.Run();
   PredicateId f = u_.FindPredicate("F");
   EXPECT_EQ(semi.Result().AtomsWith(f).size(), 2u);
@@ -428,7 +428,7 @@ TEST_F(ChaseTest, ChaseOfTopOnlyInstance) {
                                    "true -> E(x,y)\n"
                                    "E(x,y) -> E(y,z)\n");
   Instance db(&u_);
-  ObliviousChase chase(db, rules, {.max_steps = 4});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 4}});
   chase.Run();
   PredicateId e = u_.FindPredicate("E");
   EXPECT_EQ(chase.Result().AtomsWith(e).size(), 4u);

@@ -27,7 +27,7 @@ TEST_F(CoreTest, PropertyPOnBddifiedExample1) {
   Instance db = MustParseInstance(&u_, "E(a,b).");
   PredicateId e = u_.FindPredicate("E");
   PropertyPReport report = CheckPropertyP(
-      db, rules, e, {.chase = {.max_steps = 3, .max_atoms = 60000}});
+      db, rules, e, {.chase = {.exec = {.max_steps = 3, .max_atoms = 60000}}});
   EXPECT_TRUE(report.loop_entailed);
   EXPECT_GE(report.max_tournament, 3);
   EXPECT_LE(report.first_loop_step, 2);
@@ -49,7 +49,7 @@ TEST_F(CoreTest, PropertyPOnNonBddExample1) {
   Instance db = MustParseInstance(&u_, "E(a,b).");
   PredicateId e = u_.FindPredicate("E");
   PropertyPReport report = CheckPropertyP(
-      db, rules, e, {.chase = {.max_steps = 4, .max_atoms = 60000}});
+      db, rules, e, {.chase = {.exec = {.max_steps = 4, .max_atoms = 60000}}});
   EXPECT_FALSE(report.loop_entailed);
   EXPECT_GE(report.max_tournament, 3);  // transitive closure of a chain
   EXPECT_FALSE(report.saturated);
@@ -61,7 +61,7 @@ TEST_F(CoreTest, PropertyPOnHarmlessRuleSet) {
   Instance db = MustParseInstance(&u_, "P(a). P(b).");
   PredicateId e = u_.FindPredicate("E");
   PropertyPReport report =
-      CheckPropertyP(db, rules, e, {.chase = {.max_steps = 4}});
+      CheckPropertyP(db, rules, e, {.chase = {.exec = {.max_steps = 4}}});
   EXPECT_FALSE(report.loop_entailed);
   EXPECT_LE(report.max_tournament, 2);
   EXPECT_TRUE(report.saturated);
@@ -79,7 +79,7 @@ TEST_F(CoreTest, CounterexampleSignalOnExplicitTournament) {
   Instance top(&u_);
   PredicateId e = u_.FindPredicate("E");
   PropertyPReport report =
-      CheckPropertyP(top, rules, e, {.chase = {.max_steps = 4}});
+      CheckPropertyP(top, rules, e, {.chase = {.exec = {.max_steps = 4}}});
   EXPECT_TRUE(report.saturated);
   EXPECT_EQ(report.max_tournament, 4);
   EXPECT_FALSE(report.loop_entailed);
@@ -137,8 +137,8 @@ TEST_F(AnalyzerTest, FullPipelineOnBddifiedExample1) {
   // bdd-ified Example 1 rules, full Section 4 + Section 5 pipeline.
   AnalyzerOptions opts;
   opts.rewriter.max_depth = 10;
-  opts.chase.max_steps = 10;
-  opts.chase.max_atoms = 50000;
+  opts.chase.exec.max_steps = 10;
+  opts.chase.exec.max_atoms = 50000;
   opts.tournament_size = 4;
   AnalyzerResult result = RunPipeline(
       "true -> E(a0,b0)\n"
@@ -161,7 +161,7 @@ TEST_F(AnalyzerTest, PipelineStopsGracefullyWithoutTournaments) {
   // A tame bdd set: the pipeline reports "no tournament" and stops.
   AnalyzerOptions opts;
   opts.rewriter.max_depth = 8;
-  opts.chase.max_steps = 4;
+  opts.chase.exec.max_steps = 4;
   AnalyzerResult result = RunPipeline(
       "true -> P(c0)\n"
       "P(x) -> E(x,z)\n",
@@ -184,7 +184,7 @@ TEST_F(AnalyzerTest, PipelineStopsGracefullyWithoutTournaments) {
 TEST_F(AnalyzerTest, SummaryMentionsStages) {
   AnalyzerOptions opts;
   opts.rewriter.max_depth = 8;
-  opts.chase.max_steps = 3;
+  opts.chase.exec.max_steps = 3;
   AnalyzerResult result = RunPipeline("true -> P(c0)\nP(x) -> E(x,z)\n",
                                       opts);
   std::string summary = result.Summary(u_);

@@ -93,7 +93,7 @@ TEST(CoverageTest, ChaseUniverseAccessor) {
   Universe u;
   RuleSet rules = MustParseRuleSet(&u, "E(x,y) -> E(y,z)");
   Instance db = MustParseInstance(&u, "E(a,b).");
-  ObliviousChase chase(db, rules, {.max_steps = 1});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 1}});
   EXPECT_EQ(chase.universe(), &u);
   EXPECT_EQ(chase.rules().size(), 1u);
 }

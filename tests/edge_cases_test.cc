@@ -116,7 +116,7 @@ TEST_F(EdgeCaseTest, CoreOfAlreadyMinimalQueryIsIdentity) {
 TEST_F(EdgeCaseTest, ChaseWithNoApplicableRules) {
   RuleSet rules = MustParseRuleSet(&u_, "P(x) -> Q(x)");
   Instance db = MustParseInstance(&u_, "R(a).");
-  ObliviousChase chase(db, rules, {.max_steps = 5});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 5}});
   chase.Run();
   EXPECT_TRUE(chase.Saturated());
   EXPECT_EQ(chase.StepsExecuted(), 0u);
@@ -126,7 +126,7 @@ TEST_F(EdgeCaseTest, ChaseWithNoApplicableRules) {
 TEST_F(EdgeCaseTest, ChaseZeroStepBudget) {
   RuleSet rules = MustParseRuleSet(&u_, "E(x,y) -> E(y,z)");
   Instance db = MustParseInstance(&u_, "E(a,b).");
-  ObliviousChase chase(db, rules, {.max_steps = 0});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 0}});
   chase.Run();
   EXPECT_EQ(chase.StepsExecuted(), 0u);
   EXPECT_FALSE(chase.Saturated());  // nothing was attempted
@@ -136,7 +136,7 @@ TEST_F(EdgeCaseTest, ChaseZeroStepBudget) {
 TEST_F(EdgeCaseTest, PrefixBeyondExecutedStepsIsFullResult) {
   RuleSet rules = MustParseRuleSet(&u_, "E(x,y) -> E(y,z)");
   Instance db = MustParseInstance(&u_, "E(a,b).");
-  ObliviousChase chase(db, rules, {.max_steps = 2});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 2}});
   chase.Run();
   EXPECT_EQ(chase.Prefix(100).size(), chase.Result().size());
 }
@@ -152,7 +152,7 @@ TEST_F(EdgeCaseTest, RuleWithConstantInHead) {
   PredicateId mark = u_.InternPredicate("Mark", 2);
   rules.push_back(Rule({Atom(seed, {x})}, {Atom(mark, {s, x})}));
   Instance db = MustParseInstance(&u_, "Seed(s).");
-  Instance result = Chase(db, rules, {.max_steps = 2});
+  Instance result = Chase(db, rules, {.exec = {.max_steps = 2}});
   EXPECT_TRUE(Entails(result, probe));
 }
 
@@ -194,7 +194,7 @@ TEST_F(EdgeCaseTest, RewritingOfUnreachablePredicate) {
 TEST_F(EdgeCaseTest, PeakRemovalWithoutWitnessFails) {
   RuleSet rules = MustParseRuleSet(&u_, "true -> F(c0)\nF(x) -> G(x)\n");
   Instance top(&u_);
-  ObliviousChase chase(top, rules, {.max_steps = 3});
+  ObliviousChase chase(top, rules, {.exec = {.max_steps = 3}});
   chase.Run();
   u_.InternPredicate("E", 2);
   Ucq q_inj({MustParseCq(&u_, "?(x,y) :- E(x,y)")});
@@ -213,7 +213,7 @@ TEST_F(EdgeCaseTest, PeakRemovalDatabasePeakFails) {
   // creating trigger to splice, reported as such.
   RuleSet rules = MustParseRuleSet(&u_, "E(x,y) -> F(x,y)");
   Instance db = MustParseInstance(&u_, "E(a,b). E(b,c).");
-  ObliviousChase chase(db, rules, {.max_steps = 2});
+  ObliviousChase chase(db, rules, {.exec = {.max_steps = 2}});
   chase.Run();
   // Witness with a maximal existential z mapping onto database term c.
   Ucq q_inj({MustParseCq(&u_, "?(x,y) :- E(x,y), E(y,z)")});
@@ -251,7 +251,7 @@ TEST_F(EdgeCaseTest, AnalyzerOnNonBddSetFailsAtRegality) {
   AnalyzerOptions opts;
   opts.rewriter.max_depth = 4;
   opts.rewriter.max_disjuncts = 64;
-  opts.chase.max_steps = 3;
+  opts.chase.exec.max_steps = 3;
   TournamentAnalyzer analyzer(rules, e, &u_, opts);
   AnalyzerResult result = analyzer.Run();
   EXPECT_FALSE(result.AllOk());

@@ -117,7 +117,7 @@ TEST(GeneratorsTest, UnaryChainChasesToTheEnd) {
   RuleSet chain = generators::UnaryChain(&u, 5);
   EXPECT_EQ(chain.size(), 5u);
   Instance db = MustParseInstance(&u, "U0(a).");
-  Instance result = Chase(db, chain, {.max_steps = 8});
+  Instance result = Chase(db, chain, {.exec = {.max_steps = 8}});
   PredicateId last = u.FindPredicate("U5");
   ASSERT_NE(last, Universe::kNoPredicate);
   EXPECT_EQ(result.AtomsWith(last).size(), 1u);
@@ -130,7 +130,7 @@ TEST(GeneratorsTest, ExplicitTournamentRuleBuildsTournament) {
   EXPECT_EQ(rule.head().size(), 10u);  // C(5,2)
   EXPECT_EQ(rule.existentials().size(), 5u);
   Instance top(&u);
-  Instance result = Chase(top, {rule}, {.max_steps = 2});
+  Instance result = Chase(top, {rule}, {.exec = {.max_steps = 2}});
   InstanceGraph eg = GraphOfPredicate(result, e);
   TournamentSearch search(&eg.graph);
   EXPECT_EQ(search.MaximumSize(), 5);

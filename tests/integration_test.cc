@@ -120,8 +120,8 @@ TEST(Section6Test, UcqDefinedRelationThroughPropertyP) {
   RuleSet extended = surgery::DefineRelationByUcq(rules, definition, e);
   Instance db = MustParseInstance(&u, "F(a,b).");
   PropertyPOptions options;
-  options.chase.max_steps = 4;
-  options.chase.max_atoms = 60000;
+  options.chase.exec.max_steps = 4;
+  options.chase.exec.max_atoms = 60000;
   PropertyPReport report = CheckPropertyP(db, extended, e, options);
   EXPECT_GE(report.max_tournament, 3);
   EXPECT_TRUE(report.loop_entailed);
@@ -165,14 +165,14 @@ TEST(FullChainTest, TernaryRuleSetBecomesRegal) {
   std::vector<Instance> probes;
   probes.push_back(Instance(&u));
   EXPECT_TRUE(surgery::IsQuick(rewritten.rules, probes,
-                               {.max_steps = 3, .max_atoms = 100000}));
+                               {.exec = {.max_steps = 3, .max_atoms = 100000}}));
 
   // The chase of the regal set, restricted to E, matches the original's.
   Instance top(&u);
   Instance regal_chase = Chase(top, rewritten.rules,
-                               {.max_steps = 12, .max_atoms = 100000});
+                               {.exec = {.max_steps = 12, .max_atoms = 100000}});
   Instance original_chase =
-      Chase(surgery::FlexibleCopy(db), rules, {.max_steps = 3});
+      Chase(surgery::FlexibleCopy(db), rules, {.exec = {.max_steps = 3}});
   PredicateId e = u.FindPredicate("E");
   Instance lhs = original_chase.Restrict({e});
   Instance rhs = regal_chase.Restrict({e});

@@ -149,7 +149,7 @@ TEST_P(SeededTest, RewritingAgreesWithChase) {
     Cq q = generators::RandomBooleanCq(&u, rules, 2, 3, &rng);
     RewriteResult r = rewriter.Rewrite(q);
     if (!r.saturated) continue;  // not bdd for this query within bounds
-    ObliviousChase chase(db, rules, {.max_steps = 8, .max_atoms = 20000});
+    ObliviousChase chase(db, rules, {.exec = {.max_steps = 8, .max_atoms = 20000}});
     chase.Run();
     if (chase.HitBounds()) continue;
     // Saturated rewriting at depth d ⟺ witnessed within d rule
@@ -174,8 +174,8 @@ TEST_P(SeededTest, DatalogChaseVariantsProduceTheSameAtoms) {
 
   auto run = [&](ChaseVariant variant) {
     ObliviousChase chase(db, rules,
-                         {.max_steps = 32, .max_atoms = 50000,
-                          .variant = variant});
+                         {.variant = variant,
+                          .exec = {.max_steps = 32, .max_atoms = 50000}});
     chase.Run();
     EXPECT_TRUE(chase.Saturated());
     return chase.Result().size();
@@ -199,11 +199,11 @@ TEST_P(SeededTest, ChaseVariantsHomEquivalentOnExistentialRules) {
   RuleSet rules = generators::RandomBinaryRuleSet(&u, spec, &rng);
   Instance db = generators::RandomInstance(&u, rules, 3, 4, &rng);
 
-  ObliviousChase oblivious(db, rules, {.max_steps = 4, .max_atoms = 20000});
+  ObliviousChase oblivious(db, rules, {.exec = {.max_steps = 4, .max_atoms = 20000}});
   oblivious.Run();
   ObliviousChase semi(db, rules,
-                      {.max_steps = 4, .max_atoms = 20000,
-                       .variant = ChaseVariant::kSemiOblivious});
+                      {.variant = ChaseVariant::kSemiOblivious,
+                       .exec = {.max_steps = 4, .max_atoms = 20000}});
   semi.Run();
   // The semi-oblivious result always maps into the oblivious one (it is a
   // subset up to null renaming); when both saturate they are equivalent.
@@ -370,9 +370,9 @@ TEST_P(SeededTest, StreamlineChaseEquivalenceOnRandomInputs) {
   for (PredicateId p : SignatureOf(db)) signature.insert(p);
   RuleSet streamlined = surgery::Streamline(rules, &u);
 
-  ObliviousChase plain(db, rules, {.max_steps = 2, .max_atoms = 20000});
+  ObliviousChase plain(db, rules, {.exec = {.max_steps = 2, .max_atoms = 20000}});
   plain.Run();
-  ObliviousChase tri(db, streamlined, {.max_steps = 6, .max_atoms = 60000});
+  ObliviousChase tri(db, streamlined, {.exec = {.max_steps = 6, .max_atoms = 60000}});
   tri.Run();
   if (plain.HitBounds() || tri.HitBounds()) return;  // skip heavy draws
   Instance lhs = plain.Result().Restrict(signature);
@@ -395,11 +395,11 @@ TEST_P(SeededTest, EncodeInstanceCorollary15OnRandomInputs) {
 
   RuleSet encoded = surgery::EncodeInstance(rules, db, &u);
   ObliviousChase lhs_chase(surgery::FlexibleCopy(db), rules,
-                           {.max_steps = 2, .max_atoms = 20000});
+                           {.exec = {.max_steps = 2, .max_atoms = 20000}});
   lhs_chase.Run();
   Instance top(&u);
   ObliviousChase rhs_chase(top, encoded,
-                           {.max_steps = 3, .max_atoms = 20000});
+                           {.exec = {.max_steps = 3, .max_atoms = 20000}});
   rhs_chase.Run();
   if (lhs_chase.HitBounds() || rhs_chase.HitBounds()) return;
   // One extra step on the right pays for the ⊤→J trigger; the left-hand

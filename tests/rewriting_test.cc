@@ -9,7 +9,7 @@
 #include "logic/parser.h"
 #include "logic/printer.h"
 #include "rewriting/piece_unifier.h"
-#include "rewriting/bdd_probe.h"
+#include "api/bdd_probe.h"
 #include "rewriting/rewriter.h"
 
 namespace bddfc {
@@ -154,7 +154,7 @@ TEST_F(RewritingTest, RewritingSoundAndCompleteAgainstChase) {
     Cq q2 = MustParseCq(&w, "? :- F(y,x), P(x)");
     RewriteResult r2 = rewriter2.Rewrite(q2);
     ASSERT_TRUE(r2.saturated);
-    Instance chased = Chase(db2, rules2, {.max_steps = 8});
+    Instance chased = Chase(db2, rules2, {.exec = {.max_steps = 8}});
     EXPECT_EQ(Entails(db2, r2.ucq), Entails(chased, q2))
         << "instance: " << text;
   }
@@ -244,7 +244,7 @@ TEST_F(RewritingTest, BddProbeMeasuresDerivationDepth) {
   family.push_back(MustParseInstance(&u_, "R(a)."));  // step 1
   family.push_back(MustParseInstance(&u_, "P(a)."));  // step 3
   BddProbeReport report =
-      ProbeBddConstant(q, rules, family, {.max_steps = 8});
+      ProbeBddConstant(q, rules, family, {.exec = {.max_steps = 8}});
   EXPECT_FALSE(report.inconclusive);
   EXPECT_EQ(report.measured_constant, 3);
   EXPECT_EQ(report.entries[0].first_entailed_step, 0);
@@ -261,7 +261,7 @@ TEST_F(RewritingTest, Proposition4HoldsOnChain) {
   family.push_back(MustParseInstance(&u_, "P(a)."));
   family.push_back(MustParseInstance(&u_, "Q(b)."));
   Proposition4Report report = CheckProposition4(
-      q, rules, family, &u_, {.max_depth = 8}, {.max_steps = 8});
+      q, rules, family, &u_, {.max_depth = 8}, {.exec = {.max_steps = 8}});
   EXPECT_TRUE(report.rewriting_saturated);
   EXPECT_EQ(report.rewriting_depth, 2u);
   EXPECT_EQ(report.probe.measured_constant, 2);
@@ -285,7 +285,7 @@ TEST_F(RewritingTest, Proposition4DetectsUnboundedDepth) {
   family.push_back(MustParseInstance(
       &u_, "W(a). E(a,b). E(b,c). E(c,d). E(d,e). V(e)."));
   BddProbeReport probe =
-      ProbeBddConstant(q, rules, family, {.max_steps = 10});
+      ProbeBddConstant(q, rules, family, {.exec = {.max_steps = 10}});
   EXPECT_FALSE(probe.inconclusive);
   // Deeper instances need deeper chases — unbounded growth signal.
   EXPECT_GT(probe.entries[2].first_entailed_step,

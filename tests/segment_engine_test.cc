@@ -246,7 +246,7 @@ TEST(SegmentEngineDifferentialTest, Example1AllVariants) {
   DifferentialOnText(
       "E(x,y) -> E(y,z)\n"
       "E(x,y), E(y,z) -> E(x,z)\n",
-      "E(a,b).", ChaseOptions{.max_steps = 4, .max_atoms = 20000});
+      "E(a,b).", ChaseOptions{.exec = {.max_steps = 4, .max_atoms = 20000}});
 }
 
 TEST(SegmentEngineDifferentialTest, DatalogSaturationReachesSameFixpoint) {
@@ -254,7 +254,7 @@ TEST(SegmentEngineDifferentialTest, DatalogSaturationReachesSameFixpoint) {
   // saturates, not just on bounded prefixes.
   DifferentialOnText("E(x,y), E(y,z) -> E(x,z)",
                      "E(a,b). E(b,c). E(c,d). E(d,e).",
-                     ChaseOptions{.max_steps = 64});
+                     ChaseOptions{.exec = {.max_steps = 64}});
 }
 
 TEST(SegmentEngineDifferentialTest, BoundedRunsAgreeOnTruncation) {
@@ -262,7 +262,7 @@ TEST(SegmentEngineDifferentialTest, BoundedRunsAgreeOnTruncation) {
   // truncation point well-defined, so both engines must stop at exactly
   // the same trigger.
   DifferentialOnText("E(x,y) -> E(y,z), E(x,z)", "E(a,b).",
-                     ChaseOptions{.max_steps = 100, .max_atoms = 40});
+                     ChaseOptions{.exec = {.max_steps = 100, .max_atoms = 40}});
 }
 
 TEST(SegmentEngineDifferentialTest, ConstantsAndRepeatedVariables) {
@@ -272,14 +272,14 @@ TEST(SegmentEngineDifferentialTest, ConstantsAndRepeatedVariables) {
       "E(a,y) -> E(y,a)\n"
       "E(x,x) -> P(x)\n"
       "P(x), E(x,y) -> P(y)\n",
-      "E(a,b). E(b,b). E(b,c).", ChaseOptions{.max_steps = 8});
+      "E(a,b). E(b,b). E(b,c).", ChaseOptions{.exec = {.max_steps = 8}});
 }
 
 TEST(SegmentEngineDifferentialTest, DisconnectedBodies) {
   // Cross-join plan execution (atoms sharing no variable).
   DifferentialOnText("A(x), B(y) -> E(x,y)\nE(x,y), B(y) -> A(y)\n",
                      "A(a). A(b). B(c). B(d).",
-                     ChaseOptions{.max_steps = 6, .max_atoms = 5000});
+                     ChaseOptions{.exec = {.max_steps = 6, .max_atoms = 5000}});
 }
 
 TEST(SegmentEngineDifferentialTest, RandomizedWorkloadsAllVariants) {
@@ -291,8 +291,8 @@ TEST(SegmentEngineDifferentialTest, RandomizedWorkloadsAllVariants) {
   spec.datalog_fraction = 0.5;
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
     for (ChaseVariant variant : kVariants) {
-      ChaseOptions options{.max_steps = 4, .max_atoms = 4000,
-                           .variant = variant};
+      ChaseOptions options{.variant = variant,
+                           .exec = {.max_steps = 4, .max_atoms = 4000}};
       EngineRun trigger;
       RunOnRandomWorkload(seed, spec, options, ChaseEngine::kTrigger,
                           StorageKind::kRow, /*threads=*/1, &trigger);
@@ -322,8 +322,8 @@ TEST(SegmentEngineDifferentialTest, RandomizedForwardExistentialWorkloads) {
   spec.forward_existential_only = true;
   for (std::uint64_t seed = 100; seed < 106; ++seed) {
     for (ChaseVariant variant : kVariants) {
-      ChaseOptions options{.max_steps = 5, .max_atoms = 3000,
-                           .variant = variant};
+      ChaseOptions options{.variant = variant,
+                           .exec = {.max_steps = 5, .max_atoms = 3000}};
       EngineRun trigger;
       RunOnRandomWorkload(seed, spec, options, ChaseEngine::kTrigger,
                           StorageKind::kRow, /*threads=*/1, &trigger);
@@ -350,8 +350,8 @@ TEST(SegmentEngineDifferentialTest, NaiveEnumerationMatchesTriggerNaive) {
       "E(x,y), E(y,z) -> E(x,z)\n";
   for (ChaseVariant variant : kVariants) {
     SCOPED_TRACE(VariantName(variant));
-    ChaseOptions options{.max_steps = 4, .max_atoms = 20000,
-                         .variant = variant};
+    ChaseOptions options{.variant = variant,
+                         .exec = {.max_steps = 4, .max_atoms = 20000}};
     options.naive_enumeration = true;
     EngineRun trigger, segment;
     RunOnText(rules, "E(a,b).", options, ChaseEngine::kTrigger,
@@ -373,7 +373,7 @@ TEST(SegmentEngineDifferentialTest, IncrementalInsertionMatchesTrigger) {
     EngineRun run;
     RuleSet rs = MustParseRuleSet(&run.universe, rules);
     Instance db = MustParseInstance(&run.universe, "E(a,b). E(b,c).");
-    ChaseOptions options{.max_steps = 64};
+    ChaseOptions options{.exec = {.max_steps = 64}};
     options.exec.engine = engine;
     run.chase = std::make_unique<ObliviousChase>(db, std::move(rs), options);
     run.chase->Run();

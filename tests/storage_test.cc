@@ -306,13 +306,13 @@ TEST(StorageDifferentialTest, ChaseTranscriptsAllVariantsAndThreads) {
         SCOPED_TRACE("seed " + std::to_string(seed) + " variant " +
                      std::to_string(static_cast<int>(variant)) + " threads " +
                      std::to_string(threads));
-        ChaseOptions options{.max_steps = 4, .max_atoms = 4000,
-                             .variant = variant};
-        options.num_threads = threads;
+        ChaseOptions options{.variant = variant,
+                             .exec = {.max_steps = 4, .max_atoms = 4000}};
+        options.exec.num_threads = threads;
         EngineRun row, column;
-        options.storage = StorageKind::kRow;
+        options.exec.storage = StorageKind::kRow;
         RunChase(seed, spec, options, &row);
-        options.storage = StorageKind::kColumn;
+        options.exec.storage = StorageKind::kColumn;
         RunChase(seed, spec, options, &column);
         EXPECT_EQ(row.chase->Result().storage(), StorageKind::kRow);
         EXPECT_EQ(column.chase->Result().storage(), StorageKind::kColumn);

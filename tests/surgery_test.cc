@@ -55,10 +55,10 @@ TEST_F(SurgeryTest, Corollary15ChaseEquivalence) {
   Instance j = MustParseInstance(&u_, "E(a,b). E(b,c).");
   RuleSet encoded = EncodeInstance(rules, j, &u_);
 
-  Instance lhs = Chase(FlexibleCopy(j), rules, {.max_steps = 4});
+  Instance lhs = Chase(FlexibleCopy(j), rules, {.exec = {.max_steps = 4}});
   Instance top_only(&u_);
   // One extra step pays for the ⊤→J trigger.
-  Instance rhs = Chase(top_only, encoded, {.max_steps = 5});
+  Instance rhs = Chase(top_only, encoded, {.exec = {.max_steps = 5}});
   EXPECT_TRUE(MapsInto(lhs, rhs));
   EXPECT_TRUE(MapsInto(rhs, lhs));
 }
@@ -129,9 +129,9 @@ TEST_F(SurgeryTest, Lemma19ChaseCommutesWithReification) {
   Instance reified_j = reifier.ReifyInstance(j);
 
   Instance chase_then_reify =
-      reifier.ReifyInstance(Chase(j, rules, {.max_steps = 4}));
+      reifier.ReifyInstance(Chase(j, rules, {.exec = {.max_steps = 4}}));
   Instance reify_then_chase =
-      Chase(reified_j, reified_rules, {.max_steps = 4});
+      Chase(reified_j, reified_rules, {.exec = {.max_steps = 4}});
   EXPECT_TRUE(MapsInto(chase_then_reify, reify_then_chase));
   EXPECT_TRUE(MapsInto(reify_then_chase, chase_then_reify));
 }
@@ -186,9 +186,9 @@ TEST_F(SurgeryTest, Lemma24RestrictedEquivalence) {
   auto signature = SignatureOf(rules);
   Instance j = MustParseInstance(&u_, "E(a,b).");
   RuleSet streamlined = Streamline(rules, &u_);
-  Instance plain = Chase(j, rules, {.max_steps = 3});
+  Instance plain = Chase(j, rules, {.exec = {.max_steps = 3}});
   // Lemma 48: each original step takes 3 streamlined steps.
-  Instance tri = Chase(j, streamlined, {.max_steps = 9});
+  Instance tri = Chase(j, streamlined, {.exec = {.max_steps = 9}});
   Instance plain_restricted = plain.Restrict(signature);
   Instance tri_restricted = tri.Restrict(signature);
   EXPECT_TRUE(MapsInto(plain_restricted, tri_restricted));
@@ -200,9 +200,9 @@ TEST_F(SurgeryTest, StreamlinedChaseIsSlowerByFactorThree) {
   RuleSet streamlined = Streamline(rules, &u_);
   Instance j = MustParseInstance(&u_, "A(a).");
   PredicateId e = u_.FindPredicate("E");
-  Instance plain = Chase(j, rules, {.max_steps = 4});
-  Instance tri_same_steps = Chase(j, streamlined, {.max_steps = 4});
-  Instance tri_dilated = Chase(j, streamlined, {.max_steps = 12});
+  Instance plain = Chase(j, rules, {.exec = {.max_steps = 4}});
+  Instance tri_same_steps = Chase(j, streamlined, {.exec = {.max_steps = 4}});
+  Instance tri_dilated = Chase(j, streamlined, {.exec = {.max_steps = 12}});
   EXPECT_LT(tri_same_steps.AtomsWith(e).size(),
             plain.AtomsWith(e).size());
   EXPECT_EQ(tri_dilated.AtomsWith(e).size(), plain.AtomsWith(e).size());
@@ -220,7 +220,7 @@ TEST_F(SurgeryTest, BodyRewriteAddsShortcutRules) {
   // The shortcut P(x) -> E(x,z) must now be derivable in one step.
   Instance j = MustParseInstance(&u_, "P(a).");
   PredicateId e = u_.FindPredicate("E");
-  ObliviousChase chase(j, result.rules, {.max_steps = 1});
+  ObliviousChase chase(j, result.rules, {.exec = {.max_steps = 1}});
   chase.Run();
   EXPECT_EQ(chase.Result().AtomsWith(e).size(), 1u);
 }
@@ -233,8 +233,8 @@ TEST_F(SurgeryTest, Lemma30ChaseEquivalence) {
   auto result = BodyRewrite(rules, &u_);
   ASSERT_TRUE(result.complete);
   Instance j = MustParseInstance(&u_, "P(a). Q(b).");
-  Instance lhs = Chase(j, rules, {.max_steps = 6});
-  Instance rhs = Chase(j, result.rules, {.max_steps = 6});
+  Instance lhs = Chase(j, rules, {.exec = {.max_steps = 6}});
+  Instance rhs = Chase(j, result.rules, {.exec = {.max_steps = 6}});
   EXPECT_TRUE(MapsInto(lhs, rhs));
   EXPECT_TRUE(MapsInto(rhs, lhs));
 }
@@ -245,11 +245,11 @@ TEST_F(SurgeryTest, QuicknessDetection) {
                                   "Q(x) -> R(x)\n");
   std::vector<Instance> tests;
   tests.push_back(MustParseInstance(&u_, "P(a)."));
-  EXPECT_FALSE(IsQuick(slow, tests, {.max_steps = 4}));
+  EXPECT_FALSE(IsQuick(slow, tests, {.exec = {.max_steps = 4}}));
 
   auto rewritten = BodyRewrite(slow, &u_);
   ASSERT_TRUE(rewritten.complete);
-  EXPECT_TRUE(IsQuick(rewritten.rules, tests, {.max_steps = 4}));
+  EXPECT_TRUE(IsQuick(rewritten.rules, tests, {.exec = {.max_steps = 4}}));
 }
 
 TEST_F(SurgeryTest, Lemma32RewOfStreamlinedIsQuick) {
@@ -262,7 +262,7 @@ TEST_F(SurgeryTest, Lemma32RewOfStreamlinedIsQuick) {
   std::vector<Instance> tests;
   tests.push_back(MustParseInstance(&u_, "E(a,b)."));
   EXPECT_TRUE(IsQuick(rewritten.rules, tests,
-                      {.max_steps = 4, .max_atoms = 100000}));
+                      {.exec = {.max_steps = 4, .max_atoms = 100000}}));
 }
 
 TEST_F(SurgeryTest, Lemma31PreservationOfProperties) {
@@ -290,7 +290,7 @@ TEST_F(SurgeryTest, FullPipelineYieldsRegalSet) {
   tests.push_back(top);
   auto report = CheckRegal(rewritten.rules, &u_, tests,
                            {.max_depth = 8},
-                           {.max_steps = 3, .max_atoms = 100000});
+                           {.exec = {.max_steps = 3, .max_atoms = 100000}});
   EXPECT_TRUE(report.binary_signature) << report.ToString();
   EXPECT_TRUE(report.forward_existential) << report.ToString();
   EXPECT_TRUE(report.predicate_unique) << report.ToString();
@@ -322,7 +322,7 @@ TEST_F(SurgeryTest, DefineRelationByUcq) {
   EXPECT_EQ(extended.size(), 3u);
   // Chase: F(a,n) gives both E(a,n) and E(n,a).
   Instance j = MustParseInstance(&u_, "P(a).");
-  Instance result = Chase(j, extended, {.max_steps = 3});
+  Instance result = Chase(j, extended, {.exec = {.max_steps = 3}});
   EXPECT_EQ(result.AtomsWith(e).size(), 2u);
 }
 

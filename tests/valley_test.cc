@@ -132,10 +132,10 @@ class PeakFixture : public ::testing::Test {
     Instance top(&u_);
     chase_ = std::make_unique<ObliviousChase>(
         top, existential,
-        ChaseOptions{.max_steps = 6, .max_atoms = 50000});
+        ChaseOptions{.exec = {.max_steps = 6, .max_atoms = 50000}});
     chase_->Run();
     ChaseOptions dl;
-    dl.max_steps = 32;
+    dl.exec.max_steps = 32;
     dl.variant = ChaseVariant::kRestricted;
     saturation_ = std::make_unique<ObliviousChase>(chase_->Result(), datalog,
                                                    dl);
@@ -217,7 +217,7 @@ TEST_F(ValleyTest, FunctionalityOnForwardExistentialChase) {
                                    "true -> A(r)\n"
                                    "A(x) -> S(x,y), A(y)\n");
   Instance top(&u_);
-  Instance chase = Chase(top, rules, {.max_steps = 6});
+  Instance chase = Chase(top, rules, {.exec = {.max_steps = 6}});
   // q(x,y) = S(y,x): y <q x, so x ↦ y is a function (the predecessor).
   Cq q = MustParseCq(&u_, "?(p,q) :- S(q,p)");
   EXPECT_TRUE(AllBelowFirstAnswer(q));

@@ -22,6 +22,13 @@
 //   --threads=N        execution threads; 1 = serial, 0 = all hardware
 //                      threads (default 1). Answers and the chase are
 //                      identical at any thread count.
+//   --schedule=flat|stratified   rule scheduling discipline (default
+//                      flat). flat searches every rule each step and is
+//                      bit-identical to the historical chase; stratified
+//                      runs the positive-reliance strata in topological
+//                      order with empty-delta rule skipping, producing
+//                      the same atom set up to null renaming (step
+//                      boundaries and null numbering may differ).
 //   --max-steps=N      chase step budget (default 16)
 //   --max-atoms=N      atom budget (default 200000)
 //   --query=FILE       answer the conjunctive queries in FILE (one
@@ -57,8 +64,10 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/reliance.h"
 #include "api/reasoner.h"
 #include "base/json.h"
+#include "chase/rule_scheduler.h"
 #include "logic/parser.h"
 #include "logic/printer.h"
 #include "logic/universe.h"
@@ -78,6 +87,7 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--variant=oblivious|semi|restricted]\n"
       "          [--engine=trigger|segment] [--threads=N]\n"
+      "          [--schedule=flat|stratified]\n"
       "          [--storage=row|column] [--max-steps=N] [--max-atoms=N]\n"
       "          [--query=FILE] [--strategy=materialize|rewrite|auto]\n"
       "          [--json] [--quiet] RULES_FILE INSTANCE_FILE\n",
@@ -180,6 +190,16 @@ int main(int argc, char** argv) {
         chase_options.exec.engine = ChaseEngine::kSegment;
       } else {
         std::fprintf(stderr, "chase_cli: unknown engine \"%.*s\"\n",
+                     static_cast<int>(value.size()), value.data());
+        return Usage(argv[0]);
+      }
+    } else if (FlagValue(arg, "--schedule", &value)) {
+      if (value == "flat") {
+        chase_options.exec.schedule = bddfc::ChaseSchedule::kFlat;
+      } else if (value == "stratified") {
+        chase_options.exec.schedule = bddfc::ChaseSchedule::kStratified;
+      } else {
+        std::fprintf(stderr, "chase_cli: unknown schedule \"%.*s\"\n",
                      static_cast<int>(value.size()), value.data());
         return Usage(argv[0]);
       }
@@ -311,6 +331,15 @@ int main(int argc, char** argv) {
   }
   const double total_ms = MsSince(total_start);
   const bddfc::ReasonerStats& stats = reasoner.stats();
+  // The Reasoner constructor freezes the fully-resolved execution config
+  // (engine, schedule, storage, thread count) into its options; report
+  // those, not the raw flag values.
+  const bddfc::ExecutionConfig& resolved_exec = reasoner.options().chase.exec;
+  const bddfc::StorageKind resolved_storage =
+      resolved_exec.storage.value_or(storage);
+  const bddfc::ObliviousChase* chase = reasoner.materialization();
+  const bddfc::RuleSchedulerStats* sched_stats =
+      chase != nullptr ? &chase->scheduler().stats() : nullptr;
 
   if (json) {
     std::printf("{\n");
@@ -325,9 +354,11 @@ int main(int argc, char** argv) {
     std::printf("  \"variant\": \"%s\",\n",
                 VariantName(chase_options.variant));
     std::printf("  \"engine\": \"%s\",\n",
-                bddfc::ToString(chase_options.exec.engine));
+                bddfc::ToString(resolved_exec.engine));
+    std::printf("  \"schedule\": \"%s\",\n",
+                bddfc::ToString(resolved_exec.schedule));
     std::printf("  \"strategy\": \"%s\",\n", bddfc::ToString(strategy));
-    std::printf("  \"storage\": \"%s\",\n", bddfc::ToString(storage));
+    std::printf("  \"storage\": \"%s\",\n", bddfc::ToString(resolved_storage));
     std::printf("  \"threads\": %zu,\n", reasoner.num_threads());
     std::printf("  \"max_steps\": %zu,\n", chase_options.exec.max_steps);
     std::printf("  \"max_atoms\": %zu,\n", chase_options.exec.max_atoms);
@@ -351,6 +382,23 @@ int main(int argc, char** argv) {
                 stats.chase_hit_bounds ? "true" : "false");
     std::printf("  \"atoms\": %zu,\n", stats.chase_atoms);
     std::printf("  \"triggers_fired\": %zu,\n", stats.triggers_fired);
+    std::printf("  \"num_strata\": %zu,\n", stats.num_strata);
+    std::printf("  \"rules_skipped\": %zu,\n", stats.rules_skipped);
+    std::printf("  \"certificate\": \"%s\",\n",
+                bddfc::ToString(reasoner.certificate()));
+    std::printf("  \"rules_detail\": [");
+    if (sched_stats != nullptr) {
+      for (std::size_t r = 0; r < reasoner.rules().size(); ++r) {
+        const std::string& label = reasoner.rules()[r].label();
+        std::printf("%s\n    {\"rule\": %zu, \"label\": \"%s\", "
+                    "\"fired\": %zu, \"skipped\": %zu}",
+                    r == 0 ? "" : ",", r, JsonEscape(label).c_str(),
+                    sched_stats->fired[r], sched_stats->skipped[r]);
+      }
+    }
+    std::printf("%s],\n",
+                sched_stats != nullptr && !reasoner.rules().empty() ? "\n  "
+                                                                    : "");
     std::printf("  \"nulls\": %zu,\n", universe.num_nulls());
     std::printf("  \"wall_ms\": %.3f,\n", total_ms);
     std::printf("  \"queries\": [");
@@ -382,12 +430,13 @@ int main(int argc, char** argv) {
               reasoner.rules().size());
   std::printf("instance: %s (%zu atoms incl. the implicit top fact)\n",
               instance_path.c_str(), reasoner.database().size());
-  std::printf("variant:  %s, engine: %s, storage: %s, threads: %zu, "
-              "max steps: %zu, max atoms: %zu\n",
+  std::printf("variant:  %s, engine: %s, schedule: %s, storage: %s, "
+              "threads: %zu, max steps: %zu, max atoms: %zu\n",
               VariantName(chase_options.variant),
-              bddfc::ToString(chase_options.exec.engine),
-              bddfc::ToString(storage), reasoner.num_threads(),
-              chase_options.exec.max_steps, chase_options.exec.max_atoms);
+              bddfc::ToString(resolved_exec.engine),
+              bddfc::ToString(resolved_exec.schedule),
+              bddfc::ToString(resolved_storage), reasoner.num_threads(),
+              resolved_exec.max_steps, resolved_exec.max_atoms);
 
   if (stats.materialized) {
     if (!quiet) {
@@ -418,6 +467,10 @@ int main(int argc, char** argv) {
                 "materialize: %.2f ms\n",
                 stats.chase_atoms, stats.triggers_fired,
                 universe.num_nulls(), stats.materialize_ms);
+    std::printf("strata: %zu, rule searches skipped: %zu, "
+                "termination certificate: %s\n",
+                stats.num_strata, stats.rules_skipped,
+                bddfc::ToString(reasoner.certificate()));
   } else if (!queries.empty()) {
     std::printf("\nno materialization needed: every query answered by "
                 "rewriting.\n");

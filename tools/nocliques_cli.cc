@@ -128,9 +128,9 @@ int CmdChase(const Flags& flags) {
   auto db = LoadInstance(&u, flags.positional[1]);
   if (!db) return 1;
   ObliviousChase chase(*db, *rules,
-                       {.max_steps = flags.steps,
-                        .max_atoms = 500000,
-                        .variant = VariantOf(flags.variant)});
+                       {.variant = VariantOf(flags.variant),
+                        .exec = {.max_steps = flags.steps,
+                                 .max_atoms = 500000}});
   chase.Run();
   std::printf("steps: %zu, atoms: %zu, saturated: %s, triggers: %zu\n",
               chase.StepsExecuted(), chase.Result().size(),
@@ -171,8 +171,8 @@ int CmdAnalyze(const Flags& flags) {
   }
   AnalyzerOptions opts;
   opts.rewriter.max_depth = flags.depth;
-  opts.chase.max_steps = flags.steps;
-  opts.chase.max_atoms = 200000;
+  opts.chase.exec.max_steps = flags.steps;
+  opts.chase.exec.max_atoms = 200000;
   TournamentAnalyzer analyzer(*rules, e, &u, opts);
   AnalyzerResult result = analyzer.Run();
   std::printf("%s", result.Summary(u).c_str());
@@ -193,7 +193,7 @@ int CmdPropertyP(const Flags& flags) {
   }
   PropertyPReport report = CheckPropertyP(
       *db, *rules, e,
-      {.chase = {.max_steps = flags.steps, .max_atoms = 200000}});
+      {.chase = {.exec = {.max_steps = flags.steps, .max_atoms = 200000}}});
   TablePrinter table({"step", "atoms", "E-edges", "max tournament",
                       "loop?"});
   for (const auto& point : report.curve) {
@@ -225,7 +225,7 @@ int CmdExplain(const Flags& flags) {
     return 1;
   }
   ObliviousChase chase(*db, *rules,
-                       {.max_steps = flags.steps, .max_atoms = 500000});
+                       {.exec = {.max_steps = flags.steps, .max_atoms = 500000}});
   chase.Run();
   std::printf("%s",
               chase.Explain(atom_instance->atoms().back()).c_str());
