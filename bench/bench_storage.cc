@@ -21,16 +21,8 @@
 
 #include <chrono>
 #include <cstdio>
-#include <functional>
 #include <string>
 #include <vector>
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/resource.h>
-#include <sys/wait.h>
-#include <unistd.h>
-#define BDDFC_BENCH_HAS_FORK 1
-#endif
 
 #include "base/check.h"
 #include "base/rng.h"
@@ -99,41 +91,6 @@ Instance LoadStore(WideWorkload* w, StorageKind kind) {
   bddfc::bench::DoNotOptimize(probe);
   return inst;
 }
-
-#ifdef BDDFC_BENCH_HAS_FORK
-// Peak RSS (KB) of `body` run in a forked child. The child inherits the
-// parent's pages copy-on-write, so child maxrss ~= parent RSS at fork +
-// whatever `body` allocates; differencing against an empty body isolates
-// the store.
-long PeakRssInChildKb(const std::function<void()>& body) {
-  int pipefd[2];
-  BDDFC_CHECK(pipe(pipefd) == 0);
-  pid_t pid = fork();
-  BDDFC_CHECK(pid >= 0);
-  if (pid == 0) {
-    close(pipefd[0]);
-    body();
-    struct rusage usage;
-    getrusage(RUSAGE_SELF, &usage);
-    long rss_kb = usage.ru_maxrss;
-#if defined(__APPLE__)
-    rss_kb /= 1024;  // macOS reports bytes
-#endif
-    ssize_t written = write(pipefd[1], &rss_kb, sizeof(rss_kb));
-    close(pipefd[1]);
-    _exit(written == static_cast<ssize_t>(sizeof(rss_kb)) ? 0 : 1);
-  }
-  close(pipefd[1]);
-  long rss_kb = -1;
-  BDDFC_CHECK(read(pipefd[0], &rss_kb, sizeof(rss_kb)) ==
-              static_cast<ssize_t>(sizeof(rss_kb)));
-  close(pipefd[0]);
-  int status = 0;
-  BDDFC_CHECK(waitpid(pid, &status, 0) == pid);
-  BDDFC_CHECK(WIFEXITED(status) && WEXITSTATUS(status) == 0);
-  return rss_kb;
-}
-#endif  // BDDFC_BENCH_HAS_FORK
 
 double MsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
@@ -215,29 +172,30 @@ BDDFC_BENCH_EXPERIMENT(storage) {
 
   // Peak RSS first, before any in-process build perturbs the parent's
   // heap: one empty child for the COW-shared baseline, one child per
-  // backend. All three fork from the same parent state, so the deltas
-  // measure exactly the loaded, fully indexed stores.
+  // backend (the fork-isolated helper now lives in the shared harness).
+  // All three fork from the same parent state, so the deltas measure
+  // exactly the loaded, fully indexed stores.
   double rss_mb[2] = {0, 0};
-#ifdef BDDFC_BENCH_HAS_FORK
-  const long baseline_kb = PeakRssInChildKb([] {});
-  ctx.Metric("baseline_rss_mb", static_cast<double>(baseline_kb) / 1024.0);
-  for (int b = 0; b < 2; ++b) {
-    const StorageKind kind = kBackends[b];
-    const long child_kb = PeakRssInChildKb([kind] {
-      Instance inst = LoadStore(workload, kind);
-      bddfc::bench::DoNotOptimize(inst.size());
-    });
-    rss_mb[b] = static_cast<double>(child_kb - baseline_kb) / 1024.0;
-    ctx.Metric(std::string(bddfc::ToString(kind)) + "/peak_rss_mb",
-               rss_mb[b]);
-    std::printf("  %-6s  peak RSS %8.1f MB (store only; child %ld KB)\n",
-                bddfc::ToString(kind), rss_mb[b], child_kb);
+  const long baseline_kb = bddfc::bench::PeakRssInChildKb([] {});
+  if (baseline_kb >= 0) {
+    ctx.Metric("baseline_rss_mb", static_cast<double>(baseline_kb) / 1024.0);
+    for (int b = 0; b < 2; ++b) {
+      const StorageKind kind = kBackends[b];
+      const long child_kb = bddfc::bench::PeakRssInChildKb([kind] {
+        Instance inst = LoadStore(workload, kind);
+        bddfc::bench::DoNotOptimize(inst.size());
+      });
+      rss_mb[b] = static_cast<double>(child_kb - baseline_kb) / 1024.0;
+      ctx.Metric(std::string(bddfc::ToString(kind)) + "/peak_rss_mb",
+                 rss_mb[b]);
+      std::printf("  %-6s  peak RSS %8.1f MB (store only; child %ld KB)\n",
+                  bddfc::ToString(kind), rss_mb[b], child_kb);
+    }
+    if (rss_mb[0] > 0) {
+      std::printf("  column/row RSS ratio: %.2fx\n", rss_mb[1] / rss_mb[0]);
+      ctx.Metric("column_over_row_rss", rss_mb[1] / rss_mb[0]);
+    }
   }
-  if (rss_mb[0] > 0) {
-    std::printf("  column/row RSS ratio: %.2fx\n", rss_mb[1] / rss_mb[0]);
-    ctx.Metric("column_over_row_rss", rss_mb[1] / rss_mb[0]);
-  }
-#endif
 
   std::size_t chase_atoms[2] = {0, 0};
   for (int b = 0; b < 2; ++b) {

@@ -4,6 +4,12 @@
 
 #include <unistd.h>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <sys/wait.h>
+#define BDDFC_BENCH_HAS_FORK 1
+#endif
+
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
@@ -14,6 +20,7 @@
 
 #include "base/check.h"
 #include "base/thread_pool.h"
+#include "obs/obs.h"
 
 namespace bddfc {
 namespace bench {
@@ -60,7 +67,28 @@ struct CaseResult {
   std::int64_t items_processed = 0;
   std::int64_t complexity_n = 0;
   std::vector<std::pair<std::string, double>> metrics;
+  double rss_peak_mb = 0;  // process high-water mark after the case
+  // Post-case values of the process-global obs instruments that moved
+  // while the case ran (counters are cumulative across repetitions).
+  std::vector<std::pair<std::string, double>> obs_metrics;
 };
+
+// Fills rss_peak_mb and obs_metrics from the state captured before the
+// case ran: any registry entry that appeared or changed is attributed to
+// the case.
+void CaptureCaseTelemetry(
+    const std::vector<std::pair<std::string, double>>& before,
+    CaseResult* result) {
+  result->rss_peak_mb = PeakRssMb();
+  const auto after = obs::Metrics().Snapshot();
+  std::size_t i = 0;  // both snapshots are name-sorted: one merge pass
+  for (const auto& [name, value] : after) {
+    while (i < before.size() && before[i].first < name) ++i;
+    const bool unchanged = i < before.size() && before[i].first == name &&
+                           before[i].second == value;
+    if (!unchanged) result->obs_metrics.emplace_back(name, value);
+  }
+}
 
 double MinOf(const std::vector<double>& xs) {
   return *std::min_element(xs.begin(), xs.end());
@@ -194,11 +222,19 @@ void WriteJson(const std::string& path, const std::string& bench_name,
                      r.complexity_n);
       }
     }
+    std::fprintf(f, "      \"rss_peak_mb\": %.3f,\n", r.rss_peak_mb);
     std::fprintf(f, "      \"metrics\": {");
     for (std::size_t j = 0; j < r.metrics.size(); ++j) {
       std::fprintf(f, "%s\"%s\": %.6f", j == 0 ? "" : ", ",
                    JsonEscape(r.metrics[j].first).c_str(),
                    r.metrics[j].second);
+    }
+    std::fprintf(f, "},\n");
+    std::fprintf(f, "      \"obs_metrics\": {");
+    for (std::size_t j = 0; j < r.obs_metrics.size(); ++j) {
+      std::fprintf(f, "%s\"%s\": %.6f", j == 0 ? "" : ", ",
+                   JsonEscape(r.obs_metrics[j].first).c_str(),
+                   r.obs_metrics[j].second);
     }
     std::fprintf(f, "}\n");
     std::fprintf(f, "    }%s\n", i + 1 == results.size() ? "" : ",");
@@ -316,6 +352,54 @@ void State::ResumeTiming() {
 
 void State::FinishTiming() { PauseTiming(); }
 
+long PeakRssInChildKb(const std::function<void()>& body) {
+#ifdef BDDFC_BENCH_HAS_FORK
+  int pipefd[2];
+  BDDFC_CHECK(pipe(pipefd) == 0);
+  pid_t pid = fork();
+  BDDFC_CHECK(pid >= 0);
+  if (pid == 0) {
+    close(pipefd[0]);
+    body();
+    struct rusage usage;
+    getrusage(RUSAGE_SELF, &usage);
+    long rss_kb = usage.ru_maxrss;
+#if defined(__APPLE__)
+    rss_kb /= 1024;  // macOS reports bytes
+#endif
+    ssize_t written = write(pipefd[1], &rss_kb, sizeof(rss_kb));
+    close(pipefd[1]);
+    _exit(written == static_cast<ssize_t>(sizeof(rss_kb)) ? 0 : 1);
+  }
+  close(pipefd[1]);
+  long rss_kb = -1;
+  BDDFC_CHECK(read(pipefd[0], &rss_kb, sizeof(rss_kb)) ==
+              static_cast<ssize_t>(sizeof(rss_kb)));
+  close(pipefd[0]);
+  int status = 0;
+  BDDFC_CHECK(waitpid(pid, &status, 0) == pid);
+  BDDFC_CHECK(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  return rss_kb;
+#else
+  (void)body;
+  return -1;
+#endif
+}
+
+double PeakRssMb() {
+#ifdef BDDFC_BENCH_HAS_FORK
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  long rss_kb = usage.ru_maxrss;
+#if defined(__APPLE__)
+  rss_kb /= 1024;
+#endif
+  return static_cast<double>(rss_kb) / 1024.0;
+#else
+  return 0;
+#endif
+}
+
 MicroBenchmark* RegisterMicro(const char* name, MicroFn fn) {
   auto bench = std::make_unique<MicroBenchmark>(name, fn);
   MicroBenchmark* raw = bench.get();
@@ -362,7 +446,9 @@ int RunBenchmarks(int argc, char** argv) {
     if (arg_sets.empty()) arg_sets.push_back({});
     for (const auto& args : arg_sets) {
       if (!selected(CaseName(*b, args))) continue;
+      const auto obs_before = obs::Metrics().Snapshot();
       results.push_back(RunMicroCase(*b, args, opts));
+      CaptureCaseTelemetry(obs_before, &results.back());
       const CaseResult& r = results.back();
       std::printf("%-48s %12.1f ns/iter %10" PRId64 " iters\n",
                   r.name.c_str(), r.ns_per_iter, r.iterations);
@@ -370,7 +456,9 @@ int RunBenchmarks(int argc, char** argv) {
   }
   for (const auto& [name, fn] : registry.experiments) {
     if (!selected(name)) continue;
+    const auto obs_before = obs::Metrics().Snapshot();
     results.push_back(RunExperimentCase(name, fn, opts));
+    CaptureCaseTelemetry(obs_before, &results.back());
     const CaseResult& r = results.back();
     std::printf("%-48s %12.3f ms (min of %d rep%s)%s\n", r.name.c_str(),
                 MinOf(r.rep_ms), opts.repetitions,

@@ -36,13 +36,17 @@
 //
 // The JSON report carries the run environment (threads, hostname,
 // hardware_concurrency) so a benchmark trajectory can distinguish serial
-// from parallel runs and compare across machines.
+// from parallel runs and compare across machines. Each case additionally
+// records the process peak RSS after the case ("rss_peak_mb") and the obs
+// metrics the case moved ("obs_metrics": the post-case value of every
+// process-global registry instrument that changed while the case ran).
 
 #ifndef BDDFC_BENCH_HARNESS_H_
 #define BDDFC_BENCH_HARNESS_H_
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -186,6 +190,19 @@ class Context {
 using ExperimentFn = int (*)(Context&);
 
 int RegisterExperiment(const char* name, ExperimentFn fn);
+
+/// Peak RSS in KB of `body` run in a forked child. The child inherits the
+/// parent's pages copy-on-write, so child maxrss ~= parent RSS at fork +
+/// whatever `body` allocates; differencing two children forked from the
+/// same parent state isolates the allocation under test (bench_storage's
+/// per-backend store footprint is the canonical user). Returns -1 on
+/// platforms without fork.
+long PeakRssInChildKb(const std::function<void()>& body);
+
+/// This process's own peak RSS in MB so far (getrusage ru_maxrss; 0 where
+/// unsupported). Monotone non-decreasing — per-case values in a multi-case
+/// binary reflect the high-water mark up to that case.
+double PeakRssMb();
 
 /// The value of --threads (resolved: 0 becomes the hardware thread count).
 /// Thread-aware benchmark cases read it to size their pools / set

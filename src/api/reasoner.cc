@@ -5,6 +5,7 @@
 
 #include "base/check.h"
 #include "chase/rule_scheduler.h"
+#include "obs/obs.h"
 
 namespace bddfc {
 
@@ -163,11 +164,15 @@ Reasoner::Reasoner(const Instance& database, RuleSet rules,
   options_.chase.storage = database_.storage();
   options_.num_threads = num_threads_;
   options_.storage = database_.storage();
+  metrics_ = obs::ResolveMetrics(options_.chase.exec.metrics);
 }
 
 Reasoner::~Reasoner() = default;
 
 void Reasoner::DriveChase(std::size_t target_steps, bool incremental) {
+  BDDFC_OBS_SPAN(drive_span, "reasoner", "reasoner.materialize");
+  drive_span.Arg("incremental", incremental ? 1 : 0);
+  obs::Histogram* step_ms_hist = metrics_->GetHistogram("chase.step_ms");
   const auto total_start = std::chrono::steady_clock::now();
   while (chase_->StepsExecuted() < target_steps && !chase_->Saturated() &&
          !chase_->HitBounds()) {
@@ -176,9 +181,11 @@ void Reasoner::DriveChase(std::size_t target_steps, bool incremental) {
     const auto step_start = std::chrono::steady_clock::now();
     chase_->RunSteps(steps_before + 1);
     if (chase_->StepsExecuted() == steps_before) break;  // nothing fired
+    const double step_ms = MsSince(step_start);
+    step_ms_hist->Observe(static_cast<std::uint64_t>(step_ms));
     stats_.chase_steps.push_back(
         {chase_->StepsExecuted(), chase_->Result().size() - atoms_before,
-         chase_->Result().size(), MsSince(step_start), incremental});
+         chase_->Result().size(), step_ms, incremental});
   }
   stats_.materialize_ms += MsSince(total_start);
   stats_.materialized = true;
@@ -212,7 +219,9 @@ const Instance& Reasoner::Materialize() {
 PreparedQuery Reasoner::Prepare(const Cq& q) { return Prepare(Ucq({q})); }
 
 PreparedQuery Reasoner::Prepare(const Ucq& q) {
+  BDDFC_OBS_SPAN(prepare_span, "reasoner", "reasoner.prepare");
   ++stats_.queries_prepared;
+  metrics_->GetCounter("reasoner.queries_prepared")->Add(1);
   AnswerStrategy resolved = options_.strategy;
   RewriteResult rewrite;
   if (resolved == AnswerStrategy::kAuto &&
@@ -228,9 +237,15 @@ PreparedQuery Reasoner::Prepare(const Ucq& q) {
     ++stats_.auto_certified_materialize;
   }
   if (resolved != AnswerStrategy::kMaterialize) {
-    rewrite = resolved == AnswerStrategy::kAuto ? probe_rewriter_.Rewrite(q)
-                                                : rewriter_.Rewrite(q);
+    const bool probe = resolved == AnswerStrategy::kAuto;
+    {
+      BDDFC_OBS_SPAN(rewrite_span, "reasoner", "reasoner.rewrite");
+      rewrite_span.Arg("probe", probe ? 1 : 0);
+      rewrite = probe ? probe_rewriter_.Rewrite(q) : rewriter_.Rewrite(q);
+      rewrite_span.Arg("saturated", rewrite.saturated ? 1 : 0);
+    }
     ++stats_.rewrites_run;
+    metrics_->GetCounter("reasoner.rewrites_run")->Add(1);
     if (resolved == AnswerStrategy::kAuto) {
       // The paper's dichotomy as a planner: a saturated rewriting certifies
       // the query is UCQ-rewritable against these rules, so evaluating it
@@ -280,6 +295,7 @@ std::vector<AnswerTuple> Reasoner::Answer(const Ucq& q) {
 bool Reasoner::Ask(const Cq& q) { return Prepare(q).Ask(); }
 
 std::size_t Reasoner::AddFacts(const std::vector<Atom>& facts) {
+  BDDFC_OBS_SPAN(add_span, "reasoner", "reasoner.add_facts");
   std::size_t added = 0;
   std::vector<Atom> fresh;
   fresh.reserve(facts.size());
@@ -290,12 +306,15 @@ std::size_t Reasoner::AddFacts(const std::vector<Atom>& facts) {
     ++added;
   }
   stats_.facts_added += added;
+  if (added > 0) metrics_->GetCounter("reasoner.facts_added")->Add(added);
+  add_span.Arg("added", added);
   if (added == 0 || chase_ == nullptr) return added;
   // Incremental maintenance: resume the existing chase from the new delta
   // with a fresh step budget, instead of re-chasing the extended instance.
   // A fact the chase had already derived adds nothing to the delta.
   if (chase_->AddBaseFacts(fresh) > 0) {
     ++stats_.incremental_runs;
+    metrics_->GetCounter("reasoner.incremental_runs")->Add(1);
     DriveChase(chase_->StepsExecuted() + options_.chase.exec.max_steps,
                /*incremental=*/true);
   } else {

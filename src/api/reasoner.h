@@ -316,6 +316,11 @@ class Reasoner {
   // steps, recording per-step stats.
   void DriveChase(std::size_t target_steps, bool incremental);
 
+  // The session's metrics sink (resolved from chase.exec.metrics; never
+  // null). ReasonerStats counters are mirrored into it as they increment,
+  // so stats(), chase_cli --json's metrics object and traces agree.
+  obs::MetricsRegistry* metrics_ = nullptr;
+
   ReasonerOptions options_;
   Instance database_;
   RuleSet rules_;

@@ -11,6 +11,7 @@
 #include "chase/segment_engine.h"
 #include "exec/parallel_chase.h"
 #include "homomorphism/homomorphism.h"
+#include "obs/obs.h"
 
 namespace bddfc {
 
@@ -110,6 +111,16 @@ ObliviousChase::ObliviousChase(const Instance& database, RuleSet rules,
   } else {
     scheduler_ = RuleScheduler::Flat(rules_.size());
   }
+  metrics_ = obs::ResolveMetrics(exec_.metrics);
+  metric_step_ = metrics_->GetGauge("chase.step");
+  metric_atoms_ = metrics_->GetGauge("chase.atoms");
+  metric_fired_ = metrics_->GetCounter("chase.triggers_fired");
+  metric_atoms_->Set(static_cast<std::int64_t>(instance_.size()));
+  scheduler_->set_metrics(metrics_);
+}
+
+std::size_t ObliviousChase::TriggersFired() const {
+  return scheduler_->stats().fired_total();
 }
 
 ObliviousChase::~ObliviousChase() = default;
@@ -140,6 +151,8 @@ ObliviousChase::StepOutcome ObliviousChase::StepOnce() {
   // fired_ set are read-only until the firing phase, and the canonical sort
   // below erases the nondeterministic batch order.
   using exec::TriggerCandidate;
+  BDDFC_OBS_SPAN(step_span, "chase", "chase.step");
+  step_span.Arg("step", steps_executed_ + 1);
   std::vector<TriggerCandidate> candidates;
   const bool semi = options_.variant == ChaseVariant::kSemiOblivious;
   const bool delta_mode = !options_.naive_enumeration && steps_executed_ > 0;
@@ -171,6 +184,7 @@ ObliviousChase::StepOutcome ObliviousChase::StepOnce() {
     for (Term v : rule.body_vars()) c.body_image.push_back(h.Apply(v));
     batch->push_back(std::move(c));
   };
+  BDDFC_OBS_SPAN(enumerate_span, "chase", "chase.enumerate");
   if (segment_ != nullptr) {
     // Segment-at-a-time enumeration: one bulk merge-join plan execution
     // per (rule, anchor) yields the step's whole candidate segment, which
@@ -206,6 +220,8 @@ ObliviousChase::StepOutcome ObliviousChase::StepOnce() {
   } else {
     for (const exec::RuleJob& job : jobs) {
       const std::size_t r = job.rule_index;
+      BDDFC_OBS_SPAN(search_span, "chase", "chase.hom_search");
+      search_span.Arg("rule", r);
       const auto visit = [&](const Substitution& h) {
         collect(r, h, &candidates);
         return true;
@@ -218,6 +234,7 @@ ObliviousChase::StepOutcome ObliviousChase::StepOnce() {
       }
     }
   }
+  enumerate_span.Arg("candidates", candidates.size()).End();
 
   // Phase 2 — canonical firing order. Sorting by (rule, body image) makes
   // the step independent of enumeration order, so the naive, semi-naive
@@ -256,11 +273,20 @@ ObliviousChase::StepOutcome ObliviousChase::StepOnce() {
   const std::size_t step_start_size = instance_.size();
 
   StepOutcome outcome;
+  BDDFC_OBS_SPAN(fire_span, "chase", "chase.fire");
+  std::size_t fired_this_step = 0;
   std::vector<std::size_t> round_fired(rules_.size(), 0);
   for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
     const TriggerCandidate& candidate = candidates[ci];
     if (instance_.size() >= exec_.max_atoms) {
       hit_bounds_ = true;
+      outcome.truncated = true;
+      break;
+    }
+    // Cooperative cancellation (chase_cli's SIGINT path). Treated like an
+    // atom-budget truncation so the scheduler's cursors stay valid; never
+    // set during tests, so determinism is untouched.
+    if (obs::CancelRequested()) {
       outcome.truncated = true;
       break;
     }
@@ -323,10 +349,20 @@ ObliviousChase::StepOutcome ObliviousChase::StepOnce() {
       for (Term v : rule.frontier()) info.frontier.push_back(h.Apply(v));
       term_info_.emplace(null, std::move(info));
     }
-    ++triggers_fired_;
     ++round_fired[candidate.rule_index];
     outcome.fired = true;
+    // Refresh the live-atom gauge periodically so the progress heartbeat
+    // tracks long firing phases, not just step boundaries.
+    if ((++fired_this_step & 0xFF) == 0) {
+      metric_atoms_->Set(static_cast<std::int64_t>(instance_.size()));
+    }
   }
+  fire_span.Arg("fired", fired_this_step)
+      .Arg("atoms", instance_.size())
+      .End();
+  metric_fired_->Add(fired_this_step);
+  metric_atoms_->Set(static_cast<std::int64_t>(instance_.size()));
+  obs::CounterEvent("chase", "chase.atoms_total", instance_.size());
   // Close the round: accumulate per-rule counters, advance the stratified
   // schedule's cursors and saturation flags (skipped when the atom budget
   // truncated the firing phase — unfired candidates must stay findable).
@@ -337,7 +373,8 @@ ObliviousChase::StepOutcome ObliviousChase::StepOnce() {
 std::size_t ObliviousChase::Run() { return RunSteps(exec_.max_steps); }
 
 std::size_t ObliviousChase::RunSteps(std::size_t k) {
-  while (steps_executed_ < k && !saturated_ && !hit_bounds_) {
+  while (steps_executed_ < k && !saturated_ && !hit_bounds_ &&
+         !obs::CancelRequested()) {
     StepOutcome outcome = StepOnce();
     if (outcome.fired) {
       // Only steps that actually fired count; a bound that stops the chase
@@ -345,12 +382,16 @@ std::size_t ObliviousChase::RunSteps(std::size_t k) {
       ++steps_executed_;
       atoms_at_step_.push_back(instance_.size());
       last_step_truncated_ = outcome.truncated;
+      metric_step_->Set(static_cast<std::int64_t>(steps_executed_));
     } else if (!outcome.truncated) {
       // A no-fire round is saturation under the flat schedule. Under the
       // stratified one it may instead be a transition: the round
       // saturated its active strata, whose dependents activate next
       // round. Transition rounds are not chase steps.
-      if (scheduler_->AllSaturated()) saturated_ = true;
+      if (scheduler_->AllSaturated()) {
+        saturated_ = true;
+        obs::Instant("chase", "chase.saturated", "step", steps_executed_);
+      }
     }
   }
   return steps_executed_;
@@ -374,6 +415,8 @@ std::size_t ObliviousChase::AddBaseFacts(const std::vector<Atom>& facts) {
   // count into the segment of the last executed step (they are step-0
   // database atoms individually, see StepOfAtom).
   atoms_at_step_.back() = instance_.size();
+  metric_atoms_->Set(static_cast<std::int64_t>(instance_.size()));
+  obs::Instant("chase", "chase.add_base_facts", "added", added);
   saturated_ = false;
   // The stratified schedule re-checks every stratum in topological order;
   // its per-rule cursors stay valid (the new atoms sit above all of them).

@@ -41,6 +41,12 @@ class ParallelChase;
 struct TriggerCandidate;
 }  // namespace exec
 
+namespace obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace obs
+
 /// Which trigger-firing discipline to use.
 enum class ChaseVariant {
   /// The paper's oblivious chase: every trigger fires exactly once,
@@ -214,8 +220,11 @@ class ObliviousChase {
   /// Provenance of a chase term, or nullptr for database terms.
   const ChaseTermInfo* InfoOf(Term t) const;
 
-  /// Number of triggers fired in total.
-  std::size_t TriggersFired() const { return triggers_fired_; }
+  /// Number of triggers fired in total. Reads the scheduler's per-rule
+  /// counters (the single source of truth since the stats unification), so
+  /// this, RuleSchedulerStats::fired_total() and the metrics registry's
+  /// `chase.triggers_fired` can never disagree.
+  std::size_t TriggersFired() const;
 
   /// Resolved execution thread count (1 = serial).
   std::size_t num_threads() const { return num_threads_; }
@@ -299,8 +308,14 @@ class ObliviousChase {
   bool saturated_ = false;
   bool hit_bounds_ = false;
   bool last_step_truncated_ = false;
-  std::size_t triggers_fired_ = 0;
   std::unordered_set<TriggerKey, TriggerKeyHash> fired_;
+  // Metrics instruments (resolved from exec_.metrics; never null). The
+  // gauges are updated mid-step so the progress heartbeat sees live
+  // values; all updates are relaxed atomics and never steer execution.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Gauge* metric_step_ = nullptr;
+  obs::Gauge* metric_atoms_ = nullptr;
+  obs::Counter* metric_fired_ = nullptr;
   std::vector<std::size_t> atoms_at_step_;  // atom count after each step
   std::vector<int> atom_step_;              // creation step per atom index
   std::vector<AtomProvenance> atom_provenance_;  // parallel to atoms()

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace bddfc {
 
 std::size_t RuleSchedulerStats::fired_total() const {
@@ -48,6 +50,19 @@ std::unique_ptr<RuleScheduler> RuleScheduler::Stratified(
   return out;
 }
 
+void RuleScheduler::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    metric_skipped_ = nullptr;
+    metric_active_rules_ = nullptr;
+    metric_strata_ = nullptr;
+    return;
+  }
+  metric_skipped_ = metrics->GetCounter("sched.rules_skipped");
+  metric_active_rules_ = metrics->GetGauge("sched.active_rules");
+  metric_strata_ = metrics->GetGauge("sched.strata");
+  metric_strata_->Set(static_cast<std::int64_t>(num_strata()));
+}
+
 std::size_t RuleScheduler::num_strata() const {
   if (stratified()) return stratification_->num_strata();
   return num_rules_ == 0 ? 0 : 1;
@@ -60,12 +75,17 @@ const std::vector<std::size_t>* RuleScheduler::FiringRanks() const {
 std::vector<exec::RuleJob> RuleScheduler::PlanRound(
     bool global_full, std::uint32_t global_delta_begin,
     const Instance& instance) {
+  BDDFC_OBS_SPAN(plan_span, "sched", "sched.plan_round");
   std::vector<exec::RuleJob> jobs;
   if (!stratified()) {
     jobs.reserve(num_rules_);
     for (std::size_t r = 0; r < num_rules_; ++r) {
       jobs.push_back({r, global_full, global_delta_begin});
     }
+    if (metric_active_rules_ != nullptr) {
+      metric_active_rules_->Set(static_cast<std::int64_t>(jobs.size()));
+    }
+    plan_span.Arg("jobs", jobs.size());
     return jobs;
   }
   // The stratified schedule tracks its own per-rule windows; the chase's
@@ -103,6 +123,14 @@ std::vector<exec::RuleJob> RuleScheduler::PlanRound(
     if (!ready) continue;
     active_strata_.push_back(s);
     for (std::size_t r : strat.strata[s]) active_rules_.push_back(r);
+    // Announce each stratum's activation once per activation period.
+    if (announced_.size() < strat.num_strata()) {
+      announced_.resize(strat.num_strata(), 0);
+    }
+    if (!announced_[s]) {
+      announced_[s] = 1;
+      obs::Instant("sched", "sched.stratum_active", "stratum", s);
+    }
   }
 
   for (std::size_t r : active_rules_) {
@@ -127,10 +155,22 @@ std::vector<exec::RuleJob> RuleScheduler::PlanRound(
 
   // Skip accounting: the flat schedule would have searched every rule.
   std::vector<char> planned(num_rules_, 0);
+  std::size_t round_skipped = 0;
   for (const exec::RuleJob& job : jobs) planned[job.rule_index] = 1;
   for (std::size_t r = 0; r < num_rules_; ++r) {
-    if (!planned[r]) ++stats_.skipped[r];
+    if (!planned[r]) {
+      ++stats_.skipped[r];
+      ++round_skipped;
+      obs::Instant("sched", "sched.rule_skip", "rule", r);
+    }
   }
+  if (metric_skipped_ != nullptr && round_skipped > 0) {
+    metric_skipped_->Add(round_skipped);
+  }
+  if (metric_active_rules_ != nullptr) {
+    metric_active_rules_->Set(static_cast<std::int64_t>(jobs.size()));
+  }
+  plan_span.Arg("jobs", jobs.size()).Arg("skipped", round_skipped);
   return jobs;
 }
 
@@ -158,7 +198,11 @@ void RuleScheduler::OnRoundEnd(std::uint32_t delta_end,
         break;
       }
     }
-    if (!any_fired) saturated_[s] = 1;
+    if (!any_fired) {
+      saturated_[s] = 1;
+      if (s < announced_.size()) announced_[s] = 0;
+      obs::Instant("sched", "sched.stratum_saturated", "stratum", s);
+    }
   }
   active_rules_.clear();
   active_strata_.clear();

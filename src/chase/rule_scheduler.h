@@ -49,8 +49,17 @@
 
 namespace bddfc {
 
+namespace obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace obs
+
 /// Monotone scheduling counters, exposed through ObliviousChase for
-/// ReasonerStats and chase_cli's per-rule reporting.
+/// ReasonerStats and chase_cli's per-rule reporting. The totals are also
+/// mirrored into the metrics registry (`chase.triggers_fired`,
+/// `sched.rules_skipped`) when set_metrics was called, so every reporting
+/// surface derives from the same per-rule increments.
 struct RuleSchedulerStats {
   /// Triggers fired per rule, over the whole run.
   std::vector<std::size_t> fired;
@@ -125,12 +134,26 @@ class RuleScheduler {
 
   const RuleSchedulerStats& stats() const { return stats_; }
 
+  /// Attaches a metrics sink (the chase passes its resolved registry):
+  /// skip counts and the live-rule gauge update as the schedule runs.
+  /// Null detaches; without a sink the scheduler records nothing.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   RuleScheduler(std::size_t num_rules, bool naive);
 
   std::size_t num_rules_ = 0;
   bool naive_ = false;
   RuleSchedulerStats stats_;
+
+  // Metrics instruments (null until set_metrics).
+  obs::Counter* metric_skipped_ = nullptr;
+  obs::Gauge* metric_active_rules_ = nullptr;
+  obs::Gauge* metric_strata_ = nullptr;
+  // Strata announced as active via a trace instant (stratified only):
+  // cleared when a stratum saturates so re-activation after
+  // OnFactsInserted announces again.
+  std::vector<char> announced_;
 
   // Stratified state (unset for flat).
   std::optional<RelianceGraph> graph_;

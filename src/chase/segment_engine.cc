@@ -6,6 +6,7 @@
 
 #include "base/check.h"
 #include "base/thread_pool.h"
+#include "obs/obs.h"
 #include "storage/fact_store.h"
 
 namespace bddfc {
@@ -162,6 +163,12 @@ void SegmentEngine::ExecuteAnchor(std::size_t rule_index,
     const {
   using Kind = SegmentJoinStep::Kind;
   using Range = SegmentJoinStep::Range;
+  // One span per (rule, anchor) plan execution — the segment engine's unit
+  // of work. Runs concurrently; the recorder's per-thread buffers keep it
+  // lock-free.
+  BDDFC_OBS_SPAN(anchor_span, "chase", "segment.anchor");
+  anchor_span.Arg("rule", rule_index);
+  const std::size_t out_before = out->size();
   const FactStore& store = instance_->store();
   const std::vector<Atom>& all = store.atoms();
   const std::size_t width = anchor_plan.num_slots;
@@ -306,6 +313,7 @@ void SegmentEngine::ExecuteAnchor(std::size_t rule_index,
     }
     out->push_back(std::move(candidate));
   }
+  anchor_span.Arg("candidates", out->size() - out_before);
 }
 
 void SegmentEngine::Collect(std::uint32_t delta_begin,

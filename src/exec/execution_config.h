@@ -38,6 +38,10 @@ namespace bddfc {
 
 class ThreadPool;
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// Which chase execution engine to run. See the file comment.
 enum class ChaseEngine {
   kTrigger,
@@ -92,6 +96,11 @@ struct ExecutionConfig {
   std::size_t max_steps = 16;
   /// Chase atom budget.
   std::size_t max_atoms = 200000;
+  /// Metrics sink (not owned; must outlive the run). Null routes to the
+  /// process-global registry (obs::Metrics()). Instrument updates are
+  /// relaxed atomics, so a monitor thread may sample the registry while
+  /// the run is live.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 }  // namespace bddfc

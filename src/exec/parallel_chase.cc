@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace bddfc {
 namespace exec {
 
@@ -44,12 +46,22 @@ void RunUnits(ThreadPool* pool, const std::vector<Unit>& units,
                   run_unit,
               std::vector<TriggerCandidate>* out) {
   if (units.size() <= 1) {
-    for (const Unit& unit : units) run_unit(unit, out);
+    for (const Unit& unit : units) {
+      BDDFC_OBS_SPAN(search_span, "chase", "chase.hom_search");
+      search_span.Arg("rule", unit.rule);
+      run_unit(unit, out);
+    }
     return;
   }
   std::vector<std::vector<TriggerCandidate>> batches(units.size());
   for (std::size_t i = 0; i < units.size(); ++i) {
-    pool->Submit([&, i] { run_unit(units[i], &batches[i]); });
+    // One span per worker-side unit: recorded on the worker's own buffer,
+    // so the fan-out shows up as parallel tracks in the trace viewer.
+    pool->Submit([&, i] {
+      BDDFC_OBS_SPAN(search_span, "chase", "chase.hom_search");
+      search_span.Arg("rule", units[i].rule).Arg("anchor", units[i].anchor);
+      run_unit(units[i], &batches[i]);
+    });
   }
   pool->WaitAll();
   for (std::vector<TriggerCandidate>& batch : batches) {
@@ -182,6 +194,8 @@ void ParallelChase::ParallelCheck(
     const std::vector<TriggerCandidate>& candidates,
     const std::function<bool(const TriggerCandidate&)>& check,
     std::vector<char>* out) {
+  BDDFC_OBS_SPAN(check_span, "chase", "chase.precheck");
+  check_span.Arg("candidates", candidates.size());
   out->assign(candidates.size(), 0);
   ParallelFor(pool_, 0, candidates.size(), /*grain=*/8,
               [&](std::size_t lo, std::size_t hi) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace bddfc {
 
 namespace {
@@ -83,6 +85,10 @@ void ColumnStore::AddAtoms(const Atom* begin, const Atom* end) {
 void ColumnStore::SealTable(PredTable* table) {
   const std::uint32_t n = static_cast<std::uint32_t>(table->rows.size());
   if (table->sealed == n) return;
+  BDDFC_OBS_SPAN(seal_span, "storage", "storage.run_seal");
+  seal_span.Arg("rows", n - table->sealed);
+  static obs::Counter* seals = obs::Metrics().GetCounter("storage.run_seals");
+  seals->Add(1);
   const std::size_t arity = table->columns.size();
   for (std::size_t pos = 0; pos < arity; ++pos) {
     const std::vector<Term>& column = table->columns[pos];
@@ -106,6 +112,11 @@ void ColumnStore::SealTable(PredTable* table) {
     const std::uint32_t mid = table->run_ends[k - 2];
     const std::uint32_t begin = k >= 3 ? table->run_ends[k - 3] : 0;
     if (table->run_ends[k - 1] - mid < mid - begin) break;
+    BDDFC_OBS_SPAN(merge_span, "storage", "storage.run_merge");
+    merge_span.Arg("rows", table->run_ends[k - 1] - begin);
+    static obs::Counter* merges =
+        obs::Metrics().GetCounter("storage.run_merges");
+    merges->Add(1);
     for (std::size_t pos = 0; pos < arity; ++pos) {
       const std::vector<Term>& column = table->columns[pos];
       std::vector<std::uint32_t>& perm = table->perms[pos];

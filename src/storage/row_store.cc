@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/obs.h"
+
 namespace bddfc {
 
 bool RowStore::AddAtom(const Atom& atom) {
@@ -29,10 +31,17 @@ void RowStore::EnsureIndexes() const {
   if (indexes_built_.load(std::memory_order_acquire)) return;
   std::lock_guard<std::mutex> lock(index_mutex_);
   if (indexes_built_.load(std::memory_order_relaxed)) return;
+  BDDFC_OBS_SPAN(index_span, "storage", "storage.index_build");
   const std::vector<Atom>& all = atoms();
+  index_span.Arg("atoms", all.size());
   for (std::uint32_t idx = 0; idx < all.size(); ++idx) {
     IndexAtom(all[idx], idx);
   }
+  // Stores have no per-run config, so their telemetry goes to the
+  // process-global registry (pointer interned once).
+  static obs::Counter* builds =
+      obs::Metrics().GetCounter("storage.index_builds");
+  builds->Add(1);
   indexes_built_.store(true, std::memory_order_release);
 }
 

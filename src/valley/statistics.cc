@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "graph/digraph.h"
+#include "obs/obs.h"
 #include "valley/valley_query.h"
 
 namespace bddfc {
@@ -90,6 +91,16 @@ UcqValleyStats AnalyzeUcqValleys(const Ucq& q) {
       ++stats.single_maximal;
     }
   }
+  // Publish through the metrics registry (cumulative across analyses), so
+  // the valley counters surface in the same flat metrics JSON as every
+  // other subsystem's.
+  obs::MetricsRegistry& metrics = obs::Metrics();
+  metrics.GetCounter("valley.analyzed")->Add(stats.total);
+  metrics.GetCounter("valley.valleys")->Add(stats.valleys);
+  metrics.GetCounter("valley.peaked")->Add(stats.peaked);
+  metrics.GetCounter("valley.cyclic")->Add(stats.cyclic);
+  metrics.GetCounter("valley.non_binary_answers")
+      ->Add(stats.non_binary_answers);
   return stats;
 }
 

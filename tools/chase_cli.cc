@@ -37,8 +37,17 @@
 //                      (default auto: rewrite when the rewriting
 //                      saturates, materialize otherwise)
 //   --json             machine-readable output: one JSON object with the
-//                      run configuration, per-step chase stats, and
+//                      run configuration, per-step chase stats, a flat
+//                      "metrics" object (the obs registry snapshot), and
 //                      per-query answers (suppresses the human output)
+//   --trace=FILE       record a Chrome/Perfetto trace of the run (spans
+//                      from the chase, scheduler, storage, and reasoner
+//                      layers) and write trace-event JSON to FILE; open
+//                      it in https://ui.perfetto.dev or chrome://tracing
+//   --progress[=MS]    print a heartbeat line to stderr every MS ms
+//                      (default 1000) with step/atom/trigger/RSS
+//                      progress; doubles as a divergence watchdog that
+//                      warns when the run nears its atom budget
 //   --quiet            suppress the per-step table
 //
 // File formats are those of src/logic/parser.h: one rule per line
@@ -53,12 +62,18 @@
 // run it (kRewrite answers straight off the database). Query answers are
 // certain answers (all-constant tuples), printed in the Reasoner's
 // deterministic first-derivation order.
+//
+// SIGINT (Ctrl-C) cancels the chase cooperatively: the engine stops at the
+// next firing boundary, partial results (and a partial --trace file) are
+// still written, and the process exits with status 130.
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -71,6 +86,8 @@
 #include "logic/parser.h"
 #include "logic/printer.h"
 #include "logic/universe.h"
+#include "obs/obs.h"
+#include "obs/progress.h"
 
 namespace {
 
@@ -90,6 +107,7 @@ int Usage(const char* argv0) {
       "          [--schedule=flat|stratified]\n"
       "          [--storage=row|column] [--max-steps=N] [--max-atoms=N]\n"
       "          [--query=FILE] [--strategy=materialize|rewrite|auto]\n"
+      "          [--trace=FILE] [--progress[=MS]]\n"
       "          [--json] [--quiet] RULES_FILE INSTANCE_FILE\n",
       argv0);
   return 2;
@@ -158,6 +176,10 @@ struct QueryReport {
   std::vector<AnswerTuple> answers;
 };
 
+// SIGINT requests cooperative cancellation: one relaxed atomic store
+// (async-signal-safe), observed by the chase at the next firing boundary.
+void OnInterrupt(int) { bddfc::obs::RequestCancel(); }
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -166,7 +188,8 @@ int main(int argc, char** argv) {
   bddfc::StorageKind storage = bddfc::StorageKind::kRow;
   bool quiet = false;
   bool json = false;
-  std::string rules_path, instance_path, query_path;
+  std::string rules_path, instance_path, query_path, trace_path;
+  std::size_t progress_ms = 0;  // 0 = no heartbeat
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     std::string_view value;
@@ -239,6 +262,19 @@ int main(int argc, char** argv) {
       }
     } else if (FlagValue(arg, "--query", &value)) {
       query_path = std::string(value);
+    } else if (FlagValue(arg, "--trace", &value)) {
+      trace_path = std::string(value);
+      if (trace_path.empty()) {
+        std::fprintf(stderr, "chase_cli: --trace needs a file path\n");
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--progress") {
+      progress_ms = 1000;
+    } else if (FlagValue(arg, "--progress", &value)) {
+      if (!ParseCount(value, "--progress", &progress_ms)) {
+        return Usage(argv[0]);
+      }
+      if (progress_ms == 0) progress_ms = 1000;
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--quiet") {
@@ -301,12 +337,28 @@ int main(int argc, char** argv) {
     queries = std::move(*parsed);
   }
 
+  // The trace session opens before the Reasoner is built so the base
+  // instance's storage spans (index builds, run seals) are captured too.
+  if (!trace_path.empty()) bddfc::obs::TraceSession::Global().Start();
+  std::signal(SIGINT, OnInterrupt);
+
   // Everything execution-related travels through the one ExecutionConfig.
   chase_options.exec.storage = storage;
   ReasonerOptions reasoner_options;
   reasoner_options.strategy = strategy;
   reasoner_options.chase = chase_options;
   bddfc::Reasoner reasoner(*database, std::move(*rules), reasoner_options);
+
+  // The heartbeat samples the process-global registry (the Reasoner uses
+  // it when no explicit registry is configured) from its own thread.
+  std::unique_ptr<bddfc::obs::ProgressMonitor> progress;
+  if (progress_ms > 0) {
+    bddfc::obs::ProgressMonitor::Options monitor_options;
+    monitor_options.interval_ms = static_cast<int>(progress_ms);
+    monitor_options.watchdog_max_atoms = chase_options.exec.max_atoms;
+    progress = std::make_unique<bddfc::obs::ProgressMonitor>(
+        nullptr, monitor_options);
+  }
 
   const auto total_start = std::chrono::steady_clock::now();
   // Without queries the tool's job is the materialization itself; with
@@ -316,6 +368,7 @@ int main(int argc, char** argv) {
   std::vector<QueryReport> reports;
   reports.reserve(queries.size());
   for (const bddfc::Cq& q : queries) {
+    if (bddfc::obs::CancelRequested()) break;
     QueryReport report;
     report.text = bddfc::ToString(universe, q);
     const auto prepare_start = std::chrono::steady_clock::now();
@@ -330,6 +383,28 @@ int main(int argc, char** argv) {
     reports.push_back(std::move(report));
   }
   const double total_ms = MsSince(total_start);
+  const bool interrupted = bddfc::obs::CancelRequested();
+
+  if (progress != nullptr) progress->Stop();
+  // Stop + flush the trace before reporting: a partial trace from an
+  // interrupted run is exactly what the flag is for.
+  if (!trace_path.empty()) {
+    bddfc::obs::TraceSession::Global().Stop();
+    if (!bddfc::obs::TraceSession::Global().WriteChromeJson(trace_path)) {
+      std::fprintf(stderr, "chase_cli: cannot write trace to %s\n",
+                   trace_path.c_str());
+      return 2;
+    }
+    if (!json) {
+      std::fprintf(stderr, "chase_cli: wrote %zu trace events to %s\n",
+                   bddfc::obs::TraceSession::Global().EventCount(),
+                   trace_path.c_str());
+    }
+  }
+  if (interrupted) {
+    std::fprintf(stderr,
+                 "chase_cli: interrupted — partial results follow\n");
+  }
   const bddfc::ReasonerStats& stats = reasoner.stats();
   // The Reasoner constructor freezes the fully-resolved execution config
   // (engine, schedule, storage, thread count) into its options; report
@@ -401,6 +476,12 @@ int main(int argc, char** argv) {
                                                                     : "");
     std::printf("  \"nulls\": %zu,\n", universe.num_nulls());
     std::printf("  \"wall_ms\": %.3f,\n", total_ms);
+    std::printf("  \"interrupted\": %s,\n", interrupted ? "true" : "false");
+    // The flat obs registry snapshot: every layer's counters/gauges/
+    // histograms under dotted names (chase.*, sched.*, storage.*,
+    // reasoner.*), the machine-readable twin of --trace.
+    std::printf("  \"metrics\": %s,\n",
+                bddfc::obs::Metrics().ToJson().c_str());
     std::printf("  \"queries\": [");
     for (std::size_t i = 0; i < reports.size(); ++i) {
       const QueryReport& r = reports[i];
@@ -423,7 +504,7 @@ int main(int argc, char** argv) {
     }
     std::printf("%s]\n", reports.empty() ? "" : "\n  ");
     std::printf("}\n");
-    return 0;
+    return interrupted ? 130 : 0;
   }
 
   std::printf("rules:    %s (%zu rules)\n", rules_path.c_str(),
@@ -496,5 +577,5 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\nwall: %.2f ms\n", total_ms);
-  return 0;
+  return interrupted ? 130 : 0;
 }
