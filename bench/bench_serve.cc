@@ -1,0 +1,203 @@
+// Mixed-workload throughput of the serve snapshot layer (src/serve/): many
+// reader threads pin epoch snapshots and evaluate a prepared query while
+// one writer thread folds fact batches through the incremental chase and
+// publishes new epochs.
+//
+// Every reader verifies, in-process, that the answers it computed at its
+// pinned epoch equal the answers of a ONE-SHOT chase of exactly that
+// epoch's base facts (precomputed below for every epoch) — the server
+// correctness claim, checked while the writer races. A verification
+// mismatch fails the case (non-zero experiment return).
+//
+// Cases: clients=1 / 4 / 8 reader threads, one writer. Each case records
+// sustained QPS and the client/writer thread counts as first-class JSON
+// fields (Context::SetQps and friends), so BENCH_serve.json carries the
+// throughput-vs-concurrency trajectory.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/reasoner.h"
+#include "bench/harness.h"
+#include "logic/parser.h"
+#include "serve/snapshot.h"
+
+namespace {
+
+using bddfc::AnswerTuple;
+using bddfc::ChaseVariant;
+using bddfc::Cq;
+using bddfc::Instance;
+using bddfc::PreparedQuery;
+using bddfc::Reasoner;
+using bddfc::ReasonerOptions;
+using bddfc::RuleSet;
+using bddfc::Universe;
+using bddfc::serve::EpochSnapshot;
+using bddfc::serve::SnapshotManager;
+
+// The semi-oblivious variant: its incremental chase (AddBaseFacts) derives
+// the same atom set as a from-scratch chase of the union, which is what
+// makes the per-epoch differential below exact.
+ReasonerOptions ServeOptions() {
+  ReasonerOptions options;
+  options.strategy = bddfc::AnswerStrategy::kMaterialize;
+  options.chase.variant = ChaseVariant::kSemiOblivious;
+  return options;
+}
+
+// A chain E(c0,c1)..E(c{n-1},c{n}) as parser text.
+std::string ChainFacts(int from, int to) {
+  std::string text;
+  for (int i = from; i < to; ++i) {
+    text += "E(c" + std::to_string(i) + ",c" + std::to_string(i + 1) + "). ";
+  }
+  return text;
+}
+
+// Sorted copy: readers and the one-shot oracle enumerate in their own
+// deterministic orders (the incremental materialization interleaves base
+// and derived atoms differently than a from-scratch run), so answers are
+// compared as canonically ordered sets of term-id tuples.
+std::vector<AnswerTuple> Sorted(std::vector<AnswerTuple> answers) {
+  std::sort(answers.begin(), answers.end());
+  return answers;
+}
+
+int RunMixed(bddfc::bench::Context& ctx, std::size_t clients) {
+  constexpr int kBaseEdges = 48;
+  constexpr int kBatches = 8;
+  constexpr int kEdgesPerBatch = 4;
+
+  Universe universe;
+  RuleSet rules = bddfc::MustParseRuleSet(&universe,
+                                          "E(x,y) -> R(x,y)\n"
+                                          "E(x,y), E(y,z) -> T(x,z)\n"
+                                          "T(x,y) -> S(x,w)\n");
+  Instance base =
+      bddfc::MustParseInstance(&universe, ChainFacts(0, kBaseEdges));
+  // Pre-parsed batches: the writer thread must not intern symbols (the
+  // serve Universe contract), so all constants exist before threads start.
+  std::vector<std::vector<bddfc::Atom>> batches;
+  for (int b = 0; b < kBatches; ++b) {
+    const int from = kBaseEdges + b * kEdgesPerBatch;
+    Instance parsed = bddfc::MustParseInstance(
+        &universe, ChainFacts(from, from + kEdgesPerBatch));
+    batches.emplace_back(parsed.atoms().begin() + 1, parsed.atoms().end());
+  }
+  const Cq query = bddfc::MustParseCq(&universe, "?(x,y) :- T(x,y)");
+
+  // The per-epoch oracle: answers of a one-shot chase of exactly the base
+  // facts as of each epoch, in the same Universe (term ids compare
+  // bitwise). Epoch e = base + batches[0..e).
+  std::vector<std::vector<AnswerTuple>> expected;
+  {
+    Instance accumulated = base;
+    for (int e = 0; e <= kBatches; ++e) {
+      Reasoner oracle(accumulated, rules, ServeOptions());
+      expected.push_back(Sorted(oracle.Prepare(query).All()));
+      if (e < kBatches) accumulated.AddAtoms(batches[e]);
+    }
+  }
+
+  SnapshotManager manager(base, rules, ServeOptions());
+  const PreparedQuery plan = manager.reasoner().PrepareDetached(query);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> queries{0};
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::uint64_t> max_query_us{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(clients);
+  for (std::size_t r = 0; r < clients; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto start = std::chrono::steady_clock::now();
+        std::shared_ptr<const EpochSnapshot> snap = manager.Pin();
+        std::vector<AnswerTuple> got = plan.AllOn(*snap->materialization);
+        const auto us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+        std::uint64_t seen = max_query_us.load(std::memory_order_relaxed);
+        while (us > seen &&
+               !max_query_us.compare_exchange_weak(
+                   seen, us, std::memory_order_relaxed)) {
+        }
+        if (Sorted(std::move(got)) != expected[snap->epoch]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  const auto run_start = std::chrono::steady_clock::now();
+  std::thread writer([&] {
+    for (const auto& batch : batches) {
+      manager.ApplyFacts(batch);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  writer.join();
+  // Keep readers running past the last publish so the steady state (all
+  // epochs live, writer idle) is part of the measurement too.
+  while (std::chrono::steady_clock::now() - run_start <
+         std::chrono::milliseconds(200)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    run_start)
+          .count();
+
+  const auto final_snap = manager.Pin();
+  const double qps = static_cast<double>(queries.load()) / seconds;
+  ctx.SetQps(qps);
+  ctx.SetClientThreads(clients);
+  ctx.SetWriterThreads(1);
+  ctx.Metric("queries", static_cast<double>(queries.load()));
+  ctx.Metric("mismatches", static_cast<double>(mismatches.load()));
+  ctx.Metric("epochs", static_cast<double>(final_snap->epoch));
+  ctx.Metric("final_atoms", static_cast<double>(final_snap->atoms));
+  ctx.Metric("final_answers",
+             static_cast<double>(expected[kBatches].size()));
+  ctx.Metric("max_query_ms",
+             static_cast<double>(max_query_us.load()) / 1000.0);
+
+  if (final_snap->epoch != kBatches) {
+    std::fprintf(stderr, "bench_serve: expected epoch %d, got %llu\n",
+                 kBatches,
+                 static_cast<unsigned long long>(final_snap->epoch));
+    return 1;
+  }
+  if (mismatches.load() != 0) {
+    std::fprintf(stderr,
+                 "bench_serve: %llu snapshot answers diverged from the "
+                 "one-shot oracle\n",
+                 static_cast<unsigned long long>(mismatches.load()));
+    return 1;
+  }
+  if (queries.load() == 0) {
+    std::fprintf(stderr, "bench_serve: no queries completed\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+BDDFC_BENCH_EXPERIMENT(mixed_clients_1) { return RunMixed(ctx, 1); }
+BDDFC_BENCH_EXPERIMENT(mixed_clients_4) { return RunMixed(ctx, 4); }
+BDDFC_BENCH_EXPERIMENT(mixed_clients_8) { return RunMixed(ctx, 8); }
+
+BDDFC_BENCH_MAIN();

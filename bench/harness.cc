@@ -67,6 +67,11 @@ struct CaseResult {
   std::int64_t items_processed = 0;
   std::int64_t complexity_n = 0;
   std::vector<std::pair<std::string, double>> metrics;
+  // Throughput accounting (Context::SetQps and friends); qps < 0 means
+  // the case reported none. The best (max) repetition is kept.
+  double qps = -1;
+  std::size_t client_threads = 0;
+  std::size_t writer_threads = 0;
   double rss_peak_mb = 0;  // process high-water mark after the case
   // Post-case values of the process-global obs instruments that moved
   // while the case ran (counters are cumulative across repetitions).
@@ -174,6 +179,9 @@ CaseResult RunExperimentCase(const std::string& name, ExperimentFn fn,
     if (rc != 0) result.ok = false;
     result.rep_ms.push_back(ms);
     result.metrics = ctx.metrics();
+    if (ctx.qps() > result.qps) result.qps = ctx.qps();
+    if (ctx.client_threads() > 0) result.client_threads = ctx.client_threads();
+    if (ctx.writer_threads() > 0) result.writer_threads = ctx.writer_threads();
   }
   return result;
 }
@@ -221,6 +229,11 @@ void WriteJson(const std::string& path, const std::string& bench_name,
         std::fprintf(f, "      \"complexity_n\": %" PRId64 ",\n",
                      r.complexity_n);
       }
+    }
+    if (r.qps >= 0) {
+      std::fprintf(f, "      \"qps\": %.1f,\n", r.qps);
+      std::fprintf(f, "      \"client_threads\": %zu,\n", r.client_threads);
+      std::fprintf(f, "      \"writer_threads\": %zu,\n", r.writer_threads);
     }
     std::fprintf(f, "      \"rss_peak_mb\": %.3f,\n", r.rss_peak_mb);
     std::fprintf(f, "      \"metrics\": {");

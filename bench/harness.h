@@ -183,8 +183,24 @@ class Context {
     return metrics_;
   }
 
+  /// Throughput accounting for server/concurrency experiments
+  /// (bench_serve): sustained queries per second plus the client/writer
+  /// thread counts that produced it. Reported as first-class JSON fields
+  /// ("qps", "client_threads", "writer_threads") so a benchmark
+  /// trajectory can plot QPS against concurrency without digging through
+  /// free-form metrics.
+  void SetQps(double qps) { qps_ = qps; }
+  void SetClientThreads(std::size_t n) { client_threads_ = n; }
+  void SetWriterThreads(std::size_t n) { writer_threads_ = n; }
+  double qps() const { return qps_; }
+  std::size_t client_threads() const { return client_threads_; }
+  std::size_t writer_threads() const { return writer_threads_; }
+
  private:
   std::vector<std::pair<std::string, double>> metrics_;
+  double qps_ = -1;  // < 0 = not a throughput case
+  std::size_t client_threads_ = 0;
+  std::size_t writer_threads_ = 0;
 };
 
 using ExperimentFn = int (*)(Context&);

@@ -66,18 +66,24 @@ std::optional<AnswerTuple> AnswerCursor::Next() {
 
 // --- PreparedQuery -----------------------------------------------------------
 
-std::vector<AnswerTuple> PreparedQuery::EvaluateDisjunct(
-    std::size_t index) const {
-  const Cq& disjunct = evaluated_.disjuncts()[index];
+namespace {
+
+// Projected, null-filtered (not yet deduplicated) answers of one disjunct
+// through one bound search, in homomorphism enumeration order. Shared by
+// the live path (the plan's own searches) and the snapshot-pinned path
+// (searches built per call against a pinned target).
+std::vector<AnswerTuple> EvaluateOne(const Cq& disjunct,
+                                     const HomSearch& search,
+                                     ThreadPool* pool) {
   // A Boolean disjunct contributes at most the empty tuple: an existence
   // check (with short-circuiting) replaces materializing every
   // homomorphism just to project it away.
   if (disjunct.answers().empty()) {
-    if (searches_[index].ExistsParallel(pool_)) return {AnswerTuple{}};
+    if (search.ExistsParallel(pool)) return {AnswerTuple{}};
     return {};
   }
   std::vector<AnswerTuple> out;
-  for (const Substitution& h : searches_[index].FindAllParallel(pool_)) {
+  for (const Substitution& h : search.FindAllParallel(pool)) {
     AnswerTuple tuple = h.ApplyTuple(disjunct.answers());
     bool certain = true;
     for (Term t : tuple) {
@@ -89,6 +95,13 @@ std::vector<AnswerTuple> PreparedQuery::EvaluateDisjunct(
     if (certain) out.push_back(std::move(tuple));
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<AnswerTuple> PreparedQuery::EvaluateDisjunct(
+    std::size_t index) const {
+  return EvaluateOne(evaluated_.disjuncts()[index], searches_[index], pool_);
 }
 
 bool PreparedQuery::complete() const {
@@ -129,6 +142,45 @@ std::vector<AnswerTuple> PreparedQuery::All() const {
   AnswerCursor cursor = Open();
   while (auto tuple = cursor.Next()) out.push_back(std::move(*tuple));
   return out;
+}
+
+std::vector<AnswerTuple> PreparedQuery::AllOn(const Instance& target,
+                                              ThreadPool* pool) const {
+  std::vector<AnswerTuple> out;
+  std::unordered_set<AnswerTuple, AnswerTupleHash> seen;
+  for (const Cq& disjunct : evaluated_.disjuncts()) {
+    HomSearch search(disjunct.atoms(), &target);
+    for (AnswerTuple& tuple : EvaluateOne(disjunct, search, pool)) {
+      if (seen.insert(tuple).second) out.push_back(std::move(tuple));
+    }
+  }
+  return out;
+}
+
+std::size_t PreparedQuery::CountOn(const Instance& target,
+                                   ThreadPool* pool) const {
+  return AllOn(target, pool).size();
+}
+
+bool PreparedQuery::AskOn(const Instance& target, ThreadPool* pool) const {
+  (void)pool;  // existence short-circuits; fan-out never pays for itself
+  for (const Cq& disjunct : evaluated_.disjuncts()) {
+    HomSearch search(disjunct.atoms(), &target);
+    if (disjunct.answers().empty()) {
+      if (search.Exists()) return true;
+      continue;
+    }
+    bool found = false;
+    search.ForEach({}, [&](const Substitution& h) {
+      for (Term v : disjunct.answers()) {
+        if (h.Apply(v).IsNull()) return true;  // not certain; keep searching
+      }
+      found = true;
+      return false;
+    });
+    if (found) return true;
+  }
+  return false;
 }
 
 // --- Reasoner ----------------------------------------------------------------
@@ -281,6 +333,22 @@ PreparedQuery Reasoner::Prepare(const Ucq& q) {
   for (const Cq& disjunct : out.evaluated_.disjuncts()) {
     out.searches_.emplace_back(disjunct.atoms(), target);
   }
+  return out;
+}
+
+PreparedQuery Reasoner::PrepareDetached(const Cq& q) {
+  return PrepareDetached(Ucq({q}));
+}
+
+PreparedQuery Reasoner::PrepareDetached(const Ucq& q) {
+  BDDFC_OBS_SPAN(prepare_span, "reasoner", "reasoner.prepare_detached");
+  ++stats_.queries_prepared;
+  metrics_->GetCounter("reasoner.queries_prepared")->Add(1);
+  PreparedQuery out;
+  out.strategy_ = AnswerStrategy::kMaterialize;
+  out.reasoner_ = this;
+  out.evaluated_ = q;
+  out.answer_arity_ = q.empty() ? 0 : q.disjuncts().front().answers().size();
   return out;
 }
 

@@ -232,6 +232,25 @@ class PreparedQuery {
   /// Opens a streaming cursor over the same enumeration.
   AnswerCursor Open() const { return AnswerCursor(this); }
 
+  // --- Snapshot-pinned execution -------------------------------------------
+  //
+  // Evaluates this plan against an arbitrary `target` instance instead of
+  // the session's live state: the caller picks the data the query runs
+  // over (an immutable epoch snapshot in the server, src/serve/). The
+  // caller must supply the kind of instance the plan's strategy expects —
+  // a materialization for kMaterialize, base facts for kRewrite. Results
+  // and enumeration order are exactly those of All()/Count()/Ask() run
+  // against the same data. Thread-safe: the plan is immutable after
+  // Prepare, and each call builds its own homomorphism searches, so many
+  // threads can execute one plan against (the same or different) snapshots
+  // concurrently. Pass a pool for intra-query parallelism only when no
+  // other thread is driving that pool.
+
+  std::vector<AnswerTuple> AllOn(const Instance& target,
+                                 ThreadPool* pool = nullptr) const;
+  std::size_t CountOn(const Instance& target, ThreadPool* pool = nullptr) const;
+  bool AskOn(const Instance& target, ThreadPool* pool = nullptr) const;
+
  private:
   friend class AnswerCursor;
   friend class Reasoner;
@@ -277,6 +296,20 @@ class Reasoner {
   /// Plans a query under the session strategy. See PreparedQuery.
   PreparedQuery Prepare(const Cq& q);
   PreparedQuery Prepare(const Ucq& q);
+
+  /// Plans `q` for snapshot-pinned execution only: materialize semantics,
+  /// no rewriting probe, no materialization forced, no searches bound to
+  /// live state — the plan evaluates exclusively via AllOn/CountOn/AskOn
+  /// against instances the caller supplies (epoch snapshots). Unlike
+  /// Prepare(), safe to call while another thread runs AddFacts(): it
+  /// reads only the session's immutable rule set and bumps counters the
+  /// writer path never touches. Concurrent PrepareDetached calls must be
+  /// serialized by the caller (the server's plan lock). The live
+  /// All/Count/Ask/Open entry points see an empty plan; completeness of a
+  /// snapshot-pinned answer is the snapshot's saturation flag, not
+  /// complete().
+  PreparedQuery PrepareDetached(const Cq& q);
+  PreparedQuery PrepareDetached(const Ucq& q);
 
   /// One-shot conveniences: Prepare + All / Ask.
   std::vector<AnswerTuple> Answer(const Cq& q);

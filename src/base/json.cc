@@ -1,6 +1,11 @@
 #include "base/json.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+
+#include "base/check.h"
 
 namespace bddfc {
 
@@ -32,6 +37,520 @@ std::string JsonEscape(std::string_view s) {
     }
   }
   return out;
+}
+
+// --- JsonValue ---------------------------------------------------------------
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Int(std::int64_t i) {
+  JsonValue v;
+  v.kind_ = Kind::kInt;
+  v.int_ = i;
+  return v;
+}
+
+JsonValue JsonValue::Double(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kDouble;
+  v.double_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool JsonValue::AsBool() const {
+  BDDFC_CHECK(kind_ == Kind::kBool);
+  return bool_;
+}
+
+std::int64_t JsonValue::AsInt() const {
+  BDDFC_CHECK(is_number());
+  return kind_ == Kind::kInt ? int_ : static_cast<std::int64_t>(double_);
+}
+
+double JsonValue::AsDouble() const {
+  BDDFC_CHECK(is_number());
+  return kind_ == Kind::kDouble ? double_ : static_cast<double>(int_);
+}
+
+const std::string& JsonValue::AsString() const {
+  BDDFC_CHECK(kind_ == Kind::kString);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  BDDFC_CHECK(kind_ == Kind::kArray);
+  return array_;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::FindString(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v : nullptr;
+}
+
+const JsonValue* JsonValue::FindInt(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v : nullptr;
+}
+
+const JsonValue* JsonValue::FindBool(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_bool()) ? v : nullptr;
+}
+
+void JsonValue::Push(JsonValue v) {
+  BDDFC_CHECK(kind_ == Kind::kArray);
+  array_.push_back(std::move(v));
+}
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  BDDFC_CHECK(kind_ == Kind::kObject);
+  for (auto& [k, old] : object_) {
+    if (k == key) {
+      old = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(v));
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::Members()
+    const {
+  BDDFC_CHECK(kind_ == Kind::kObject);
+  return object_;
+}
+
+void JsonValue::DumpTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int_));
+      *out += buf;
+      break;
+    }
+    case Kind::kDouble: {
+      if (!std::isfinite(double_)) {  // JSON has no Inf/NaN literals
+        *out += "null";
+        break;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      *out += buf;
+      break;
+    }
+    case Kind::kString:
+      *out += '"';
+      *out += JsonEscape(string_);
+      *out += '"';
+      break;
+    case Kind::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const JsonValue& v : array_) {
+        if (!first) *out += ',';
+        first = false;
+        v.DumpTo(out);
+      }
+      *out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) *out += ',';
+        first = false;
+        *out += '"';
+        *out += JsonEscape(k);
+        *out += "\":";
+        v.DumpTo(out);
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+// --- Parser ------------------------------------------------------------------
+
+namespace {
+
+// Recursive-descent parser over a bounded view. Every advance is bounds
+// checked; errors unwind via the `ok_` flag (no exceptions, no aborts).
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  std::optional<JsonValue> Run(std::string* error) {
+    SkipWs();
+    JsonValue v = ParseValue(0);
+    if (ok_) {
+      SkipWs();
+      if (pos_ != text_.size()) Fail("trailing content after document");
+    }
+    if (!ok_) {
+      if (error != nullptr) {
+        *error = "offset " + std::to_string(err_pos_) + ": " + err_msg_;
+      }
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void Fail(const char* msg) {
+    if (ok_) {
+      ok_ = false;
+      err_msg_ = msg;
+      err_pos_ = pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWs() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char want) {
+    if (AtEnd() || Peek() != want) return false;
+    ++pos_;
+    return true;
+  }
+
+  JsonValue ParseValue(std::size_t depth) {
+    if (!ok_) return JsonValue();
+    if (depth > max_depth_) {
+      Fail("document nested too deeply");
+      return JsonValue();
+    }
+    if (AtEnd()) {
+      Fail("unexpected end of input");
+      return JsonValue();
+    }
+    switch (Peek()) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        std::string s = ParseString();
+        return ok_ ? JsonValue::Str(std::move(s)) : JsonValue();
+      }
+      case 't':
+        return ParseLiteral("true", JsonValue::Bool(true));
+      case 'f':
+        return ParseLiteral("false", JsonValue::Bool(false));
+      case 'n':
+        return ParseLiteral("null", JsonValue::Null());
+      default:
+        return ParseNumber();
+    }
+  }
+
+  JsonValue ParseLiteral(std::string_view word, JsonValue value) {
+    if (text_.substr(pos_, word.size()) != word) {
+      Fail("invalid literal");
+      return JsonValue();
+    }
+    pos_ += word.size();
+    return value;
+  }
+
+  JsonValue ParseObject(std::size_t depth) {
+    JsonValue obj = JsonValue::Object();
+    ++pos_;  // '{'
+    SkipWs();
+    if (Consume('}')) return obj;
+    while (ok_) {
+      SkipWs();
+      if (AtEnd() || Peek() != '"') {
+        Fail("expected object key string");
+        return JsonValue();
+      }
+      std::string key = ParseString();
+      if (!ok_) return JsonValue();
+      SkipWs();
+      if (!Consume(':')) {
+        Fail("expected ':' after object key");
+        return JsonValue();
+      }
+      SkipWs();
+      JsonValue v = ParseValue(depth + 1);
+      if (!ok_) return JsonValue();
+      obj.Set(std::move(key), std::move(v));
+      SkipWs();
+      if (Consume('}')) return obj;
+      if (!Consume(',')) {
+        Fail("expected ',' or '}' in object");
+        return JsonValue();
+      }
+    }
+    return JsonValue();
+  }
+
+  JsonValue ParseArray(std::size_t depth) {
+    JsonValue arr = JsonValue::Array();
+    ++pos_;  // '['
+    SkipWs();
+    if (Consume(']')) return arr;
+    while (ok_) {
+      SkipWs();
+      JsonValue v = ParseValue(depth + 1);
+      if (!ok_) return JsonValue();
+      arr.Push(std::move(v));
+      SkipWs();
+      if (Consume(']')) return arr;
+      if (!Consume(',')) {
+        Fail("expected ',' or ']' in array");
+        return JsonValue();
+      }
+    }
+    return JsonValue();
+  }
+
+  static int HexDigit(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  }
+
+  // Parses a \uXXXX escape body (pos_ past the 'u'); returns the code unit
+  // or -1 on error.
+  int ParseHex4() {
+    if (pos_ + 4 > text_.size()) return -1;
+    int value = 0;
+    for (int i = 0; i < 4; ++i) {
+      int d = HexDigit(text_[pos_ + i]);
+      if (d < 0) return -1;
+      value = value * 16 + d;
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  static void AppendUtf8(std::string* out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      *out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *out += static_cast<char>(0xC0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *out += static_cast<char>(0xE0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string ParseString() {
+    std::string out;
+    ++pos_;  // opening '"'
+    while (true) {
+      if (AtEnd()) {
+        Fail("unterminated string");
+        return out;
+      }
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        Fail("unescaped control character in string");
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (AtEnd()) {
+        Fail("unterminated escape");
+        return out;
+      }
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          int unit = ParseHex4();
+          if (unit < 0) {
+            Fail("invalid \\u escape");
+            return out;
+          }
+          std::uint32_t cp = static_cast<std::uint32_t>(unit);
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: need a pair
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              int low = ParseHex4();
+              if (low < 0xDC00 || low > 0xDFFF) {
+                Fail("invalid surrogate pair");
+                return out;
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) +
+                   (static_cast<std::uint32_t>(low) - 0xDC00);
+            } else {
+              Fail("unpaired surrogate");
+              return out;
+            }
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            Fail("unpaired surrogate");
+            return out;
+          }
+          AppendUtf8(&out, cp);
+          break;
+        }
+        default:
+          Fail("invalid escape character");
+          return out;
+      }
+    }
+  }
+
+  JsonValue ParseNumber() {
+    std::size_t start = pos_;
+    Consume('-');
+    if (AtEnd() || Peek() < '0' || Peek() > '9') {
+      pos_ = start;
+      Fail("invalid value");
+      return JsonValue();
+    }
+    bool integral = true;
+    const std::size_t int_start = pos_;
+    while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    // RFC 8259: no leading zeros ("01" is two tokens, i.e. malformed).
+    if (pos_ - int_start > 1 && text_[int_start] == '0') {
+      pos_ = int_start;
+      Fail("leading zero in number");
+      return JsonValue();
+    }
+    if (!AtEnd() && Peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        Fail("expected digit after decimal point");
+        return JsonValue();
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        Fail("expected digit in exponent");
+        return JsonValue();
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno != ERANGE && end == token.c_str() + token.size()) {
+        return JsonValue::Int(v);
+      }
+      // Out-of-range integers fall through to double (lossy but defined).
+    }
+    errno = 0;
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      Fail("invalid number");
+      return JsonValue();
+    }
+    return JsonValue::Double(d);
+  }
+
+  std::string_view text_;
+  std::size_t max_depth_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::string err_msg_;
+  std::size_t err_pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> JsonParse(std::string_view text, std::string* error,
+                                   std::size_t max_depth) {
+  return Parser(text, max_depth).Run(error);
 }
 
 }  // namespace bddfc

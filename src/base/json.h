@@ -1,17 +1,100 @@
-// Minimal JSON string escaping, shared by every JSON reporter in the tree
-// (the bench harness, chase_cli --json).
+// Minimal JSON support shared by every JSON producer/consumer in the tree:
+// string escaping (the bench harness, chase_cli --json) and a small
+// document model with a hardened parser (the bddfc_server wire protocol).
+//
+// The parser is written for hostile input — a server must survive any byte
+// sequence a client sends. It never aborts or throws on malformed text; it
+// returns std::nullopt and a position-annotated message instead. Nesting
+// depth is capped so adversarially deep documents cannot exhaust the stack.
 
 #ifndef BDDFC_BASE_JSON_H_
 #define BDDFC_BASE_JSON_H_
 
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace bddfc {
 
 /// Escapes `s` for embedding inside a JSON string literal: quotes,
 /// backslashes, \n, \t, and all other control characters (as \u00xx).
 std::string JsonEscape(std::string_view s);
+
+/// One JSON document node. Objects keep their members in insertion order
+/// (the wire protocol echoes fields back in a stable order); lookup is
+/// linear, which is fine for the handful of keys a request carries.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Int(std::int64_t i);
+  static JsonValue Double(double d);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors. Calling the wrong one aborts (programmer error, as
+  /// elsewhere in the tree) — protocol code checks kind first.
+  bool AsBool() const;
+  std::int64_t AsInt() const;  // kDouble values are truncated
+  double AsDouble() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+
+  /// Object member access: value of `key`, or nullptr when absent (or when
+  /// this is not an object — so lookup chains never abort on bad input).
+  const JsonValue* Find(std::string_view key) const;
+  /// Find + kind filter: the member if present *and* of the wanted kind.
+  const JsonValue* FindString(std::string_view key) const;
+  const JsonValue* FindInt(std::string_view key) const;
+  const JsonValue* FindBool(std::string_view key) const;
+
+  /// Builders.
+  void Push(JsonValue v);                       // array append
+  void Set(std::string key, JsonValue v);       // object insert/replace
+  const std::vector<std::pair<std::string, JsonValue>>& Members() const;
+
+  /// Serializes to a single-line JSON document (no trailing newline).
+  std::string Dump() const;
+  void DumpTo(std::string* out) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses one complete JSON document from `text`. Trailing content after
+/// the document (other than whitespace) is an error. On failure returns
+/// std::nullopt and, when `error` is non-null, a message of the form
+/// "offset N: ...". Never aborts, throws, or reads out of bounds, whatever
+/// the input; documents nested deeper than `max_depth` are rejected.
+std::optional<JsonValue> JsonParse(std::string_view text,
+                                   std::string* error = nullptr,
+                                   std::size_t max_depth = 64);
 
 }  // namespace bddfc
 

@@ -13,10 +13,17 @@ Instance::Instance(Universe* universe, StorageKind storage)
 }
 
 Instance::Instance(const Instance& other)
-    : Instance(other, other.storage()) {}
+    : universe_(other.universe_), store_(other.store_->Clone()) {}
 
 Instance::Instance(const Instance& other, StorageKind storage)
-    : universe_(other.universe_), store_(FactStore::Create(storage)) {
+    : universe_(other.universe_) {
+  if (storage == other.storage()) {
+    // Same backend: the store's deep copy preserves index structures and
+    // run layout instead of replaying every atom through the hash paths.
+    store_ = other.store_->Clone();
+    return;
+  }
+  store_ = FactStore::Create(storage);
   // atoms()[0] is ⊤, so the bulk append reconstructs the full sequence
   // (including the implicit fact) in order.
   store_->AddAtoms(other.atoms());

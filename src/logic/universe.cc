@@ -66,7 +66,9 @@ Term Universe::FreshVariable(std::string_view prefix) {
   return Term::MakeVariable(variables_.Fresh(prefix));
 }
 
-Term Universe::FreshNull() { return Term::MakeNull(null_count_++); }
+Term Universe::FreshNull() {
+  return Term::MakeNull(null_count_.fetch_add(1, std::memory_order_relaxed));
+}
 
 std::string Universe::TermName(Term t) const {
   BDDFC_CHECK(t.IsValid());

@@ -9,6 +9,7 @@
 #ifndef BDDFC_LOGIC_UNIVERSE_H_
 #define BDDFC_LOGIC_UNIVERSE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -70,7 +71,9 @@ class Universe {
 
   std::size_t num_constants() const { return constants_.size(); }
   std::size_t num_variables() const { return variables_.size(); }
-  std::size_t num_nulls() const { return null_count_; }
+  std::size_t num_nulls() const {
+    return null_count_.load(std::memory_order_relaxed);
+  }
 
   static constexpr PredicateId kNoPredicate = 0xffffffffu;
 
@@ -81,7 +84,10 @@ class Universe {
   std::vector<int> arities_;
   SymbolTable constants_;
   SymbolTable variables_;
-  std::uint32_t null_count_ = 0;
+  // Atomic so a server status/render thread can read num_nulls() while the
+  // writer's chase invents nulls — the only Universe mutation the chase
+  // performs (see src/serve/server.h for the full Universe thread model).
+  std::atomic<std::uint32_t> null_count_{0};
 };
 
 }  // namespace bddfc

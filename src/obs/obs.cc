@@ -4,6 +4,7 @@
 #include <bit>
 #include <chrono>
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -368,6 +369,10 @@ bool CancelRequested() {
 
 void ClearCancel() {
   g_cancel_requested.store(false, std::memory_order_relaxed);
+}
+
+void InstallSigintCancel() {
+  std::signal(SIGINT, [](int) { RequestCancel(); });
 }
 
 }  // namespace obs

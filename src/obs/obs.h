@@ -331,10 +331,20 @@ std::uint64_t CurrentRssBytes();
 
 // Cooperative cancellation: a process-global flag the chase polls between
 // candidate firings. RequestCancel is async-signal-safe (one relaxed store)
-// so chase_cli's SIGINT handler can call it directly.
+// so a SIGINT handler can call it directly.
 void RequestCancel();
 bool CancelRequested();
 void ClearCancel();
+
+/// Installs a SIGINT handler that calls RequestCancel() — the one shared
+/// interrupt discipline of the tools (chase_cli, bddfc_server): the handler
+/// only sets the flag; the tool polls CancelRequested() at its loop
+/// boundaries, drains in-flight work, flushes any active trace, and exits
+/// with the conventional 128+SIGINT status (kExitInterrupted).
+void InstallSigintCancel();
+
+/// 130 = 128 + SIGINT, the shell convention for "terminated by Ctrl-C".
+inline constexpr int kExitInterrupted = 130;
 
 }  // namespace obs
 }  // namespace bddfc

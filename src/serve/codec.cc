@@ -1,0 +1,162 @@
+#include "serve/codec.h"
+
+#include <utility>
+
+namespace bddfc {
+namespace serve {
+
+void LineFramer::Feed(std::string_view data, std::vector<Frame>* out) {
+  std::size_t start = 0;
+  while (start <= data.size()) {
+    const std::size_t nl = data.find('\n', start);
+    if (nl == std::string_view::npos) {
+      std::string_view rest = data.substr(start);
+      if (discarding_) return;
+      if (partial_.size() + rest.size() > max_line_bytes_) {
+        discarding_ = true;
+        partial_.clear();
+        partial_.shrink_to_fit();
+      } else {
+        partial_.append(rest);
+      }
+      return;
+    }
+    if (discarding_) {
+      // The oversized line just ended; report it and resume framing.
+      discarding_ = false;
+      out->push_back(Frame{std::string(), /*oversized=*/true});
+    } else if (partial_.size() + (nl - start) > max_line_bytes_) {
+      partial_.clear();
+      out->push_back(Frame{std::string(), /*oversized=*/true});
+    } else {
+      std::string line = std::move(partial_);
+      partial_.clear();
+      line.append(data.substr(start, nl - start));
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) out->push_back(Frame{std::move(line), false});
+    }
+    start = nl + 1;
+  }
+}
+
+bool LineFramer::Flush(Frame* out) {
+  if (discarding_) {
+    discarding_ = false;
+    *out = Frame{std::string(), /*oversized=*/true};
+    return true;
+  }
+  if (partial_.empty()) return false;
+  std::string line = std::move(partial_);
+  partial_.clear();
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line.empty()) return false;
+  *out = Frame{std::move(line), false};
+  return true;
+}
+
+std::optional<Request> DecodeRequest(const JsonValue& doc, std::string* error,
+                                     std::optional<std::int64_t>* id) {
+  if (id != nullptr) id->reset();
+  if (!doc.is_object()) {
+    *error = "request must be a JSON object";
+    return std::nullopt;
+  }
+  Request req;
+  if (const JsonValue* v = doc.Find("id"); v != nullptr) {
+    if (!v->is_int()) {
+      *error = "\"id\" must be an integer";
+      return std::nullopt;
+    }
+    req.id = v->AsInt();
+    if (id != nullptr) *id = req.id;
+  }
+  const JsonValue* op = doc.FindString("op");
+  if (op == nullptr) {
+    *error = "missing string field \"op\"";
+    return std::nullopt;
+  }
+  const std::string& name = op->AsString();
+  if (name == "ping") {
+    req.op = RequestOp::kPing;
+  } else if (name == "status") {
+    req.op = RequestOp::kStatus;
+  } else if (name == "metrics") {
+    req.op = RequestOp::kMetrics;
+  } else if (name == "prepare") {
+    req.op = RequestOp::kPrepare;
+    const JsonValue* plan_name = doc.FindString("name");
+    const JsonValue* query = doc.FindString("query");
+    if (plan_name == nullptr || plan_name->AsString().empty()) {
+      *error = "\"prepare\" needs a non-empty string \"name\"";
+      return std::nullopt;
+    }
+    if (query == nullptr) {
+      *error = "\"prepare\" needs a string \"query\"";
+      return std::nullopt;
+    }
+    req.name = plan_name->AsString();
+    req.query = query->AsString();
+  } else if (name == "query") {
+    req.op = RequestOp::kQuery;
+    const JsonValue* query = doc.FindString("query");
+    const JsonValue* prepared = doc.FindString("prepared");
+    if ((query == nullptr) == (prepared == nullptr)) {
+      *error = "\"query\" needs exactly one of \"query\" or \"prepared\"";
+      return std::nullopt;
+    }
+    if (query != nullptr) req.query = query->AsString();
+    if (prepared != nullptr) {
+      req.use_prepared = true;
+      req.prepared = prepared->AsString();
+    }
+    if (const JsonValue* mode = doc.Find("mode"); mode != nullptr) {
+      if (!mode->is_string()) {
+        *error = "\"mode\" must be a string";
+        return std::nullopt;
+      }
+      const std::string& m = mode->AsString();
+      if (m == "all") {
+        req.mode = QueryMode::kAll;
+      } else if (m == "count") {
+        req.mode = QueryMode::kCount;
+      } else if (m == "ask") {
+        req.mode = QueryMode::kAsk;
+      } else {
+        *error = "\"mode\" must be \"all\", \"count\" or \"ask\"";
+        return std::nullopt;
+      }
+    }
+  } else if (name == "add") {
+    req.op = RequestOp::kAdd;
+    const JsonValue* facts = doc.FindString("facts");
+    if (facts == nullptr) {
+      *error = "\"add\" needs a string \"facts\"";
+      return std::nullopt;
+    }
+    req.facts = facts->AsString();
+  } else {
+    *error = "unknown op \"" + name + "\"";
+    return std::nullopt;
+  }
+  return req;
+}
+
+std::string ErrorReply(std::optional<std::int64_t> id, std::string_view code,
+                       std::string_view message) {
+  JsonValue reply = JsonValue::Object();
+  reply.Set("ok", JsonValue::Bool(false));
+  if (id.has_value()) reply.Set("id", JsonValue::Int(*id));
+  reply.Set("error", JsonValue::Str(std::string(code)));
+  reply.Set("message", JsonValue::Str(std::string(message)));
+  return reply.Dump();
+}
+
+JsonValue OkReply(std::optional<std::int64_t> id) {
+  JsonValue reply = JsonValue::Object();
+  reply.Set("ok", JsonValue::Bool(true));
+  if (id.has_value()) reply.Set("id", JsonValue::Int(*id));
+  return reply;
+}
+
+}  // namespace serve
+}  // namespace bddfc

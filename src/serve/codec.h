@@ -1,0 +1,108 @@
+// The bddfc_server wire codec: newline-delimited JSON requests in, one
+// JSON reply line per request out.
+//
+// Protocol (one JSON object per line; see README "Serving"):
+//
+//   {"op":"ping"}
+//   {"op":"status"}
+//   {"op":"metrics"}
+//   {"op":"prepare","name":"q1","query":"?(x) :- Person(x)"}
+//   {"op":"query","query":"?(x) :- Person(x)","mode":"all"}
+//   {"op":"query","prepared":"q1","mode":"count"}
+//   {"op":"add","facts":"Person(dana). Advises(dana,eli)."}
+//
+// Every request may carry an integer "id", echoed verbatim in the reply.
+// Replies always carry "ok"; failures are {"ok":false,"error":CODE,
+// "message":...} — a malformed, truncated or oversized client line yields
+// such a reply, never a crash or CHECK failure (the hardened JsonParse in
+// src/base/json.h does the heavy lifting; this layer adds line framing and
+// request validation on top).
+
+#ifndef BDDFC_SERVE_CODEC_H_
+#define BDDFC_SERVE_CODEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/json.h"
+
+namespace bddfc {
+namespace serve {
+
+/// One framed input line. An `oversized` frame stands for a line that
+/// exceeded the framer's byte budget: its text is dropped (the framer
+/// never buffers unbounded client data) and the dispatcher replies with an
+/// error instead of processing it.
+struct Frame {
+  std::string line;
+  bool oversized = false;
+};
+
+/// Incremental newline framing over an arbitrary byte stream: feed network
+/// reads of any granularity, get complete lines out. '\r\n' is tolerated
+/// (the '\r' is stripped); empty lines are dropped (harmless keep-alive
+/// noise). Lines longer than `max_line_bytes` are discarded as they
+/// stream through and surface as one oversized Frame each.
+class LineFramer {
+ public:
+  static constexpr std::size_t kDefaultMaxLineBytes = 1 << 20;
+
+  explicit LineFramer(std::size_t max_line_bytes = kDefaultMaxLineBytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Appends `data` to the stream; every line completed by it is appended
+  /// to `out`.
+  void Feed(std::string_view data, std::vector<Frame>* out);
+
+  /// Flushes a trailing unterminated line at end-of-stream (a client that
+  /// closed without a final newline still gets its last request served).
+  /// Returns false when nothing was pending.
+  bool Flush(Frame* out);
+
+ private:
+  std::size_t max_line_bytes_;
+  std::string partial_;
+  bool discarding_ = false;  // inside an oversized line, dropping bytes
+};
+
+/// Parsed request operations. kQuery either carries inline query text or
+/// references a plan prepared earlier on the same session.
+enum class RequestOp { kPing, kStatus, kMetrics, kPrepare, kQuery, kAdd };
+
+/// How a kQuery responds: full answer set, count only, or Boolean.
+enum class QueryMode { kAll, kCount, kAsk };
+
+struct Request {
+  RequestOp op = RequestOp::kPing;
+  std::optional<std::int64_t> id;  // echoed in the reply when present
+  std::string query;               // kQuery/kPrepare: inline CQ text
+  bool use_prepared = false;       // kQuery: execute a prepared plan
+  std::string prepared;            // kQuery: name of that plan
+  std::string name;                // kPrepare: plan name to bind
+  std::string facts;               // kAdd: facts text (parser.h syntax)
+  QueryMode mode = QueryMode::kAll;
+};
+
+/// Validates a parsed JSON document as a Request. On failure returns
+/// std::nullopt with a human-readable message in `*error` (and the
+/// request's id, if one was readable, in `*id` so the error reply can echo
+/// it).
+std::optional<Request> DecodeRequest(const JsonValue& doc, std::string* error,
+                                     std::optional<std::int64_t>* id);
+
+/// One serialized error reply line (no trailing newline). `code` is a
+/// stable machine-readable token (e.g. "bad_json", "bad_request",
+/// "parse_error", "unknown_plan", "oversized"); `message` is free-form.
+std::string ErrorReply(std::optional<std::int64_t> id, std::string_view code,
+                       std::string_view message);
+
+/// Starts a success reply: {"ok":true} with the id echoed when present.
+JsonValue OkReply(std::optional<std::int64_t> id);
+
+}  // namespace serve
+}  // namespace bddfc
+
+#endif  // BDDFC_SERVE_CODEC_H_

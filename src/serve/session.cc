@@ -1,0 +1,50 @@
+#include "serve/session.h"
+
+#include <utility>
+
+namespace bddfc {
+namespace serve {
+
+void Session::AddPlan(const std::string& name, PreparedQuery plan) {
+  auto handle = std::make_shared<const PreparedQuery>(std::move(plan));
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_[name] = std::move(handle);
+}
+
+std::shared_ptr<const PreparedQuery> Session::FindPlan(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plans_.find(name);
+  return it == plans_.end() ? nullptr : it->second;
+}
+
+std::size_t Session::num_plans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+std::shared_ptr<Session> SessionRegistry::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto session = std::make_shared<Session>(next_id_);
+  sessions_.emplace(next_id_, session);
+  ++next_id_;
+  return session;
+}
+
+void SessionRegistry::Close(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(id);
+}
+
+std::size_t SessionRegistry::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+std::uint64_t SessionRegistry::opened_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_ - 1;
+}
+
+}  // namespace serve
+}  // namespace bddfc

@@ -1,0 +1,64 @@
+// Client sessions: one per connection (or one for the whole stdio stream),
+// each holding its private prepared-plan cache. Plans are planned once
+// (Reasoner::PrepareDetached, no live-state binding) and then executed
+// lock-free against pinned snapshots by any number of in-flight requests
+// of the session — hence the shared_ptr<const PreparedQuery> handles.
+
+#ifndef BDDFC_SERVE_SESSION_H_
+#define BDDFC_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "api/reasoner.h"
+
+namespace bddfc {
+namespace serve {
+
+class Session {
+ public:
+  explicit Session(std::uint64_t id) : id_(id) {}
+
+  std::uint64_t id() const { return id_; }
+
+  /// Binds (or rebinds) `name` to a plan. Thread-safe.
+  void AddPlan(const std::string& name, PreparedQuery plan);
+
+  /// The plan bound to `name`, or nullptr. Thread-safe; the handle stays
+  /// valid even if the name is rebound while a request executes it.
+  std::shared_ptr<const PreparedQuery> FindPlan(const std::string& name) const;
+
+  std::size_t num_plans() const;
+
+ private:
+  const std::uint64_t id_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const PreparedQuery>> plans_;
+};
+
+/// The set of live sessions. Open() assigns monotonically increasing ids;
+/// Close() drops the registry's reference (in-flight requests holding the
+/// shared_ptr finish safely).
+class SessionRegistry {
+ public:
+  std::shared_ptr<Session> Open();
+  void Close(std::uint64_t id);
+
+  /// Currently open sessions.
+  std::size_t active() const;
+  /// Sessions ever opened (a monotone counter for status replies).
+  std::uint64_t opened_total() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace serve
+}  // namespace bddfc
+
+#endif  // BDDFC_SERVE_SESSION_H_

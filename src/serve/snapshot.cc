@@ -1,0 +1,68 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace bddfc {
+namespace serve {
+
+namespace {
+
+ReasonerOptions ForceMaterialize(ReasonerOptions options) {
+  options.strategy = AnswerStrategy::kMaterialize;
+  return options;
+}
+
+}  // namespace
+
+SnapshotManager::SnapshotManager(const Instance& database, RuleSet rules,
+                                 ReasonerOptions options)
+    : reasoner_(database, std::move(rules), ForceMaterialize(options)) {
+  reasoner_.Materialize();
+  current_.store(BuildSnapshot(0), std::memory_order_release);
+}
+
+std::shared_ptr<const EpochSnapshot> SnapshotManager::BuildSnapshot(
+    std::uint64_t epoch) {
+  BDDFC_OBS_SPAN(span, "serve", "serve.snapshot_publish");
+  auto snap = std::make_shared<EpochSnapshot>();
+  snap->epoch = epoch;
+  snap->base_atoms = reasoner_.database().size();
+  const ReasonerStats& stats = reasoner_.stats();
+  snap->saturated = stats.chase_saturated;
+  snap->hit_bounds = stats.chase_hit_bounds;
+  // The deep copy goes through FactStore::Clone(): atom order, index
+  // structures and run layout are preserved, so queries against the
+  // snapshot behave exactly like queries against the live result.
+  snap->materialization =
+      std::make_shared<const Instance>(reasoner_.Materialize());
+  snap->atoms = snap->materialization->size();
+  span.Arg("epoch", epoch);
+  span.Arg("atoms", snap->atoms);
+  static obs::Counter* published =
+      obs::Metrics().GetCounter("serve.snapshots_published");
+  published->Add(1);
+  return snap;
+}
+
+SnapshotManager::ApplyResult SnapshotManager::ApplyFacts(
+    const std::vector<Atom>& facts) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  BDDFC_OBS_SPAN(span, "serve", "serve.apply_facts");
+  span.Arg("batch", facts.size());
+  ApplyResult result;
+  result.added = reasoner_.AddFacts(facts);
+  span.Arg("added", result.added);
+  if (result.added == 0) {
+    result.snapshot = Pin();
+    return result;
+  }
+  const std::uint64_t next_epoch = Pin()->epoch + 1;
+  result.snapshot = BuildSnapshot(next_epoch);
+  current_.store(result.snapshot, std::memory_order_release);
+  return result;
+}
+
+}  // namespace serve
+}  // namespace bddfc

@@ -1,0 +1,109 @@
+// Epoch-based copy-on-write snapshots over one Reasoner session: the
+// concurrency core of bddfc_server.
+//
+// The FactStore is append-only and the incremental chase is resumable
+// (Reasoner::AddFacts drives ObliviousChase::AddBaseFacts), so the server's
+// read/write split is clean:
+//
+//   * The single writer takes `writer_mu_`, folds a facts batch into the
+//     session (incremental chase, never from scratch), deep-copies the
+//     resulting materialization via FactStore::Clone() — index structures
+//     and sorted-run layout included, no re-hash, no re-seal — and
+//     publishes it as the next EpochSnapshot through one atomic
+//     shared_ptr store.
+//   * Readers Pin() the current snapshot with one atomic shared_ptr load —
+//     they never touch the writer lock — and evaluate prepared queries
+//     against the pinned immutable Instance (concurrent const queries are
+//     already the FactStore contract). A pinned snapshot stays alive for
+//     as long as any reader holds it, however many epochs the writer has
+//     published since.
+//
+// Readers therefore never block writers and writers never block readers;
+// each reply reports the epoch its answers were computed at, and answers
+// at epoch e are exactly the answers of a one-shot chase of the base facts
+// as of epoch e (the AddBaseFacts ≡ from-scratch equivalence proven in the
+// API tests; tests/serve_test.cc re-checks it through this layer under
+// concurrency).
+//
+// Universe contract (see server.h): the chase only *reads* interned
+// symbols (arity checks) and invents nulls through the atomic null
+// counter, so ApplyFacts may run concurrently with readers rendering
+// names; callers that intern new symbols (parsing) must be exclusive with
+// ApplyFacts — the server's shared_mutex enforces exactly that.
+
+#ifndef BDDFC_SERVE_SNAPSHOT_H_
+#define BDDFC_SERVE_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "api/reasoner.h"
+#include "logic/instance.h"
+#include "logic/rule.h"
+
+namespace bddfc {
+namespace serve {
+
+/// One immutable published epoch: the materialization of the session's
+/// base facts as of this epoch, plus the metadata replies report.
+struct EpochSnapshot {
+  std::uint64_t epoch = 0;
+  std::size_t base_atoms = 0;  // session base facts (incl. the implicit ⊤)
+  std::size_t atoms = 0;       // materialization size
+  bool saturated = false;      // the chase saturated (answers complete)
+  bool hit_bounds = false;     // the chase stopped at its step/atom budget
+  std::shared_ptr<const Instance> materialization;
+};
+
+/// Owns the Reasoner and the published snapshot chain. See file comment.
+class SnapshotManager {
+ public:
+  /// Builds the session (the Reasoner copies `database`), materializes
+  /// epoch 0 and publishes it. `options.strategy` is ignored — snapshot
+  /// answering is materialize-semantics by construction.
+  SnapshotManager(const Instance& database, RuleSet rules,
+                  ReasonerOptions options);
+
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  /// The current snapshot: one atomic load, wait-free with respect to the
+  /// writer. Never null after construction.
+  std::shared_ptr<const EpochSnapshot> Pin() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  struct ApplyResult {
+    std::size_t added = 0;  // atoms new to the base instance
+    std::shared_ptr<const EpochSnapshot> snapshot;  // current after apply
+  };
+
+  /// Folds a facts batch into the session under the writer lock and, when
+  /// anything was new, publishes the next epoch. A batch of duplicates
+  /// publishes nothing and returns the unchanged current snapshot.
+  /// Serialized internally; facts must be all-constant atoms interned in
+  /// the session universe (Reasoner::AddFacts CHECKs this — validate
+  /// client input before calling).
+  ApplyResult ApplyFacts(const std::vector<Atom>& facts);
+
+  /// The underlying session, for planning (PrepareDetached) and
+  /// introspection. Plan calls must be serialized by the caller — the
+  /// server's plan lock — but may overlap ApplyFacts.
+  Reasoner& reasoner() { return reasoner_; }
+  const Reasoner& reasoner() const { return reasoner_; }
+
+ private:
+  std::shared_ptr<const EpochSnapshot> BuildSnapshot(std::uint64_t epoch);
+
+  Reasoner reasoner_;
+  std::mutex writer_mu_;  // serializes ApplyFacts; readers never take it
+  std::atomic<std::shared_ptr<const EpochSnapshot>> current_;
+};
+
+}  // namespace serve
+}  // namespace bddfc
+
+#endif  // BDDFC_SERVE_SNAPSHOT_H_

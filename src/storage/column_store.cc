@@ -37,6 +37,25 @@ void ColumnStore::GrowSlots(std::size_t pending) {
   }
 }
 
+std::unique_ptr<FactStore> ColumnStore::Clone() const {
+  auto copy = std::make_unique<ColumnStore>();
+  copy->CopyBaseFrom(*this);
+  copy->slots_ = slots_;
+  copy->slots_used_ = slots_used_;
+  // Lock only to order against a concurrent lazy seal (EnsureRuns) on a
+  // query thread; mutation is single-threaded per the thread model.
+  std::lock_guard<std::mutex> lock(runs_mutex_);
+  copy->tables_.reserve(tables_.size());
+  for (const auto& table : tables_) {
+    copy->tables_.push_back(table == nullptr ? nullptr
+                                             : std::make_unique<PredTable>(
+                                                   *table));
+  }
+  copy->runs_current_.store(runs_current_.load(std::memory_order_acquire),
+                            std::memory_order_release);
+  return copy;
+}
+
 std::size_t ColumnStore::IndexOf(const Atom& atom) const {
   if (slots_.empty()) return SIZE_MAX;
   const std::uint32_t stored = slots_[FindSlot(atom)];

@@ -39,6 +39,10 @@ class ColumnStore final : public FactStore {
  public:
   StorageKind kind() const override { return StorageKind::kColumn; }
 
+  /// Deep copy preserving the membership table and the exact sorted-run
+  /// layout (no re-seal, no re-merge: NumRuns agrees with the original).
+  std::unique_ptr<FactStore> Clone() const override;
+
   bool AddAtom(const Atom& atom) override;
 
   /// Bulk append: grows the membership table to the batch's final size

@@ -293,6 +293,17 @@ class FactStore {
 
   virtual StorageKind kind() const = 0;
 
+  /// Deep-copies the store, preserving atom order, index structures and
+  /// (for the column store) the exact sorted-run layout, so the copy
+  /// answers every contract query identically to the original — including
+  /// run-structure diagnostics — without re-hashing or re-sealing anything.
+  /// Much faster than replaying atoms() through AddAtoms on a fresh store;
+  /// this is the epoch-snapshot path of the server (src/serve/snapshot.h).
+  /// The copy is fully independent: mutating either store never affects
+  /// the other (immutable cached artifacts may be shared). Thread-safe
+  /// against concurrent const queries, like any other const operation.
+  virtual std::unique_ptr<FactStore> Clone() const = 0;
+
   /// Adds an atom; returns true if it was not already present.
   virtual bool AddAtom(const Atom& atom) = 0;
 
@@ -382,6 +393,17 @@ class FactStore {
   /// Reserves room for `extra` further atoms (bulk loads).
   void ReserveAtoms(std::size_t extra) {
     atoms_.reserve(atoms_.size() + extra);
+  }
+
+  /// Copies the base-class state (atom sequence + active domain) from
+  /// `other` into this freshly created store. The generation counter stays
+  /// this store's own — no views borrowed from `other` can ever observe
+  /// the copy. Backends' Clone() implementations call this first.
+  void CopyBaseFrom(const FactStore& other) {
+    BDDFC_CHECK(atoms_.empty());
+    atoms_ = other.atoms_;
+    adom_ = other.adom_;
+    adom_set_ = other.adom_set_;
   }
 
   /// Borrowed view with this store's generation guard attached (release

@@ -7,6 +7,29 @@
 
 namespace bddfc {
 
+std::unique_ptr<FactStore> RowStore::Clone() const {
+  auto copy = std::make_unique<RowStore>();
+  copy->CopyBaseFrom(*this);
+  copy->pos_ = pos_;
+  {
+    // Lock only to order against a concurrent first-query index build;
+    // mutation is single-threaded per the FactStore thread model.
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    if (indexes_built_.load(std::memory_order_acquire)) {
+      copy->by_pred_ = by_pred_;
+      copy->by_pos_ = by_pos_;
+      copy->indexes_built_.store(true, std::memory_order_release);
+    }
+  }
+  {
+    // Published RunSnapshots are immutable; sharing them is safe and makes
+    // the clone's first SortedRuns query free.
+    std::lock_guard<std::mutex> lock(runs_mutex_);
+    copy->runs_cache_ = runs_cache_;
+  }
+  return copy;
+}
+
 bool RowStore::AddAtom(const Atom& atom) {
   if (!pos_.emplace(atom, size()).second) return false;
   const std::uint32_t idx = RecordAtom(atom);

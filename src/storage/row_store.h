@@ -28,6 +28,10 @@ class RowStore final : public FactStore {
  public:
   StorageKind kind() const override { return StorageKind::kRow; }
 
+  /// Deep copy: membership + (if built) hash indexes are copied, cached
+  /// run snapshots are shared (they are immutable once published).
+  std::unique_ptr<FactStore> Clone() const override;
+
   bool AddAtom(const Atom& atom) override;
 
   /// Bulk append: reserves the membership map for the batch's final size

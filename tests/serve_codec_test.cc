@@ -1,0 +1,354 @@
+// The serve wire codec: the hardened JSON parser (base/json.h), the
+// incremental line framer, and request decoding. The protocol promise
+// under test: a malformed, truncated, or oversized client line yields an
+// error reply — never a crash, CHECK failure, or unbounded buffer.
+
+#include <string>
+#include <vector>
+
+#include "base/json.h"
+#include "gtest/gtest.h"
+#include "serve/codec.h"
+
+namespace bddfc {
+namespace serve {
+namespace {
+
+// --- JsonValue / JsonParse ---------------------------------------------------
+
+TEST(JsonParse, ParsesScalars) {
+  EXPECT_TRUE(JsonParse("null")->is_null());
+  EXPECT_EQ(JsonParse("true")->AsBool(), true);
+  EXPECT_EQ(JsonParse("false")->AsBool(), false);
+  EXPECT_EQ(JsonParse("42")->AsInt(), 42);
+  EXPECT_EQ(JsonParse("-7")->AsInt(), -7);
+  EXPECT_DOUBLE_EQ(JsonParse("2.5")->AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(JsonParse("1e3")->AsDouble(), 1000.0);
+  EXPECT_EQ(JsonParse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParse, ParsesNestedDocument) {
+  auto doc =
+      JsonParse(R"json({"op":"query","id":3,"args":[1,2,{"k":true}]})json");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->FindString("op")->AsString(), "query");
+  EXPECT_EQ(doc->FindInt("id")->AsInt(), 3);
+  const JsonValue* args = doc->Find("args");
+  ASSERT_NE(args, nullptr);
+  ASSERT_TRUE(args->is_array());
+  ASSERT_EQ(args->AsArray().size(), 3u);
+  EXPECT_EQ(args->AsArray()[2].FindBool("k")->AsBool(), true);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(JsonParse(R"json("a\nb\t\"\\")json")->AsString(), "a\nb\t\"\\");
+  // \uXXXX incl. a surrogate pair (U+1F600) and plain BMP.
+  EXPECT_EQ(JsonParse(R"json("\u0041")json")->AsString(), "A");
+  EXPECT_EQ(JsonParse(R"json("\u00e9")json")->AsString(), "\xc3\xa9");
+  EXPECT_EQ(JsonParse(R"json("\ud83d\ude00")json")->AsString(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, IntOverflowFallsBackToDouble) {
+  auto doc = JsonParse("99999999999999999999999999");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(doc->is_number());
+  EXPECT_FALSE(doc->is_int());
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  // Every entry must fail cleanly: nullopt plus a position-annotated
+  // message, no aborts.
+  const char* bad[] = {
+      "",
+      "   ",
+      "{",
+      "}",
+      "[1,2",
+      "{\"a\":}",
+      "{\"a\" 1}",
+      "{\"a\":1,}",
+      "[1,]",
+      "\"unterminated",
+      "\"bad escape \\q\"",
+      "\"\\u12\"",
+      "\"\\ud83d\"",  // lone high surrogate
+      "tru",
+      "nulll",
+      "01",
+      "1.2.3",
+      "+1",
+      "- 1",
+      "{\"a\":1} trailing",
+      "\x01",
+      "{\xff}",
+  };
+  for (const char* text : bad) {
+    std::string error;
+    EXPECT_FALSE(JsonParse(text, &error).has_value()) << text;
+    EXPECT_NE(error.find("offset"), std::string::npos) << text;
+  }
+}
+
+TEST(JsonParse, RejectsControlCharactersInStrings) {
+  EXPECT_FALSE(JsonParse("\"a\nb\"").has_value());
+  EXPECT_FALSE(JsonParse(std::string_view("\"a\0b\"", 5)).has_value());
+}
+
+TEST(JsonParse, DepthCapRejectsDeepNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  std::string error;
+  EXPECT_FALSE(JsonParse(deep, &error).has_value());
+  EXPECT_NE(error.find("nest"), std::string::npos);
+  // At or under the cap it parses.
+  std::string ok;
+  for (int i = 0; i < 64; ++i) ok += '[';
+  for (int i = 0; i < 64; ++i) ok += ']';
+  EXPECT_TRUE(JsonParse(ok).has_value());
+}
+
+TEST(JsonParse, ArbitraryBytePrefixesNeverCrash) {
+  // Truncations of a valid request at every byte: all must fail or parse
+  // without aborting (only the full line parses).
+  const std::string line =
+      R"json({"op":"query","id":9,"query":"?(x) :- E(x,\"y\")","mode":"all"})json";
+  for (std::size_t n = 0; n < line.size(); ++n) {
+    std::string error;
+    auto doc = JsonParse(line.substr(0, n), &error);
+    EXPECT_FALSE(doc.has_value()) << n;
+  }
+  EXPECT_TRUE(JsonParse(line).has_value());
+}
+
+TEST(JsonValue, DumpRoundTrips) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("ok", JsonValue::Bool(true));
+  obj.Set("n", JsonValue::Int(-3));
+  obj.Set("s", JsonValue::Str("a\"b\n"));
+  JsonValue arr = JsonValue::Array();
+  arr.Push(JsonValue::Null());
+  arr.Push(JsonValue::Double(0.5));
+  obj.Set("a", std::move(arr));
+  const std::string dumped = obj.Dump();
+  auto parsed = JsonParse(dumped);
+  ASSERT_TRUE(parsed.has_value()) << dumped;
+  EXPECT_EQ(parsed->FindBool("ok")->AsBool(), true);
+  EXPECT_EQ(parsed->FindInt("n")->AsInt(), -3);
+  EXPECT_EQ(parsed->FindString("s")->AsString(), "a\"b\n");
+  EXPECT_DOUBLE_EQ(parsed->Find("a")->AsArray()[1].AsDouble(), 0.5);
+  // Insertion order is preserved on the wire.
+  EXPECT_EQ(dumped.find("\"ok\""), 1u);
+}
+
+TEST(JsonValue, FindToleratesWrongKinds) {
+  auto doc = JsonParse(R"json({"s":"x","n":1})json");
+  EXPECT_EQ(doc->FindInt("s"), nullptr);
+  EXPECT_EQ(doc->FindString("n"), nullptr);
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+  // Find on a non-object is a clean nullptr, not an abort.
+  EXPECT_EQ(JsonParse("[1]")->Find("k"), nullptr);
+}
+
+// --- LineFramer --------------------------------------------------------------
+
+std::vector<Frame> FeedAll(LineFramer& framer, std::string_view data) {
+  std::vector<Frame> frames;
+  framer.Feed(data, &frames);
+  return frames;
+}
+
+TEST(LineFramer, SplitsLinesAcrossArbitraryReads) {
+  const std::string stream = "first line\nsecond\nthird one\n";
+  // Every chunking of the stream must produce the same three frames.
+  for (std::size_t chunk = 1; chunk <= stream.size(); ++chunk) {
+    LineFramer framer;
+    std::vector<Frame> frames;
+    for (std::size_t at = 0; at < stream.size(); at += chunk) {
+      framer.Feed(stream.substr(at, chunk), &frames);
+    }
+    ASSERT_EQ(frames.size(), 3u) << "chunk=" << chunk;
+    EXPECT_EQ(frames[0].line, "first line");
+    EXPECT_EQ(frames[1].line, "second");
+    EXPECT_EQ(frames[2].line, "third one");
+    Frame tail;
+    EXPECT_FALSE(framer.Flush(&tail));
+  }
+}
+
+TEST(LineFramer, StripsCarriageReturnsAndDropsEmptyLines) {
+  LineFramer framer;
+  auto frames = FeedAll(framer, "a\r\n\r\n\nb\n");
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].line, "a");
+  EXPECT_EQ(frames[1].line, "b");
+}
+
+TEST(LineFramer, FlushReturnsTrailingUnterminatedLine) {
+  LineFramer framer;
+  auto frames = FeedAll(framer, "complete\npartial");
+  ASSERT_EQ(frames.size(), 1u);
+  Frame tail;
+  ASSERT_TRUE(framer.Flush(&tail));
+  EXPECT_EQ(tail.line, "partial");
+  EXPECT_FALSE(tail.oversized);
+  EXPECT_FALSE(framer.Flush(&tail));  // flush is one-shot
+}
+
+TEST(LineFramer, OversizedLineIsDiscardedWhileStreaming) {
+  LineFramer framer(8);
+  std::vector<Frame> frames;
+  // A 3 x 100-byte line arrives in pieces: the framer must not buffer it.
+  for (int i = 0; i < 3; ++i) {
+    framer.Feed(std::string(100, 'x'), &frames);
+    EXPECT_TRUE(frames.empty());
+  }
+  framer.Feed("\nok\n", &frames);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_TRUE(frames[0].oversized);
+  EXPECT_EQ(frames[1].line, "ok");
+  EXPECT_FALSE(frames[1].oversized);
+}
+
+TEST(LineFramer, OversizedLineInOneFeed) {
+  LineFramer framer(4);
+  auto frames = FeedAll(framer, "toolong\nok\n");
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_TRUE(frames[0].oversized);
+  EXPECT_EQ(frames[1].line, "ok");
+}
+
+TEST(LineFramer, FlushReportsUnterminatedOversizedLine) {
+  LineFramer framer(4);
+  std::vector<Frame> frames;
+  framer.Feed("waytoolong", &frames);
+  EXPECT_TRUE(frames.empty());
+  Frame tail;
+  ASSERT_TRUE(framer.Flush(&tail));
+  EXPECT_TRUE(tail.oversized);
+}
+
+// --- DecodeRequest -----------------------------------------------------------
+
+std::optional<Request> Decode(std::string_view text, std::string* error,
+                              std::optional<std::int64_t>* id) {
+  auto doc = JsonParse(text);
+  EXPECT_TRUE(doc.has_value()) << text;
+  return DecodeRequest(*doc, error, id);
+}
+
+TEST(DecodeRequest, DecodesEveryOp) {
+  std::string error;
+  std::optional<std::int64_t> id;
+
+  auto ping = Decode(R"json({"op":"ping","id":7})json", &error, &id);
+  ASSERT_TRUE(ping.has_value());
+  EXPECT_EQ(ping->op, RequestOp::kPing);
+  EXPECT_EQ(ping->id, 7);
+
+  auto status = Decode(R"json({"op":"status"})json", &error, &id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->op, RequestOp::kStatus);
+  EXPECT_FALSE(status->id.has_value());
+
+  auto metrics = Decode(R"json({"op":"metrics"})json", &error, &id);
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->op, RequestOp::kMetrics);
+
+  auto prepare = Decode(
+      R"json({"op":"prepare","name":"q1","query":"?(x) :- P(x)"})json",
+      &error, &id);
+  ASSERT_TRUE(prepare.has_value());
+  EXPECT_EQ(prepare->op, RequestOp::kPrepare);
+  EXPECT_EQ(prepare->name, "q1");
+  EXPECT_EQ(prepare->query, "?(x) :- P(x)");
+
+  auto inline_query = Decode(
+      R"json({"op":"query","query":"? :- P(x)","mode":"ask"})json", &error,
+      &id);
+  ASSERT_TRUE(inline_query.has_value());
+  EXPECT_EQ(inline_query->op, RequestOp::kQuery);
+  EXPECT_FALSE(inline_query->use_prepared);
+  EXPECT_EQ(inline_query->mode, QueryMode::kAsk);
+
+  auto prepared_query =
+      Decode(R"json({"op":"query","prepared":"q1","mode":"count"})json",
+             &error, &id);
+  ASSERT_TRUE(prepared_query.has_value());
+  EXPECT_TRUE(prepared_query->use_prepared);
+  EXPECT_EQ(prepared_query->prepared, "q1");
+  EXPECT_EQ(prepared_query->mode, QueryMode::kCount);
+
+  auto add = Decode(R"json({"op":"add","facts":"P(a)."})json", &error, &id);
+  ASSERT_TRUE(add.has_value());
+  EXPECT_EQ(add->op, RequestOp::kAdd);
+  EXPECT_EQ(add->facts, "P(a).");
+}
+
+TEST(DecodeRequest, ModeDefaultsToAll) {
+  std::string error;
+  std::optional<std::int64_t> id;
+  auto req = Decode(R"json({"op":"query","query":"?(x) :- P(x)"})json",
+                    &error, &id);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->mode, QueryMode::kAll);
+}
+
+TEST(DecodeRequest, RejectsInvalidRequests) {
+  const char* bad[] = {
+      R"json([1,2,3])json",                                   // not an object
+      R"json({"id":1})json",                                  // no op
+      R"json({"op":42})json",                                 // op not a string
+      R"json({"op":"nope"})json",                             // unknown op
+      R"json({"op":"ping","id":"seven"})json",                // id not an int
+      R"json({"op":"prepare","query":"? :- P(x)"})json",  // prepare sans name
+      R"json({"op":"prepare","name":"","query":"?"})json",    // empty name
+      R"json({"op":"prepare","name":"q"})json",  // prepare without query
+      R"json({"op":"query"})json",  // neither query nor plan
+      R"json({"op":"query","query":"?","prepared":"q"})json", // both
+      R"json({"op":"query","query":"?","mode":"sum"})json",   // bad mode
+      R"json({"op":"query","query":"?","mode":3})json",  // mode not a string
+      R"json({"op":"add"})json",  // add without facts
+      R"json({"op":"add","facts":17})json",  // facts not a string
+  };
+  for (const char* text : bad) {
+    std::string error;
+    std::optional<std::int64_t> id;
+    EXPECT_FALSE(Decode(text, &error, &id).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(DecodeRequest, RecoversIdFromInvalidRequest) {
+  // The id is surfaced even when validation fails later, so the error
+  // reply can echo it.
+  std::string error;
+  std::optional<std::int64_t> id;
+  EXPECT_FALSE(
+      Decode(R"json({"id":31,"op":"add"})json", &error, &id).has_value());
+  EXPECT_EQ(id, 31);
+}
+
+TEST(Replies, ErrorReplyShape) {
+  auto doc = JsonParse(ErrorReply(5, "bad_request", "a \"quoted\" detail"));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->FindBool("ok")->AsBool(), false);
+  EXPECT_EQ(doc->FindInt("id")->AsInt(), 5);
+  EXPECT_EQ(doc->FindString("error")->AsString(), "bad_request");
+  EXPECT_EQ(doc->FindString("message")->AsString(), "a \"quoted\" detail");
+
+  auto anonymous = JsonParse(ErrorReply(std::nullopt, "bad_json", "x"));
+  EXPECT_EQ(anonymous->Find("id"), nullptr);
+}
+
+TEST(Replies, OkReplyShape) {
+  auto doc = JsonParse(OkReply(9).Dump());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->FindBool("ok")->AsBool(), true);
+  EXPECT_EQ(doc->FindInt("id")->AsInt(), 9);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace bddfc

@@ -497,6 +497,74 @@ TEST(SortedRunsTest, RowStoreSnapshotSurvivesMutationAndRebuilds) {
   EXPECT_EQ(after.term(2), b);
 }
 
+// --- Clone equivalence -------------------------------------------------------
+// FactStore::Clone() (reached through the Instance copy constructor — the
+// path serve/ snapshots take) must preserve atom order, index answers and
+// sorted-run content on both backends, and the copy must be fully
+// independent of the original afterwards.
+
+TEST(Storage, CloneEquivalenceAndIndependence) {
+  for (StorageKind kind : kBackends) {
+    SCOPED_TRACE(ToString(kind));
+    Universe u;
+    PredicateId e = u.InternPredicate("E", 2);
+    PredicateId p = u.InternPredicate("P", 1);
+    Term a = u.InternConstant("a"), b = u.InternConstant("b"),
+         c = u.InternConstant("c");
+    Instance inst(&u, kind);
+    inst.AddAtom(Atom(e, {a, b}));
+    inst.AddAtom(Atom(e, {b, c}));
+    inst.AddAtom(Atom(p, {c}));
+    inst.AddAtom(Atom(e, {a, c}));
+
+    Instance copy(inst);
+    EXPECT_EQ(copy.store().kind(), kind);
+    ASSERT_EQ(copy.size(), inst.size());
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+      EXPECT_EQ(copy.atoms()[i], inst.atoms()[i]) << "atom " << i;
+    }
+    EXPECT_EQ(Materialize(copy.AtomsWith(e, 0, a)),
+              Materialize(inst.AtomsWith(e, 0, a)));
+    EXPECT_EQ(Materialize(copy.AtomsWith(e, 1, c)),
+              Materialize(inst.AtomsWith(e, 1, c)));
+    EXPECT_EQ(CheckAndFlattenRuns(copy.store().SortedRuns(e, 0)),
+              CheckAndFlattenRuns(inst.store().SortedRuns(e, 0)));
+
+    // Independence both ways: growing one side is invisible to the other.
+    const std::size_t size_before = inst.size();
+    copy.AddAtom(Atom(e, {c, a}));
+    EXPECT_EQ(inst.size(), size_before);
+    EXPECT_EQ(Materialize(inst.AtomsWith(e, 0, c)).size(), 0u);
+    inst.AddAtom(Atom(p, {a}));
+    EXPECT_EQ(Materialize(copy.AtomsWith(p, 0, a)).size(), 0u);
+    EXPECT_EQ(Materialize(copy.AtomsWith(e, 0, c)).size(), 1u);
+  }
+}
+
+// Cross-backend clone: Instance(other, storage) re-ingests into the target
+// backend; content must survive the conversion in both directions.
+TEST(Storage, CloneAcrossBackendsPreservesContent) {
+  Universe u;
+  PredicateId e = u.InternPredicate("E", 2);
+  Term a = u.InternConstant("a"), b = u.InternConstant("b");
+  for (StorageKind from : kBackends) {
+    for (StorageKind to : kBackends) {
+      SCOPED_TRACE(ToString(from) + std::string("->") + ToString(to));
+      Instance inst(&u, from);
+      inst.AddAtom(Atom(e, {a, b}));
+      inst.AddAtom(Atom(e, {b, a}));
+      Instance converted(inst, to);
+      EXPECT_EQ(converted.store().kind(), to);
+      ASSERT_EQ(converted.size(), inst.size());
+      for (std::size_t i = 0; i < inst.size(); ++i) {
+        EXPECT_EQ(converted.atoms()[i], inst.atoms()[i]);
+      }
+      EXPECT_EQ(Materialize(converted.AtomsWith(e, 0, a)),
+                Materialize(inst.AtomsWith(e, 0, a)));
+    }
+  }
+}
+
 // --- IndexView generation guard ---------------------------------------------
 // Borrowed views are invalidated by mutation; in debug builds the captured
 // generation counter turns a deref of a stale view into a CHECK failure.

@@ -176,10 +176,6 @@ struct QueryReport {
   std::vector<AnswerTuple> answers;
 };
 
-// SIGINT requests cooperative cancellation: one relaxed atomic store
-// (async-signal-safe), observed by the chase at the next firing boundary.
-void OnInterrupt(int) { bddfc::obs::RequestCancel(); }
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -340,7 +336,10 @@ int main(int argc, char** argv) {
   // The trace session opens before the Reasoner is built so the base
   // instance's storage spans (index builds, run seals) are captured too.
   if (!trace_path.empty()) bddfc::obs::TraceSession::Global().Start();
-  std::signal(SIGINT, OnInterrupt);
+  // SIGINT requests cooperative cancellation (the shared tool discipline,
+  // obs::InstallSigintCancel), observed by the chase at the next firing
+  // boundary.
+  bddfc::obs::InstallSigintCancel();
 
   // Everything execution-related travels through the one ExecutionConfig.
   chase_options.exec.storage = storage;
@@ -504,7 +503,7 @@ int main(int argc, char** argv) {
     }
     std::printf("%s]\n", reports.empty() ? "" : "\n  ");
     std::printf("}\n");
-    return interrupted ? 130 : 0;
+    return interrupted ? bddfc::obs::kExitInterrupted : 0;
   }
 
   std::printf("rules:    %s (%zu rules)\n", rules_path.c_str(),
@@ -577,5 +576,5 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\nwall: %.2f ms\n", total_ms);
-  return interrupted ? 130 : 0;
+  return interrupted ? bddfc::obs::kExitInterrupted : 0;
 }
