@@ -1,0 +1,132 @@
+// Static analysis as a pre-flight cost: AnalyzeProgram + LintProgram
+// versus one chase saturation on the same program, across program sizes.
+//
+// The workload is a wide layered copy program — kLayers rule layers of
+// width N/kLayers, each rule P{l}_{i}(x) -> P{l+1}_{i}(x) — so the rule
+// count scales to 10^4 while the chase depth stays constant: the chase
+// cost is triggers (facts x layers), the analysis cost is the
+// positions-graph/marking fixpoints, and both scale near-linearly in N.
+// kAuto runs the analysis once per Reasoner before any query, so its cost
+// must stay a small fraction of a single saturation; CI gates
+// analysis_ms / chase_ms at the largest size (see .github/workflows).
+//
+//   ./bench_analysis --repetitions 1 --json=BENCH_analysis.json
+
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <string>
+
+#include "analysis/lint.h"
+#include "analysis/program_analysis.h"
+#include "base/check.h"
+#include "base/table_printer.h"
+#include "bench/harness.h"
+#include "chase/chase.h"
+#include "logic/parser.h"
+
+namespace {
+
+using namespace bddfc;
+
+constexpr std::size_t kLayers = 5;
+constexpr std::size_t kFactsPerChain = 16;
+constexpr int kAnalysisReps = 3;  // analysis is cheap; report the min
+
+std::string LayerPred(std::size_t layer, std::size_t chain) {
+  return "P" + std::to_string(layer) + "_" + std::to_string(chain);
+}
+
+std::string WorkloadRules(std::size_t num_rules) {
+  const std::size_t width = num_rules / kLayers;
+  std::string out;
+  for (std::size_t l = 0; l < kLayers; ++l) {
+    for (std::size_t i = 0; i < width; ++i) {
+      out += LayerPred(l, i) + "(x) -> " + LayerPred(l + 1, i) + "(x)\n";
+    }
+  }
+  return out;
+}
+
+std::string WorkloadFacts(std::size_t num_rules) {
+  const std::size_t width = num_rules / kLayers;
+  std::string out;
+  for (std::size_t i = 0; i < width; ++i) {
+    for (std::size_t j = 0; j < kFactsPerChain; ++j) {
+      out += LayerPred(0, i) + "(c" + std::to_string(j) + "). ";
+    }
+  }
+  return out;
+}
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+BDDFC_BENCH_EXPERIMENT(analysis) {
+  std::printf("=== analysis: static analysis vs one chase saturation ===\n");
+  std::printf("(%zu-layer copy program, %zu facts per chain; analysis/lint "
+              "are min of %d reps)\n\n",
+              kLayers, kFactsPerChain, kAnalysisReps);
+
+  TablePrinter table({"rules", "analysis ms", "lint ms", "chase ms",
+                      "analysis/chase", "atoms"});
+  for (std::size_t num_rules : {std::size_t{100}, std::size_t{1000},
+                                std::size_t{10000}}) {
+    Universe u;
+    RuleSet rules = MustParseRuleSet(&u, WorkloadRules(num_rules));
+    Instance db = MustParseInstance(&u, WorkloadFacts(num_rules));
+    BDDFC_CHECK(rules.size() == num_rules);
+
+    double analysis_ms = 0, lint_ms = 0;
+    for (int rep = 0; rep < kAnalysisReps; ++rep) {
+      auto start = std::chrono::steady_clock::now();
+      ProgramReport report = AnalyzeProgram(rules, u);
+      const double a_ms = MsSince(start);
+      // The copy program sits in every class we decide; both pipelines
+      // are certified, so kAuto would never probe here.
+      BDDFC_CHECK(report.linear.holds);
+      BDDFC_CHECK(report.sticky.holds);
+      BDDFC_CHECK(report.weakly_acyclic.holds);
+      BDDFC_CHECK(report.fus && report.fes);
+
+      start = std::chrono::steady_clock::now();
+      LintReport lint = LintProgram(rules, &u, &db, &report);
+      const double l_ms = MsSince(start);
+      // Only the top-layer unused-predicate notes; nothing else fires.
+      BDDFC_CHECK(lint.errors == 0 && lint.warnings == 0);
+      BDDFC_CHECK(lint.notes == num_rules / kLayers);
+      BDDFC_CHECK(lint.ExitCode() == 0);
+
+      if (rep == 0 || a_ms < analysis_ms) analysis_ms = a_ms;
+      if (rep == 0 || l_ms < lint_ms) lint_ms = l_ms;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    ObliviousChase chase(db, rules,
+                         ChaseOptions{.exec = {.max_steps = 4096,
+                                               .max_atoms = 4000000}});
+    chase.Run();
+    const double chase_ms = MsSince(start);
+    BDDFC_CHECK(chase.Saturated());
+
+    const double ratio = analysis_ms / chase_ms;
+    const std::string key = "n" + std::to_string(num_rules);
+    ctx.Metric(key + "/analysis_ms", analysis_ms);
+    ctx.Metric(key + "/lint_ms", lint_ms);
+    ctx.Metric(key + "/chase_ms", chase_ms);
+    ctx.Metric(key + "/analysis_vs_chase", ratio);
+    table.AddRow({std::to_string(num_rules), std::to_string(analysis_ms),
+                  std::to_string(lint_ms), std::to_string(chase_ms),
+                  std::to_string(ratio),
+                  std::to_string(chase.Result().size())});
+  }
+  table.Print();
+  return 0;
+}
+
+BDDFC_BENCH_MAIN();

@@ -1,0 +1,482 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "analysis/program_analysis.h"
+#include "homomorphism/homomorphism.h"
+#include "logic/atom.h"
+#include "logic/printer.h"
+#include "logic/substitution.h"
+
+namespace bddfc {
+
+namespace {
+
+std::string RuleName(const RuleSet& rules, std::size_t r) {
+  if (!rules[r].label().empty()) return rules[r].label();
+  return "rule #" + std::to_string(r);
+}
+
+struct Emitter {
+  LintReport* report;
+
+  void Emit(const char* id, LintSeverity severity, std::size_t rule,
+            std::string message) {
+    LintDiagnostic d;
+    d.id = id;
+    d.severity = severity;
+    d.rule = rule;
+    d.message = std::move(message);
+    switch (severity) {
+      case LintSeverity::kError:
+        ++report->errors;
+        break;
+      case LintSeverity::kWarning:
+        ++report->warnings;
+        break;
+      case LintSeverity::kNote:
+        ++report->notes;
+        break;
+    }
+    report->diagnostics.push_back(std::move(d));
+  }
+};
+
+// Predicate facts the lint convention relies on. A predicate appearing in
+// no head is assumed EDB (externally supplied); one appearing in some head
+// is assumed derived-only unless the given database actually holds facts
+// for it.
+struct PredFacts {
+  std::vector<bool> in_head;
+  std::vector<bool> in_body;
+  std::vector<bool> has_facts;  // false everywhere without a database
+
+  bool EdbSeeded(PredicateId p, bool have_db) const {
+    if (have_db) return has_facts[p] || !in_head[p];
+    return !in_head[p];
+  }
+};
+
+PredFacts CollectPredFacts(const RuleSet& rules, const Universe& universe,
+                           const Instance* database) {
+  PredFacts pf;
+  const std::size_t n = universe.num_predicates();
+  pf.in_head.assign(n, false);
+  pf.in_body.assign(n, false);
+  pf.has_facts.assign(n, false);
+  for (const Rule& rule : rules) {
+    for (const Atom& a : rule.body()) {
+      if (a.pred() < n) pf.in_body[a.pred()] = true;
+    }
+    for (const Atom& a : rule.head()) {
+      if (a.pred() < n) pf.in_head[a.pred()] = true;
+    }
+  }
+  if (database != nullptr) {
+    for (PredicateId p = 0; p < n; ++p) {
+      pf.has_facts[p] = !database->AtomsWith(p).empty();
+    }
+  }
+  return pf;
+}
+
+// ---- never-matching-body -------------------------------------------------
+
+void CheckNeverMatching(const RuleSet& rules, const Universe& universe,
+                        const Instance* database, const PredFacts& pf,
+                        Emitter* out) {
+  const bool have_db = database != nullptr;
+  const PredicateId top = universe.top();
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    for (const Atom& a : rules[r].body()) {
+      if (a.pred() == top) continue;
+      // (a) Arity disagreement with the interned signature. Unreachable
+      // through the parser (interning aborts on conflict) but possible for
+      // programmatically assembled atoms.
+      if (static_cast<int>(a.arity()) != universe.ArityOf(a.pred())) {
+        out->Emit("never-matching-body", LintSeverity::kError, r,
+                  RuleName(rules, r) + ": body atom over " +
+                      universe.PredicateName(a.pred()) + " has arity " +
+                      std::to_string(a.arity()) + ", declared " +
+                      std::to_string(universe.ArityOf(a.pred())));
+        continue;
+      }
+      // (b) With a database: a predicate with no facts and no deriving
+      // rule never matches anything.
+      if (have_db && !pf.in_head[a.pred()] && !pf.has_facts[a.pred()]) {
+        out->Emit("never-matching-body", LintSeverity::kError, r,
+                  RuleName(rules, r) + ": body atom over " +
+                      universe.PredicateName(a.pred()) +
+                      " — no facts in the database and no rule derives it");
+        continue;
+      }
+      // (c) Constant contradiction: the atom pins position i to constant
+      // c, but every derivation of the predicate writes a different
+      // constant there (and no EDB facts can supply it).
+      if (pf.EdbSeeded(a.pred(), have_db)) continue;
+      for (std::size_t i = 0; i < a.arity(); ++i) {
+        const Term c = a.arg(i);
+        if (!c.IsConstant()) continue;
+        bool producible = false;
+        for (const Rule& producer : rules) {
+          for (const Atom& h : producer.head()) {
+            if (h.pred() != a.pred()) continue;
+            const Term t = h.arg(i);
+            if (!t.IsConstant() || t == c) {
+              producible = true;
+              break;
+            }
+          }
+          if (producible) break;
+        }
+        if (!producible) {
+          out->Emit("never-matching-body", LintSeverity::kError, r,
+                    RuleName(rules, r) + ": body atom over " +
+                        universe.PredicateName(a.pred()) +
+                        " requires constant " + universe.TermName(c) +
+                        " at position " + std::to_string(i) +
+                        ", but every deriving rule writes a different "
+                        "constant there");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---- unreachable-rule ----------------------------------------------------
+
+void CheckUnreachable(const RuleSet& rules, const Universe& universe,
+                      const Instance* database, const PredFacts& pf,
+                      Emitter* out) {
+  const bool have_db = database != nullptr;
+  const std::size_t n = universe.num_predicates();
+  std::vector<bool> reachable(n, false);
+  reachable[universe.top()] = true;
+  for (PredicateId p = 0; p < n; ++p) {
+    if (pf.EdbSeeded(p, have_db)) reachable[p] = true;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : rules) {
+      bool fires = true;
+      for (const Atom& a : rule.body()) {
+        if (!reachable[a.pred()]) {
+          fires = false;
+          break;
+        }
+      }
+      if (!fires) continue;
+      for (const Atom& a : rule.head()) {
+        if (!reachable[a.pred()]) {
+          reachable[a.pred()] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    for (const Atom& a : rules[r].body()) {
+      if (!reachable[a.pred()]) {
+        out->Emit("unreachable-rule", LintSeverity::kWarning, r,
+                  RuleName(rules, r) + ": no derivation from the EDB " +
+                      "predicates can ever supply " +
+                      universe.PredicateName(a.pred()));
+        break;
+      }
+    }
+  }
+}
+
+// ---- duplicate-rule ------------------------------------------------------
+
+// Canonical text of a rule with variables renamed in first-occurrence
+// order. Two rules are duplicates iff their canonical texts agree (atom
+// order is significant — this is a cheap syntactic check, not equivalence).
+std::string CanonicalText(const Rule& rule) {
+  std::unordered_map<std::uint32_t, std::size_t> rank;
+  std::string out;
+  const auto encode = [&rank, &out](const std::vector<Atom>& atoms) {
+    for (const Atom& a : atoms) {
+      out += 'p';
+      out += std::to_string(a.pred());
+      out += '(';
+      for (Term t : a.args()) {
+        if (t.IsVariable()) {
+          const auto [it, _] = rank.emplace(t.raw(), rank.size());
+          out += 'v';
+          out += std::to_string(it->second);
+        } else {
+          out += 'c';
+          out += std::to_string(t.raw());
+        }
+        out += ',';
+      }
+      out += ')';
+    }
+  };
+  encode(rule.body());
+  out += "->";
+  encode(rule.head());
+  return out;
+}
+
+// Returns the duplicate partition: dup_of[r] is the first rule with the
+// same canonical text (== r when r is the first of its class).
+std::vector<std::size_t> CheckDuplicates(const RuleSet& rules, Emitter* out) {
+  std::unordered_map<std::string, std::size_t> first;
+  std::vector<std::size_t> dup_of(rules.size());
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    const auto [it, inserted] = first.emplace(CanonicalText(rules[r]), r);
+    dup_of[r] = it->second;
+    if (!inserted) {
+      out->Emit("duplicate-rule", LintSeverity::kWarning, r,
+                RuleName(rules, r) + " duplicates " +
+                    RuleName(rules, it->second) +
+                    " (equal up to variable renaming)");
+    }
+  }
+  return dup_of;
+}
+
+// ---- subsumed-rule -------------------------------------------------------
+
+// True iff general fires whenever specific does and derives at least
+// specific's conclusions: freeze specific's variables into constants, map
+// body(general) homomorphically into the frozen body, and require the
+// image of head(general) to cover the frozen head. Datalog rules only —
+// existential heads need piece-unification-grade care.
+bool SubsumesRule(const Rule& general, const Rule& specific,
+                  Universe* universe) {
+  Substitution freeze;
+  for (Term v : specific.body_vars()) {
+    freeze.Bind(v, universe->InternConstant(
+                       "__lint$" + std::to_string(v.index())));
+  }
+  Instance frozen(universe);
+  frozen.AddAtoms(freeze.Apply(specific.body()));
+  std::unordered_set<Atom> wanted;
+  for (const Atom& h : specific.head()) wanted.insert(freeze.Apply(h));
+
+  HomSearch search(general.body(), &frozen);
+  bool found = false;
+  search.ForEach({}, [&](const Substitution& hom) {
+    for (const Atom& h : general.head()) {
+      if (wanted.erase(hom.Apply(h)) && wanted.empty()) break;
+    }
+    if (wanted.empty()) {
+      found = true;
+      return false;
+    }
+    // Restore for the next homomorphism.
+    for (const Atom& h : specific.head()) wanted.insert(freeze.Apply(h));
+    return true;
+  });
+  return found;
+}
+
+void CheckSubsumed(const RuleSet& rules, Universe* universe,
+                   const std::vector<std::size_t>& dup_of, Emitter* out) {
+  const std::size_t n = rules.size();
+  // Pred-set prefilter so the pass stays near-linear on programs whose
+  // rules touch disjoint predicates (the common case at benchmark scale).
+  std::vector<std::unordered_set<PredicateId>> body_preds(n);
+  std::vector<std::unordered_set<PredicateId>> head_preds(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (const Atom& a : rules[r].body()) body_preds[r].insert(a.pred());
+    for (const Atom& a : rules[r].head()) head_preds[r].insert(a.pred());
+  }
+  const auto subset = [](const std::unordered_set<PredicateId>& a,
+                         const std::unordered_set<PredicateId>& b) {
+    if (a.size() > b.size()) return false;
+    for (PredicateId p : a) {
+      if (b.find(p) == b.end()) return false;
+    }
+    return true;
+  };
+  // Candidate generals indexed under each of their head predicates; a
+  // specific rule only consults the bucket of one of its head predicates
+  // (any general whose head covers the specific's appears there).
+  std::unordered_map<PredicateId, std::vector<std::size_t>> by_head_pred;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (!rules[r].IsDatalog()) continue;
+    for (PredicateId p : head_preds[r]) by_head_pred[p].push_back(r);
+  }
+
+  for (std::size_t spec = 0; spec < n; ++spec) {
+    if (!rules[spec].IsDatalog() || head_preds[spec].empty()) continue;
+    if (dup_of[spec] != spec) continue;  // already reported as duplicate
+    const auto it =
+        by_head_pred.find(rules[spec].head().front().pred());
+    if (it == by_head_pred.end()) continue;
+    for (std::size_t gen : it->second) {
+      if (gen == spec || dup_of[gen] != gen) continue;
+      if (rules[gen].body().size() > rules[spec].body().size()) continue;
+      if (!subset(body_preds[gen], body_preds[spec])) continue;
+      if (!subset(head_preds[spec], head_preds[gen])) continue;
+      if (!SubsumesRule(rules[gen], rules[spec], universe)) continue;
+      // Mutual subsumption (logically equivalent rules): keep the earlier
+      // one, flag the later.
+      if (SubsumesRule(rules[spec], rules[gen], universe) && gen > spec) {
+        continue;
+      }
+      out->Emit("subsumed-rule", LintSeverity::kWarning, spec,
+                RuleName(rules, spec) + " is subsumed by the more general " +
+                    RuleName(rules, gen));
+      break;
+    }
+  }
+}
+
+// ---- cartesian-body ------------------------------------------------------
+
+void CheckCartesian(const RuleSet& rules, Emitter* out) {
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    const std::vector<Atom>& body = rules[r].body();
+    if (body.size() < 2) continue;
+    // Union-find over body atoms, merged through shared variables.
+    std::vector<std::size_t> parent(body.size());
+    for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+    const auto find = [&parent](std::size_t x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    std::unordered_map<std::uint32_t, std::size_t> owner;  // var -> atom
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      for (Term t : body[i].args()) {
+        if (!t.IsVariable()) continue;
+        const auto [it, inserted] = owner.emplace(t.raw(), i);
+        if (!inserted) parent[find(i)] = find(it->second);
+      }
+    }
+    std::unordered_set<std::size_t> groups;
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      bool has_var = false;
+      for (Term t : body[i].args()) has_var |= t.IsVariable();
+      if (has_var) groups.insert(find(i));
+    }
+    if (groups.size() >= 2) {
+      out->Emit("cartesian-body", LintSeverity::kWarning, r,
+                RuleName(rules, r) + ": body splits into " +
+                    std::to_string(groups.size()) +
+                    " variable-disjoint groups (matching is a cross "
+                    "product)");
+    }
+  }
+}
+
+// ---- divergence-risk -----------------------------------------------------
+
+void CheckDivergence(const RuleSet& rules, const ProgramReport& analysis,
+                     Emitter* out) {
+  if (analysis.certificate != TerminationCertificate::kNone) return;
+  // One diagnostic per owning rule; the report's witnesses are already
+  // deduplicated per (rule, position).
+  std::unordered_map<std::size_t, std::vector<std::string>> by_rule;
+  for (const DivergenceWitness& w : analysis.divergence) {
+    by_rule[w.rule].push_back(w.position);
+  }
+  std::vector<std::size_t> order;
+  for (const auto& [r, _] : by_rule) order.push_back(r);
+  std::sort(order.begin(), order.end());
+  for (std::size_t r : order) {
+    std::string positions;
+    for (const std::string& p : by_rule[r]) {
+      if (!positions.empty()) positions += ", ";
+      positions += p;
+    }
+    out->Emit("divergence-risk", LintSeverity::kWarning, r,
+              RuleName(rules, r) + ": existential cycle through " +
+                  positions + " with no acyclicity certificate — the "
+                  "chase may not terminate");
+  }
+}
+
+// ---- unused-predicate ----------------------------------------------------
+
+void CheckUnused(const Universe& universe, const PredFacts& pf,
+                 Emitter* out) {
+  for (PredicateId p = 0; p < universe.num_predicates(); ++p) {
+    if (p == universe.top()) continue;
+    if (pf.in_head[p] && !pf.in_body[p]) {
+      out->Emit("unused-predicate", LintSeverity::kNote,
+                LintDiagnostic::kNoRule,
+                "derived predicate " + universe.PredicateName(p) +
+                    " is never read by any rule body");
+    }
+  }
+}
+
+}  // namespace
+
+const char* ToString(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kNote:
+      return "note";
+    case LintSeverity::kWarning:
+      return "warning";
+    case LintSeverity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+JsonValue LintDiagnostic::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  v.Set("id", JsonValue::Str(id));
+  v.Set("severity", JsonValue::Str(ToString(severity)));
+  if (rule != kNoRule) {
+    v.Set("rule", JsonValue::Int(static_cast<std::int64_t>(rule)));
+  }
+  v.Set("message", JsonValue::Str(message));
+  return v;
+}
+
+bool LintReport::Has(const std::string& id) const {
+  for (const LintDiagnostic& d : diagnostics) {
+    if (d.id == id) return true;
+  }
+  return false;
+}
+
+int LintReport::ExitCode(bool werror) const {
+  if (errors > 0) return 2;
+  if (warnings > 0) return werror ? 2 : 1;
+  return 0;
+}
+
+JsonValue LintReport::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  JsonValue diags = JsonValue::Array();
+  for (const LintDiagnostic& d : diagnostics) diags.Push(d.ToJson());
+  v.Set("diagnostics", std::move(diags));
+  v.Set("errors", JsonValue::Int(static_cast<std::int64_t>(errors)));
+  v.Set("warnings", JsonValue::Int(static_cast<std::int64_t>(warnings)));
+  v.Set("notes", JsonValue::Int(static_cast<std::int64_t>(notes)));
+  return v;
+}
+
+LintReport LintProgram(const RuleSet& rules, Universe* universe,
+                       const Instance* database,
+                       const ProgramReport* analysis) {
+  LintReport report;
+  Emitter out{&report};
+  const PredFacts pf = CollectPredFacts(rules, *universe, database);
+
+  CheckNeverMatching(rules, *universe, database, pf, &out);
+  CheckUnreachable(rules, *universe, database, pf, &out);
+  const std::vector<std::size_t> dup_of = CheckDuplicates(rules, &out);
+  CheckSubsumed(rules, universe, dup_of, &out);
+  CheckCartesian(rules, &out);
+  if (analysis != nullptr) CheckDivergence(rules, *analysis, &out);
+  CheckUnused(*universe, pf, &out);
+  return report;
+}
+
+}  // namespace bddfc

@@ -1,0 +1,93 @@
+// Program linting: structural defects of a rule set that the chase and
+// rewriting engines silently tolerate but a user almost certainly wants
+// flagged. Complements the decidable-class analysis of
+// program_analysis.h — lint answers "is this program *sensible*", the
+// class analysis answers "is it *tractable*".
+//
+// Diagnostic ids (stable; the CLI and CI key on them):
+//
+//   never-matching-body   error    a body atom can never match: wrong
+//                                  arity for its predicate, a constant no
+//                                  derivation can produce, or (when a
+//                                  database is given) a predicate with no
+//                                  facts and no deriving rule;
+//   unreachable-rule      warning  no derivation path from the EDB
+//                                  predicates reaches every body atom of
+//                                  the rule (e.g. mutual recursion with
+//                                  no base case);
+//   duplicate-rule        warning  a rule equal to an earlier one up to
+//                                  variable renaming;
+//   subsumed-rule         warning  a Datalog rule whose work an earlier,
+//                                  more general rule already does;
+//   cartesian-body        warning  the body splits into >= 2 variable-
+//                                  disjoint groups, so matching is a
+//                                  cross product;
+//   divergence-risk       warning  an existential cycle not covered by
+//                                  any acyclicity certificate (requires a
+//                                  ProgramReport);
+//   unused-predicate      note     a derived predicate no body ever reads.
+//
+// Severity decides the exit code contract used by bddfc_lint and CI:
+// errors => 2, warnings => 1 (or 2 under --Werror), notes are free.
+
+#ifndef BDDFC_ANALYSIS_LINT_H_
+#define BDDFC_ANALYSIS_LINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "base/json.h"
+#include "logic/instance.h"
+#include "logic/rule.h"
+#include "logic/universe.h"
+
+namespace bddfc {
+
+struct ProgramReport;
+
+enum class LintSeverity { kNote, kWarning, kError };
+
+const char* ToString(LintSeverity severity);
+
+struct LintDiagnostic {
+  static constexpr std::size_t kNoRule = static_cast<std::size_t>(-1);
+
+  std::string id;        // stable diagnostic id, e.g. "duplicate-rule"
+  LintSeverity severity = LintSeverity::kWarning;
+  std::size_t rule = kNoRule;  // offending rule index, if rule-scoped
+  std::string message;
+
+  JsonValue ToJson() const;
+};
+
+struct LintReport {
+  std::vector<LintDiagnostic> diagnostics;
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t notes = 0;
+
+  /// True iff some diagnostic has id `id`.
+  bool Has(const std::string& id) const;
+
+  /// The bddfc_lint exit code: 2 on errors (or any warning under
+  /// `werror`), 1 on warnings, 0 otherwise.
+  int ExitCode(bool werror = false) const;
+
+  JsonValue ToJson() const;
+};
+
+/// Lints `rules`. `universe` is mutated only to intern the frozen
+/// constants the subsumption check needs (never predicates). `database`,
+/// when given, seeds reachability with its predicates and enables the
+/// facts-missing never-matching check. `analysis`, when given, enables
+/// divergence-risk. Diagnostics are emitted in a deterministic order:
+/// grouped by check, then by rule index.
+LintReport LintProgram(const RuleSet& rules, Universe* universe,
+                       const Instance* database = nullptr,
+                       const ProgramReport* analysis = nullptr);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_ANALYSIS_LINT_H_

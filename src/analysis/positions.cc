@@ -1,0 +1,85 @@
+#include "analysis/positions.h"
+
+#include "analysis/scc.h"
+
+namespace bddfc {
+
+std::vector<std::vector<std::size_t>> PositionsGraph::Adjacency() const {
+  std::vector<std::vector<std::size_t>> adj(nodes.size());
+  for (const Edge& e : regular) adj[e.from].push_back(e.to);
+  for (const Edge& e : special) adj[e.from].push_back(e.to);
+  return adj;
+}
+
+PositionsGraph BuildPositionsGraph(const RuleSet& rules) {
+  PositionsGraph graph;
+  const auto node = [&graph](PredicateId pred, int pos) {
+    const auto [it, inserted] =
+        graph.node_of.emplace(PosId(pred, pos), graph.nodes.size());
+    if (inserted) graph.nodes.push_back({pred, pos});
+    return it->second;
+  };
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    const Rule& rule = rules[r];
+    for (Term y : rule.frontier()) {
+      std::vector<std::size_t> body_nodes;
+      for (const Atom& a : rule.body()) {
+        for (int pos = 0; pos < static_cast<int>(a.arity()); ++pos) {
+          if (a.arg(pos) == y) body_nodes.push_back(node(a.pred(), pos));
+        }
+      }
+      std::vector<std::size_t> head_nodes;
+      std::vector<std::size_t> exist_nodes;
+      for (const Atom& a : rule.head()) {
+        for (int pos = 0; pos < static_cast<int>(a.arity()); ++pos) {
+          const Term t = a.arg(pos);
+          if (t == y) {
+            head_nodes.push_back(node(a.pred(), pos));
+          } else if (rule.IsExistentialVar(t)) {
+            exist_nodes.push_back(node(a.pred(), pos));
+          }
+        }
+      }
+      for (std::size_t u : body_nodes) {
+        for (std::size_t v : head_nodes) graph.regular.push_back({u, v, r});
+        for (std::size_t v : exist_nodes) graph.special.push_back({u, v, r});
+      }
+    }
+  }
+  return graph;
+}
+
+std::vector<bool> InfiniteRankPositions(const PositionsGraph& graph) {
+  std::vector<std::vector<std::size_t>> adj = graph.Adjacency();
+  const SccResult scc = TarjanScc(adj);
+  // Seed: every node of an SCC closed over a special edge.
+  std::vector<bool> infinite(graph.nodes.size(), false);
+  std::vector<bool> cyclic_scc(scc.num_components, false);
+  for (const PositionsGraph::Edge& e : graph.special) {
+    if (scc.component[e.from] == scc.component[e.to]) {
+      cyclic_scc[scc.component[e.from]] = true;
+    }
+  }
+  std::vector<std::size_t> work;
+  for (std::size_t v = 0; v < graph.nodes.size(); ++v) {
+    if (cyclic_scc[scc.component[v]]) {
+      infinite[v] = true;
+      work.push_back(v);
+    }
+  }
+  // Forward closure: anything a special cycle can reach also grows without
+  // bound.
+  while (!work.empty()) {
+    const std::size_t v = work.back();
+    work.pop_back();
+    for (std::size_t to : adj[v]) {
+      if (!infinite[to]) {
+        infinite[to] = true;
+        work.push_back(to);
+      }
+    }
+  }
+  return infinite;
+}
+
+}  // namespace bddfc

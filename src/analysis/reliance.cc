@@ -6,6 +6,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "analysis/positions.h"
+#include "analysis/scc.h"
 #include "logic/atom.h"
 #include "logic/cq.h"
 #include "rewriting/piece_unifier.h"
@@ -13,72 +15,6 @@
 namespace bddfc {
 
 namespace {
-
-constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
-
-// Iterative Tarjan. Components are numbered in emission order, which for
-// Tarjan is a *reverse* topological order of the condensation (an SCC is
-// emitted only after every SCC it reaches); callers flip the numbering to
-// get sources-first ids. Deterministic for a fixed adjacency.
-struct SccResult {
-  std::vector<std::size_t> component;  // node -> component id
-  std::size_t num_components = 0;
-};
-
-SccResult TarjanScc(const std::vector<std::vector<std::size_t>>& adj) {
-  const std::size_t n = adj.size();
-  SccResult out;
-  out.component.assign(n, kUnvisited);
-  std::vector<std::size_t> index(n, kUnvisited);
-  std::vector<std::size_t> lowlink(n, 0);
-  std::vector<char> on_stack(n, 0);
-  std::vector<std::size_t> stack;
-  struct Frame {
-    std::size_t node;
-    std::size_t edge;
-  };
-  std::vector<Frame> frames;
-  std::size_t next_index = 0;
-  for (std::size_t start = 0; start < n; ++start) {
-    if (index[start] != kUnvisited) continue;
-    index[start] = lowlink[start] = next_index++;
-    stack.push_back(start);
-    on_stack[start] = 1;
-    frames.push_back({start, 0});
-    while (!frames.empty()) {
-      Frame& frame = frames.back();
-      if (frame.edge < adj[frame.node].size()) {
-        const std::size_t to = adj[frame.node][frame.edge++];
-        if (index[to] == kUnvisited) {
-          index[to] = lowlink[to] = next_index++;
-          stack.push_back(to);
-          on_stack[to] = 1;
-          frames.push_back({to, 0});
-        } else if (on_stack[to]) {
-          lowlink[frame.node] = std::min(lowlink[frame.node], index[to]);
-        }
-        continue;
-      }
-      const std::size_t node = frame.node;
-      frames.pop_back();
-      if (!frames.empty()) {
-        lowlink[frames.back().node] =
-            std::min(lowlink[frames.back().node], lowlink[node]);
-      }
-      if (lowlink[node] == index[node]) {
-        for (;;) {
-          const std::size_t v = stack.back();
-          stack.pop_back();
-          on_stack[v] = 0;
-          out.component[v] = out.num_components;
-          if (v == node) break;
-        }
-        ++out.num_components;
-      }
-    }
-  }
-  return out;
-}
 
 std::unordered_set<PredicateId> PredsOf(const std::vector<Atom>& atoms) {
   std::unordered_set<PredicateId> out;
@@ -94,12 +30,6 @@ bool Overlaps(const std::unordered_set<PredicateId>& a,
     if (large.find(p) != large.end()) return true;
   }
   return false;
-}
-
-// (predicate, argument position) packed into one key.
-std::uint64_t PosId(PredicateId pred, int pos) {
-  return (static_cast<std::uint64_t>(pred) << 32) |
-         static_cast<std::uint32_t>(pos);
 }
 
 }  // namespace
@@ -221,49 +151,13 @@ const char* ToString(TerminationCertificate certificate) {
 }
 
 bool IsWeaklyAcyclic(const RuleSet& rules) {
-  // Nodes are (predicate, position) pairs; for every rule and frontier
-  // variable y, each body position of y gets a regular edge to each head
-  // position of y and a special edge to each head position holding an
-  // existential variable. Weakly acyclic iff no special edge stays inside
-  // one SCC of the combined graph.
-  std::unordered_map<std::uint64_t, std::size_t> node_of;
-  const auto node = [&](PredicateId pred, int pos) {
-    return node_of.emplace(PosId(pred, pos), node_of.size()).first->second;
-  };
-  std::vector<std::pair<std::size_t, std::size_t>> regular;
-  std::vector<std::pair<std::size_t, std::size_t>> special;
-  for (const Rule& rule : rules) {
-    for (Term y : rule.frontier()) {
-      std::vector<std::size_t> body_nodes;
-      for (const Atom& a : rule.body()) {
-        for (int pos = 0; pos < static_cast<int>(a.arity()); ++pos) {
-          if (a.arg(pos) == y) body_nodes.push_back(node(a.pred(), pos));
-        }
-      }
-      std::vector<std::size_t> head_nodes;
-      std::vector<std::size_t> exist_nodes;
-      for (const Atom& a : rule.head()) {
-        for (int pos = 0; pos < static_cast<int>(a.arity()); ++pos) {
-          const Term t = a.arg(pos);
-          if (t == y) {
-            head_nodes.push_back(node(a.pred(), pos));
-          } else if (rule.IsExistentialVar(t)) {
-            exist_nodes.push_back(node(a.pred(), pos));
-          }
-        }
-      }
-      for (std::size_t u : body_nodes) {
-        for (std::size_t v : head_nodes) regular.push_back({u, v});
-        for (std::size_t v : exist_nodes) special.push_back({u, v});
-      }
-    }
-  }
-  std::vector<std::vector<std::size_t>> adj(node_of.size());
-  for (const auto& [u, v] : regular) adj[u].push_back(v);
-  for (const auto& [u, v] : special) adj[u].push_back(v);
-  const SccResult scc = TarjanScc(adj);
-  for (const auto& [u, v] : special) {
-    if (scc.component[u] == scc.component[v]) return false;
+  // Weakly acyclic iff no special edge stays inside one SCC of the shared
+  // position-dependency graph — equivalently, no position has infinite
+  // rank.
+  const PositionsGraph graph = BuildPositionsGraph(rules);
+  const SccResult scc = TarjanScc(graph.Adjacency());
+  for (const PositionsGraph::Edge& e : graph.special) {
+    if (scc.component[e.from] == scc.component[e.to]) return false;
   }
   return true;
 }

@@ -1,0 +1,66 @@
+#include "analysis/scc.h"
+
+#include <algorithm>
+
+namespace bddfc {
+
+namespace {
+constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+}  // namespace
+
+SccResult TarjanScc(const std::vector<std::vector<std::size_t>>& adj) {
+  const std::size_t n = adj.size();
+  SccResult out;
+  out.component.assign(n, kUnvisited);
+  std::vector<std::size_t> index(n, kUnvisited);
+  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<std::size_t> stack;
+  struct Frame {
+    std::size_t node;
+    std::size_t edge;
+  };
+  std::vector<Frame> frames;
+  std::size_t next_index = 0;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (index[start] != kUnvisited) continue;
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = 1;
+    frames.push_back({start, 0});
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.edge < adj[frame.node].size()) {
+        const std::size_t to = adj[frame.node][frame.edge++];
+        if (index[to] == kUnvisited) {
+          index[to] = lowlink[to] = next_index++;
+          stack.push_back(to);
+          on_stack[to] = 1;
+          frames.push_back({to, 0});
+        } else if (on_stack[to]) {
+          lowlink[frame.node] = std::min(lowlink[frame.node], index[to]);
+        }
+        continue;
+      }
+      const std::size_t node = frame.node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().node] =
+            std::min(lowlink[frames.back().node], lowlink[node]);
+      }
+      if (lowlink[node] == index[node]) {
+        for (;;) {
+          const std::size_t v = stack.back();
+          stack.pop_back();
+          on_stack[v] = 0;
+          out.component[v] = out.num_components;
+          if (v == node) break;
+        }
+        ++out.num_components;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bddfc

@@ -50,6 +50,26 @@ const char* ToString(AnswerStrategy strategy) {
   return "?";
 }
 
+const char* ToString(StrategyDecision decision) {
+  switch (decision) {
+    case StrategyDecision::kNone:
+      return "none";
+    case StrategyDecision::kExplicit:
+      return "explicit";
+    case StrategyDecision::kCertifiedFes:
+      return "certified-fes";
+    case StrategyDecision::kCertifiedFus:
+      return "certified-fus";
+    case StrategyDecision::kFusFallback:
+      return "fus-budget-materialize";
+    case StrategyDecision::kProbeRewrite:
+      return "probe-rewrite";
+    case StrategyDecision::kProbeMaterialize:
+      return "probe-materialize";
+  }
+  return "?";
+}
+
 // --- AnswerCursor ------------------------------------------------------------
 
 std::optional<AnswerTuple> AnswerCursor::Next() {
@@ -251,10 +271,24 @@ void Reasoner::DriveChase(std::size_t target_steps, bool incremental) {
 
 TerminationCertificate Reasoner::certificate() {
   if (!certificate_.has_value()) {
-    certificate_ = CertifyTermination(rules_);
+    certificate_ = analysis_.has_value() ? analysis_->certificate
+                                         : CertifyTermination(rules_);
     stats_.certificate = *certificate_;
   }
   return *certificate_;
+}
+
+const ProgramReport& Reasoner::analysis() {
+  if (!analysis_.has_value()) {
+    BDDFC_OBS_SPAN(analysis_span, "reasoner", "reasoner.analyze");
+    analysis_ = AnalyzeProgram(rules_, *database_.universe());
+    certificate_ = analysis_->certificate;
+    stats_.certificate = *certificate_;
+    stats_.program_classes = analysis_->ClassList();
+    stats_.program_fus = analysis_->fus;
+    stats_.program_fes = analysis_->fes;
+  }
+  return *analysis_;
 }
 
 void Reasoner::EnsureMaterialized() {
@@ -275,43 +309,68 @@ PreparedQuery Reasoner::Prepare(const Ucq& q) {
   ++stats_.queries_prepared;
   metrics_->GetCounter("reasoner.queries_prepared")->Add(1);
   AnswerStrategy resolved = options_.strategy;
+  StrategyDecision decision = StrategyDecision::kExplicit;
   RewriteResult rewrite;
-  if (resolved == AnswerStrategy::kAuto &&
-      options_.chase.variant != ChaseVariant::kOblivious &&
-      certificate() != TerminationCertificate::kNone) {
-    // A structural termination certificate (weak or joint acyclicity)
-    // guarantees the semi-oblivious/restricted chase saturates, so full
-    // materialization is safe and complete — skip the probe rewriting
-    // entirely. (No certificate covers the oblivious chase: weakly acyclic
-    // rules can still diverge under it, so kAuto keeps probing there.)
-    resolved = AnswerStrategy::kMaterialize;
-    ++stats_.auto_picked_materialize;
-    ++stats_.auto_certified_materialize;
-  }
-  if (resolved != AnswerStrategy::kMaterialize) {
-    const bool probe = resolved == AnswerStrategy::kAuto;
-    {
-      BDDFC_OBS_SPAN(rewrite_span, "reasoner", "reasoner.rewrite");
-      rewrite_span.Arg("probe", probe ? 1 : 0);
-      rewrite = probe ? probe_rewriter_.Rewrite(q) : rewriter_.Rewrite(q);
-      rewrite_span.Arg("saturated", rewrite.saturated ? 1 : 0);
-    }
+  const auto run_rewrite = [&](UcqRewriter& rewriter, bool probe) {
+    BDDFC_OBS_SPAN(rewrite_span, "reasoner", "reasoner.rewrite");
+    rewrite_span.Arg("probe", probe ? 1 : 0);
+    rewrite = rewriter.Rewrite(q);
+    rewrite_span.Arg("saturated", rewrite.saturated ? 1 : 0);
     ++stats_.rewrites_run;
     metrics_->GetCounter("reasoner.rewrites_run")->Add(1);
-    if (resolved == AnswerStrategy::kAuto) {
-      // The paper's dichotomy as a planner: a saturated rewriting certifies
-      // the query is UCQ-rewritable against these rules, so evaluating it
-      // over the raw database is complete and no materialization is needed;
-      // otherwise fall back to the chase.
+  };
+  if (resolved == AnswerStrategy::kAuto) {
+    // Analysis-first selection: decide from the rule set's decidable-class
+    // verdicts where they apply, probe only in the undecided gap.
+    const ProgramReport& report = analysis();
+    if (options_.chase.variant != ChaseVariant::kOblivious && report.fes) {
+      // FES (weak/joint acyclicity): the semi-oblivious/restricted chase
+      // provably saturates, so materialization is safe, complete, and
+      // amortizes across every later query — no rewriting budget spent.
+      // (No certificate covers the oblivious chase: weakly acyclic rules
+      // can still diverge under it, so kAuto falls through there.)
+      resolved = AnswerStrategy::kMaterialize;
+      decision = StrategyDecision::kCertifiedFes;
+      ++stats_.auto_picked_materialize;
+      ++stats_.auto_certified_materialize;
+    } else if (report.fus) {
+      // FUS (linear/sticky): every UCQ is first-order-rewritable against
+      // these rules, so skip the probe and spend the full rewriting
+      // budget directly. The class verdict promises a finite rewriting,
+      // not one inside any particular budget — if the bounds are hit
+      // anyway, fall back to materialization like an ordinary miss.
+      run_rewrite(rewriter_, /*probe=*/false);
       if (rewrite.saturated) {
         resolved = AnswerStrategy::kRewrite;
+        decision = StrategyDecision::kCertifiedFus;
+        ++stats_.auto_picked_rewrite;
+        ++stats_.auto_certified_rewrite;
+      } else {
+        resolved = AnswerStrategy::kMaterialize;
+        decision = StrategyDecision::kFusFallback;
+        ++stats_.auto_picked_materialize;
+      }
+    } else {
+      // Undecided gap — the paper's dichotomy as a planner: a saturated
+      // probe certifies the query is UCQ-rewritable against these rules,
+      // so evaluating it over the raw database is complete; otherwise
+      // fall back to the chase.
+      run_rewrite(probe_rewriter_, /*probe=*/true);
+      ++stats_.auto_probes_run;
+      if (rewrite.saturated) {
+        resolved = AnswerStrategy::kRewrite;
+        decision = StrategyDecision::kProbeRewrite;
         ++stats_.auto_picked_rewrite;
       } else {
         resolved = AnswerStrategy::kMaterialize;
+        decision = StrategyDecision::kProbeMaterialize;
         ++stats_.auto_picked_materialize;
       }
     }
+  } else if (resolved == AnswerStrategy::kRewrite) {
+    run_rewrite(rewriter_, /*probe=*/false);
   }
+  stats_.last_decision = decision;
 
   PreparedQuery out;
   out.strategy_ = resolved;

@@ -16,11 +16,15 @@
 //     the raw base instance (Definition 2 / the bdd way). Complete iff the
 //     rewriting saturated within the configured bounds. Nothing is ever
 //     materialized.
-//   * kAuto — probe the rewriting within the configured bounds; if it
-//     saturates, answer by kRewrite (reusing the probe's result), else
-//     fall back to kMaterialize. This picks the strategy the paper's
-//     dichotomy suggests: rewriting for bdd(-up-to-budget) rule sets,
-//     materialization otherwise.
+//   * kAuto — analysis-first selection. The decidable-class analysis of
+//     the rule set (src/analysis/program_analysis.h) runs once per
+//     session: an FES verdict (acyclicity certificate, on a terminating
+//     chase variant) picks kMaterialize and an FUS verdict (linear or
+//     sticky rules) picks kRewrite at the full budget — both without
+//     spending any probe rewriting. Only programs the analysis cannot
+//     place fall back to the old behavior: probe the rewriting within
+//     tight bounds, answer by kRewrite if it saturates, else
+//     kMaterialize. ReasonerStats::last_decision records the outcome.
 //
 // Prepare() turns a query into a PreparedQuery — strategy resolved,
 // rewriting computed, per-disjunct homomorphism searches built — which can
@@ -40,6 +44,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/program_analysis.h"
 #include "analysis/reliance.h"
 #include "base/hash.h"
 #include "base/thread_pool.h"
@@ -61,6 +66,25 @@ enum class AnswerStrategy {
 
 /// Human-readable strategy name ("materialize" / "rewrite" / "auto").
 const char* ToString(AnswerStrategy strategy);
+
+/// Why the last Prepare() ended up on the strategy it did. kAuto resolves
+/// analysis-first: a FES verdict (acyclicity certificate, non-oblivious
+/// variant) picks materialization and a FUS verdict (linear or sticky
+/// rules) picks rewriting — both without spending any probe budget; only
+/// programs the analysis cannot place run the tight probe rewriting.
+enum class StrategyDecision {
+  kNone,              // no query prepared yet
+  kExplicit,          // options.strategy was kMaterialize/kRewrite
+  kCertifiedFes,      // FES class => materialize, no probe
+  kCertifiedFus,      // FUS class => full-budget rewrite, no probe
+  kFusFallback,       // FUS, but the rewriting outgrew even the full
+                      // budget => materialize
+  kProbeRewrite,      // undecided gap: probe saturated => rewrite
+  kProbeMaterialize,  // undecided gap: probe missed => materialize
+};
+
+/// Human-readable decision name ("certified-fus", "probe-materialize", ...).
+const char* ToString(StrategyDecision decision);
 
 /// Session-wide configuration.
 ///
@@ -162,6 +186,21 @@ struct ReasonerStats {
   /// terminates, so Prepare() chose kMaterialize without spending any
   /// probe-rewriting budget. Also counted in auto_picked_materialize.
   std::size_t auto_certified_materialize = 0;
+  /// kAuto picks decided by a FUS class verdict (linear/sticky rules):
+  /// Prepare() ran the full-budget rewriter directly, no probe. Also
+  /// counted in auto_picked_rewrite.
+  std::size_t auto_certified_rewrite = 0;
+  /// Tight probe rewritings actually spent by kAuto — stays 0 while every
+  /// Prepare() was decided by the class analysis.
+  std::size_t auto_probes_run = 0;
+  /// How the most recent Prepare() chose its strategy.
+  StrategyDecision last_decision = StrategyDecision::kNone;
+  /// Decidable-class summary of the rule set, filled by the first call
+  /// that runs the program analysis (kAuto Prepare(), analysis()):
+  /// ProgramReport::ClassList(), and the derived FUS/FES verdicts.
+  std::string program_classes;
+  bool program_fus = false;
+  bool program_fes = false;
 };
 
 class PreparedQuery;
@@ -343,6 +382,12 @@ class Reasoner {
   /// consults it before spending probe-rewriting budget.
   TerminationCertificate certificate();
 
+  /// The full decidable-class analysis of the rule set
+  /// (src/analysis/program_analysis.h), computed lazily on first use and
+  /// cached; kAuto Prepare() consults it before anything else. Computing
+  /// it also fills the certificate cache and the stats() class summary.
+  const ProgramReport& analysis();
+
  private:
   void EnsureMaterialized();
   // Runs the chase one step at a time up to `target_steps` total executed
@@ -363,6 +408,7 @@ class Reasoner {
   std::unique_ptr<ThreadPool> pool_;  // null when serial
   std::unique_ptr<ObliviousChase> chase_;
   std::optional<TerminationCertificate> certificate_;  // lazy cache
+  std::optional<ProgramReport> analysis_;              // lazy cache
   ReasonerStats stats_;
 };
 

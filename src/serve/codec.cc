@@ -82,6 +82,8 @@ std::optional<Request> DecodeRequest(const JsonValue& doc, std::string* error,
     req.op = RequestOp::kStatus;
   } else if (name == "metrics") {
     req.op = RequestOp::kMetrics;
+  } else if (name == "analyze") {
+    req.op = RequestOp::kAnalyze;
   } else if (name == "prepare") {
     req.op = RequestOp::kPrepare;
     const JsonValue* plan_name = doc.FindString("name");

@@ -6,6 +6,7 @@
 //   {"op":"ping"}
 //   {"op":"status"}
 //   {"op":"metrics"}
+//   {"op":"analyze"}
 //   {"op":"prepare","name":"q1","query":"?(x) :- Person(x)"}
 //   {"op":"query","query":"?(x) :- Person(x)","mode":"all"}
 //   {"op":"query","prepared":"q1","mode":"count"}
@@ -70,7 +71,15 @@ class LineFramer {
 
 /// Parsed request operations. kQuery either carries inline query text or
 /// references a plan prepared earlier on the same session.
-enum class RequestOp { kPing, kStatus, kMetrics, kPrepare, kQuery, kAdd };
+enum class RequestOp {
+  kPing,
+  kStatus,
+  kMetrics,
+  kAnalyze,
+  kPrepare,
+  kQuery,
+  kAdd,
+};
 
 /// How a kQuery responds: full answer set, count only, or Boolean.
 enum class QueryMode { kAll, kCount, kAsk };

@@ -15,6 +15,8 @@
 #include <unistd.h>
 #endif
 
+#include "analysis/lint.h"
+#include "analysis/program_analysis.h"
 #include "logic/parser.h"
 #include "obs/obs.h"
 
@@ -135,6 +137,8 @@ std::string Server::HandleRequest(Session& session, const Request& req) {
       return HandleStatus(req);
     case RequestOp::kMetrics:
       return HandleMetrics(req);
+    case RequestOp::kAnalyze:
+      return HandleAnalyze(req);
     case RequestOp::kPrepare:
       return HandlePrepare(session, req);
     case RequestOp::kQuery:
@@ -177,6 +181,27 @@ std::string Server::HandleMetrics(const Request& req) {
   JsonValue reply = OkReply(req.id);
   reply.Set("metrics", metrics.has_value() ? std::move(*metrics)
                                            : JsonValue::Object());
+  return reply.Dump();
+}
+
+std::string Server::HandleAnalyze(const Request& req) {
+  // The rule set is immutable for the server's lifetime, so the analysis
+  // is computed into locals (never through the Reasoner's mutable caches —
+  // those race the writer path). The lint's subsumption check freezes rule
+  // variables into fresh interned constants: exclusive Universe access,
+  // like parsing.
+  const Reasoner& reasoner = snapshots_.reasoner();
+  JsonValue analysis;
+  {
+    std::unique_lock<std::shared_mutex> lock(universe_mu_);
+    const ProgramReport report = AnalyzeProgram(reasoner.rules(), *universe_);
+    const LintReport lint = LintProgram(reasoner.rules(), universe_,
+                                        &reasoner.database(), &report);
+    analysis = report.ToJson();
+    analysis.Set("lint", lint.ToJson());
+  }
+  JsonValue reply = OkReply(req.id);
+  reply.Set("analysis", std::move(analysis));
   return reply.Dump();
 }
 

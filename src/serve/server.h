@@ -116,6 +116,7 @@ class Server {
   std::string HandleAdd(const Request& req);
   std::string HandleStatus(const Request& req);
   std::string HandleMetrics(const Request& req);
+  std::string HandleAnalyze(const Request& req);
 
   ServerOptions options_;
   Universe* universe_;

@@ -1,0 +1,344 @@
+// Tests for the program linter (src/analysis/lint.h): every diagnostic id
+// firing and not firing, the severity counters, and the exit-code contract
+// bddfc_lint and CI key on.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "analysis/lint.h"
+#include "analysis/program_analysis.h"
+#include "logic/atom.h"
+#include "logic/parser.h"
+#include "logic/rule.h"
+#include "logic/universe.h"
+
+namespace bddfc {
+namespace {
+
+class LintTest : public ::testing::Test {
+ protected:
+  RuleSet Rules(const std::string& text) {
+    return MustParseRuleSet(&u_, text);
+  }
+
+  // Diagnostics with the given id.
+  static std::size_t CountOf(const LintReport& report, const std::string& id) {
+    std::size_t n = 0;
+    for (const LintDiagnostic& d : report.diagnostics) {
+      if (d.id == id) ++n;
+    }
+    return n;
+  }
+
+  Universe u_;
+};
+
+TEST_F(LintTest, CleanProgramIsQuiet) {
+  // Every derived predicate is read, every rule reachable from the EDB
+  // predicate E, no duplicates, bodies connected.
+  RuleSet rules = Rules(
+      "E(x,y) -> A(x)\n"
+      "A(x) -> B(x)\n"
+      "B(x), E(x,y) -> A(y)\n");
+  LintReport report = LintProgram(rules, &u_);
+  EXPECT_TRUE(report.diagnostics.empty());
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.warnings, 0u);
+  EXPECT_EQ(report.notes, 0u);
+  EXPECT_EQ(report.ExitCode(), 0);
+  EXPECT_EQ(report.ExitCode(/*werror=*/true), 0);
+}
+
+// ---- unused-predicate ----------------------------------------------------
+
+TEST_F(LintTest, UnusedPredicateIsANote) {
+  RuleSet rules = Rules("E(x) -> B(x)\n");
+  LintReport report = LintProgram(rules, &u_);
+  ASSERT_TRUE(report.Has("unused-predicate"));
+  EXPECT_EQ(CountOf(report, "unused-predicate"), 1u);
+  const LintDiagnostic& d = report.diagnostics.front();
+  EXPECT_EQ(d.severity, LintSeverity::kNote);
+  EXPECT_EQ(d.rule, LintDiagnostic::kNoRule);
+  EXPECT_NE(d.message.find("B"), std::string::npos);
+  // Notes never affect the exit code, even under --Werror.
+  EXPECT_EQ(report.ExitCode(), 0);
+  EXPECT_EQ(report.ExitCode(/*werror=*/true), 0);
+}
+
+TEST_F(LintTest, EdbPredicateIsNotUnused) {
+  // E appears in no head: it is EDB, not an unused derived predicate —
+  // and a head predicate some body reads is not unused either.
+  RuleSet rules = Rules(
+      "E(x) -> B(x)\n"
+      "B(x) -> B(x)\n");  // B read; the self-duplicate is not the point
+  LintReport report = LintProgram(rules, &u_);
+  EXPECT_FALSE(report.Has("unused-predicate"));
+}
+
+// ---- unreachable-rule ----------------------------------------------------
+
+TEST_F(LintTest, MutualRecursionWithoutBaseCaseIsUnreachable) {
+  RuleSet rules = Rules(
+      "P(x) -> Q(x)\n"
+      "Q(x) -> P(x)\n");
+  LintReport report = LintProgram(rules, &u_);
+  EXPECT_EQ(CountOf(report, "unreachable-rule"), 2u);
+  EXPECT_EQ(report.warnings, 2u);
+  EXPECT_EQ(report.ExitCode(), 1);
+  EXPECT_EQ(report.ExitCode(/*werror=*/true), 2);
+}
+
+TEST_F(LintTest, BaseCaseMakesMutualRecursionReachable) {
+  RuleSet rules = Rules(
+      "E(x) -> P(x)\n"
+      "P(x) -> Q(x)\n"
+      "Q(x) -> P(x)\n");
+  LintReport report = LintProgram(rules, &u_);
+  EXPECT_FALSE(report.Has("unreachable-rule"));
+}
+
+TEST_F(LintTest, FactlessEdbPredicateWithDatabaseIsAnError) {
+  // With a database in hand, an EDB predicate with no facts and no
+  // deriving rule is a hard never-matching error (reachability still
+  // treats it as suppliable — a later add could fill it).
+  RuleSet rules = Rules("E(x) -> P(x)\n");
+  Instance db(&u_);
+  LintReport report = LintProgram(rules, &u_, &db);
+  EXPECT_TRUE(report.Has("never-matching-body"));
+  EXPECT_FALSE(report.Has("unreachable-rule"));
+  EXPECT_GE(report.errors, 1u);
+  EXPECT_EQ(report.ExitCode(), 2);
+}
+
+TEST_F(LintTest, DatabaseFactsSeedReachability) {
+  RuleSet rules = Rules("E(x) -> P(x)\n");
+  Instance db = MustParseInstance(&u_, "E(a).");
+  LintReport report = LintProgram(rules, &u_, &db);
+  EXPECT_FALSE(report.Has("never-matching-body"));
+  EXPECT_FALSE(report.Has("unreachable-rule"));
+}
+
+// ---- never-matching-body (programmatic shapes) ---------------------------
+
+TEST_F(LintTest, ArityMismatchIsAnError) {
+  // Unreachable through the parser (interning aborts on arity conflict),
+  // but programmatically assembled rules can disagree with the signature.
+  const PredicateId p = u_.InternPredicate("P", 2);
+  const PredicateId q = u_.InternPredicate("Q", 1);
+  const Term x = Term::MakeVariable(0);
+  RuleSet rules;
+  rules.emplace_back(std::vector<Atom>{Atom(p, {x})},
+                     std::vector<Atom>{Atom(q, {x})});
+  LintReport report = LintProgram(rules, &u_);
+  ASSERT_TRUE(report.Has("never-matching-body"));
+  const LintDiagnostic& d = report.diagnostics.front();
+  EXPECT_EQ(d.severity, LintSeverity::kError);
+  EXPECT_EQ(d.rule, 0u);
+  EXPECT_NE(d.message.find("arity"), std::string::npos);
+  EXPECT_EQ(report.ExitCode(), 2);
+}
+
+TEST_F(LintTest, ConstantContradictionIsAnError) {
+  // P is derived-only and every deriving rule writes constant a at
+  // position 0, but the consumer demands constant b there.
+  const PredicateId e = u_.InternPredicate("E", 1);
+  const PredicateId p = u_.InternPredicate("P", 2);
+  const PredicateId q = u_.InternPredicate("Q", 1);
+  const Term x = Term::MakeVariable(0);
+  const Term a = u_.InternConstant("a");
+  const Term b = u_.InternConstant("b");
+  RuleSet rules;
+  rules.emplace_back(std::vector<Atom>{Atom(e, {x})},
+                     std::vector<Atom>{Atom(p, {a, x})});
+  rules.emplace_back(std::vector<Atom>{Atom(p, {b, x})},
+                     std::vector<Atom>{Atom(q, {x})});
+  LintReport report = LintProgram(rules, &u_);
+  ASSERT_TRUE(report.Has("never-matching-body"));
+  bool found = false;
+  for (const LintDiagnostic& d : report.diagnostics) {
+    if (d.id != "never-matching-body") continue;
+    found = true;
+    EXPECT_EQ(d.rule, 1u);
+    EXPECT_NE(d.message.find("constant"), std::string::npos);
+  }
+  EXPECT_TRUE(found);
+
+  // The same consumer asking for the produced constant is fine.
+  RuleSet ok;
+  ok.emplace_back(std::vector<Atom>{Atom(e, {x})},
+                  std::vector<Atom>{Atom(p, {a, x})});
+  ok.emplace_back(std::vector<Atom>{Atom(p, {a, x})},
+                  std::vector<Atom>{Atom(q, {x})});
+  EXPECT_FALSE(LintProgram(ok, &u_).Has("never-matching-body"));
+}
+
+// ---- duplicate-rule ------------------------------------------------------
+
+TEST_F(LintTest, DuplicateUpToRenamingIsFlaggedOnce) {
+  RuleSet rules = Rules(
+      "E(x,y) -> P(x)\n"
+      "E(u,v) -> P(u)\n"
+      "P(x) -> Seen(x)\n"
+      "Seen(x) -> Done(x)\n"
+      "Done(x) -> P(x)\n");
+  LintReport report = LintProgram(rules, &u_);
+  EXPECT_EQ(CountOf(report, "duplicate-rule"), 1u);
+  for (const LintDiagnostic& d : report.diagnostics) {
+    if (d.id != "duplicate-rule") continue;
+    EXPECT_EQ(d.rule, 1u);  // the later copy is the offender
+    EXPECT_EQ(d.severity, LintSeverity::kWarning);
+  }
+}
+
+TEST_F(LintTest, DifferentProjectionIsNotADuplicate) {
+  RuleSet rules = Rules(
+      "E(x,y) -> P(x)\n"
+      "E(u,v) -> P(v)\n"
+      "P(x) -> Q(x)\n"
+      "Q(x) -> P(x)\n");
+  LintReport report = LintProgram(rules, &u_);
+  EXPECT_FALSE(report.Has("duplicate-rule"));
+  EXPECT_FALSE(report.Has("subsumed-rule"));
+}
+
+// ---- subsumed-rule -------------------------------------------------------
+
+TEST_F(LintTest, StricterBodyWithSameHeadIsSubsumed) {
+  // Rule 1 demands an extra E-step but concludes no more than rule 0.
+  RuleSet rules = Rules(
+      "E(x,y) -> P(x)\n"
+      "E(x,y), E(y,z) -> P(x)\n"
+      "P(x) -> Q(x)\n"
+      "Q(x) -> P(x)\n");
+  LintReport report = LintProgram(rules, &u_);
+  EXPECT_EQ(CountOf(report, "subsumed-rule"), 1u);
+  for (const LintDiagnostic& d : report.diagnostics) {
+    if (d.id != "subsumed-rule") continue;
+    EXPECT_EQ(d.rule, 1u);
+    EXPECT_NE(d.message.find("more general"), std::string::npos);
+  }
+}
+
+TEST_F(LintTest, MutualSubsumptionKeepsTheEarlierRule) {
+  // Reordered bodies: not syntactic duplicates, but logically equivalent.
+  RuleSet rules = Rules(
+      "A(x), B(x) -> P(x)\n"
+      "B(x), A(x) -> P(x)\n"
+      "P(x) -> A(x)\n"
+      "E(x) -> A(x)\n");
+  LintReport report = LintProgram(rules, &u_);
+  EXPECT_FALSE(report.Has("duplicate-rule"));
+  EXPECT_EQ(CountOf(report, "subsumed-rule"), 1u);
+  for (const LintDiagnostic& d : report.diagnostics) {
+    if (d.id == "subsumed-rule") {
+      EXPECT_EQ(d.rule, 1u);
+    }
+  }
+}
+
+TEST_F(LintTest, ExistentialRulesAreNeverSubsumptionCandidates) {
+  RuleSet rules = Rules(
+      "E(x,y) -> P(x,z)\n"
+      "E(x,y), E(y,w) -> P(x,z)\n"
+      "P(x,y) -> Out(x)\n");
+  LintReport report = LintProgram(rules, &u_);
+  EXPECT_FALSE(report.Has("subsumed-rule"));
+}
+
+// ---- cartesian-body ------------------------------------------------------
+
+TEST_F(LintTest, VariableDisjointBodyIsCartesian) {
+  RuleSet rules = Rules(
+      "A(x), B(y) -> C(x,y)\n"
+      "C(x,y) -> A(x)\n"
+      "C(x,y) -> B(y)\n"
+      "E(x) -> A(x)\n"
+      "F(x) -> B(x)\n");
+  LintReport report = LintProgram(rules, &u_);
+  EXPECT_EQ(CountOf(report, "cartesian-body"), 1u);
+  for (const LintDiagnostic& d : report.diagnostics) {
+    if (d.id != "cartesian-body") continue;
+    EXPECT_EQ(d.rule, 0u);
+    EXPECT_NE(d.message.find("2"), std::string::npos);
+  }
+}
+
+TEST_F(LintTest, SharedVariableConnectsTheBody) {
+  RuleSet rules = Rules(
+      "A(x), B(x) -> C(x)\n"
+      "C(x) -> A(x)\n"
+      "C(x) -> B(x)\n");
+  EXPECT_FALSE(LintProgram(rules, &u_).Has("cartesian-body"));
+}
+
+// ---- divergence-risk -----------------------------------------------------
+
+TEST_F(LintTest, UncertifiedExistentialCycleIsDivergenceRisk) {
+  RuleSet rules = Rules(
+      "P(x,y) -> P(y,z)\n"
+      "P(x,y) -> Q(x)\n"
+      "Q(x) -> Seen(x)\n"
+      "Seen(x) -> Q(x)\n"
+      "S(x,y) -> P(x,y)\n");
+  ProgramReport analysis = AnalyzeProgram(rules, u_);
+  ASSERT_EQ(analysis.certificate, TerminationCertificate::kNone);
+  LintReport report = LintProgram(rules, &u_, nullptr, &analysis);
+  EXPECT_EQ(CountOf(report, "divergence-risk"), 1u);
+  for (const LintDiagnostic& d : report.diagnostics) {
+    if (d.id != "divergence-risk") continue;
+    EXPECT_EQ(d.rule, 0u);
+    EXPECT_EQ(d.severity, LintSeverity::kWarning);
+    EXPECT_NE(d.message.find("P[1]"), std::string::npos);
+  }
+  // Without the analysis report the check cannot run.
+  EXPECT_FALSE(LintProgram(rules, &u_).Has("divergence-risk"));
+}
+
+TEST_F(LintTest, CertifiedProgramHasNoDivergenceRisk) {
+  // Weakly acyclic: the existential position is never fed back.
+  RuleSet rules = Rules(
+      "E(x,y) -> F(x,z)\n"
+      "F(x,y) -> E2(x)\n"
+      "E2(x) -> E3(x)\n"
+      "E3(x) -> E2(x)\n");
+  ProgramReport analysis = AnalyzeProgram(rules, u_);
+  EXPECT_NE(analysis.certificate, TerminationCertificate::kNone);
+  EXPECT_FALSE(
+      LintProgram(rules, &u_, nullptr, &analysis).Has("divergence-risk"));
+}
+
+// ---- severity accounting -------------------------------------------------
+
+TEST_F(LintTest, SeverityCountersMatchDiagnostics) {
+  // One error (factless EDB predicate), one note (unused Out).
+  RuleSet rules = Rules(
+      "E(x) -> P(x)\n"
+      "P(x) -> Out(x)\n");
+  Instance db(&u_);
+  LintReport report = LintProgram(rules, &u_, &db);
+  std::size_t errors = 0, warnings = 0, notes = 0;
+  for (const LintDiagnostic& d : report.diagnostics) {
+    switch (d.severity) {
+      case LintSeverity::kError:
+        ++errors;
+        break;
+      case LintSeverity::kWarning:
+        ++warnings;
+        break;
+      case LintSeverity::kNote:
+        ++notes;
+        break;
+    }
+  }
+  EXPECT_EQ(report.errors, errors);
+  EXPECT_EQ(report.warnings, warnings);
+  EXPECT_EQ(report.notes, notes);
+  EXPECT_GE(errors, 1u);
+  EXPECT_EQ(report.ExitCode(), 2);
+  EXPECT_EQ(report.ExitCode(/*werror=*/true), 2);
+}
+
+}  // namespace
+}  // namespace bddfc

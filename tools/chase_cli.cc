@@ -79,6 +79,8 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/lint.h"
+#include "analysis/program_analysis.h"
 #include "analysis/reliance.h"
 #include "api/reasoner.h"
 #include "base/json.h"
@@ -107,7 +109,7 @@ int Usage(const char* argv0) {
       "          [--schedule=flat|stratified]\n"
       "          [--storage=row|column] [--max-steps=N] [--max-atoms=N]\n"
       "          [--query=FILE] [--strategy=materialize|rewrite|auto]\n"
-      "          [--trace=FILE] [--progress[=MS]]\n"
+      "          [--trace=FILE] [--progress[=MS]] [--analyze]\n"
       "          [--json] [--quiet] RULES_FILE INSTANCE_FILE\n",
       argv0);
   return 2;
@@ -165,6 +167,17 @@ double MsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+// The "analysis" object shared by --analyze and --json: the full class
+// report plus the lint report and the kAuto strategy decision.
+bddfc::JsonValue AnalysisJson(const bddfc::ProgramReport& report,
+                              const bddfc::LintReport& lint,
+                              const char* strategy_decision) {
+  bddfc::JsonValue v = report.ToJson();
+  v.Set("lint", lint.ToJson());
+  v.Set("strategy_decision", bddfc::JsonValue::Str(strategy_decision));
+  return v;
+}
+
 // One prepared-and-executed query, ready for reporting.
 struct QueryReport {
   std::string text;        // the query as parsed (printer rendering)
@@ -184,6 +197,7 @@ int main(int argc, char** argv) {
   bddfc::StorageKind storage = bddfc::StorageKind::kRow;
   bool quiet = false;
   bool json = false;
+  bool analyze = false;
   std::string rules_path, instance_path, query_path, trace_path;
   std::size_t progress_ms = 0;  // 0 = no heartbeat
   for (int i = 1; i < argc; ++i) {
@@ -271,6 +285,8 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
       if (progress_ms == 0) progress_ms = 1000;
+    } else if (arg == "--analyze") {
+      analyze = true;
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--quiet") {
@@ -331,6 +347,40 @@ int main(int argc, char** argv) {
       return 2;
     }
     queries = std::move(*parsed);
+  }
+
+  // --analyze: report the static analysis and lint of the program, then
+  // exit without running any chase or query.
+  if (analyze) {
+    const bddfc::ProgramReport report =
+        bddfc::AnalyzeProgram(*rules, universe);
+    const bddfc::LintReport lint =
+        bddfc::LintProgram(*rules, &universe, &*database, &report);
+    if (json) {
+      std::printf("{\n");
+      std::printf("  \"rules_file\": \"%s\",\n",
+                  JsonEscape(rules_path).c_str());
+      std::printf("  \"instance_file\": \"%s\",\n",
+                  JsonEscape(instance_path).c_str());
+      std::printf("  \"analysis\": %s\n}\n",
+                  AnalysisJson(report, lint, "none").Dump().c_str());
+    } else {
+      std::printf("rules:    %s (%zu rules)\n", rules_path.c_str(),
+                  rules->size());
+      std::printf("classes:  %s\n", report.ClassList().c_str());
+      std::printf("fus: %s (%s)\n", report.fus ? "yes" : "no",
+                  report.fus_reason.c_str());
+      std::printf("fes: %s (%s)\n", report.fes ? "yes" : "no",
+                  report.fes_reason.c_str());
+      std::printf("certificate: %s\n", bddfc::ToString(report.certificate));
+      for (const bddfc::LintDiagnostic& d : lint.diagnostics) {
+        std::printf("%s: [%s] %s\n", bddfc::ToString(d.severity),
+                    d.id.c_str(), d.message.c_str());
+      }
+      std::printf("%zu error(s), %zu warning(s), %zu note(s)\n",
+                  lint.errors, lint.warnings, lint.notes);
+    }
+    return 0;
   }
 
   // The trace session opens before the Reasoner is built so the base
@@ -460,6 +510,16 @@ int main(int argc, char** argv) {
     std::printf("  \"rules_skipped\": %zu,\n", stats.rules_skipped);
     std::printf("  \"certificate\": \"%s\",\n",
                 bddfc::ToString(reasoner.certificate()));
+    {
+      const bddfc::ProgramReport& report = reasoner.analysis();
+      const bddfc::LintReport lint = bddfc::LintProgram(
+          reasoner.rules(), &universe, &reasoner.database(), &report);
+      std::printf("  \"analysis\": %s,\n",
+                  AnalysisJson(report, lint,
+                               bddfc::ToString(stats.last_decision))
+                      .Dump()
+                      .c_str());
+    }
     std::printf("  \"rules_detail\": [");
     if (sched_stats != nullptr) {
       for (std::size_t r = 0; r < reasoner.rules().size(); ++r) {
